@@ -1,0 +1,430 @@
+// Package gorace_test is the benchmark harness: one benchmark per
+// table and figure in the paper's evaluation, plus the ablation
+// benchmarks DESIGN.md calls out. See EXPERIMENTS.md for the mapping
+// and for paper-vs-measured notes.
+package gorace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"gorace/internal/corpusgen"
+	"gorace/internal/detector"
+	"gorace/internal/explore"
+	"gorace/internal/fleet"
+	"gorace/internal/patterns"
+	"gorace/internal/pipeline"
+	"gorace/internal/report"
+	"gorace/internal/sched"
+	"gorace/internal/staticcount"
+	"gorace/internal/staticrace"
+	"gorace/internal/study"
+	"gorace/internal/trace"
+)
+
+// --- E1: Table 1 — concurrency construct counts, Java vs Go ---
+
+func BenchmarkTable1ConstructCounts(b *testing.B) {
+	const lines = 100_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var gc staticcount.GoCounts
+		for _, f := range corpusgen.GenGoRepo(corpusgen.UberGoProfile, lines, 1) {
+			c, err := staticcount.CountGoSource(f.Name, f.Content)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gc.Add(c)
+		}
+		var jc staticcount.JavaCounts
+		for _, f := range corpusgen.GenJavaRepo(corpusgen.UberJavaProfile, lines, 1) {
+			jc.Add(staticcount.CountJavaSource(f.Content))
+		}
+		ratio := staticcount.PerMLoC(gc.PointToPoint(), gc.Lines) /
+			staticcount.PerMLoC(jc.PointToPoint(), jc.Lines)
+		if ratio < 3 || ratio > 4.5 {
+			b.Fatalf("p2p ratio %.2f drifted from the paper's 3.7x", ratio)
+		}
+	}
+}
+
+// --- E2: Figure 1 — concurrency CDF per language ---
+
+func BenchmarkFigure1ConcurrencyCDF(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		series := fleet.RunExperiment(int64(i + 1))
+		for _, s := range series {
+			if s.Lang == "Go" && s.P50 != 2048 {
+				b.Fatalf("Go p50 = %d, want 2048", s.P50)
+			}
+		}
+	}
+}
+
+// --- E3: §3.3.1 — dedup hash under churn ---
+
+func BenchmarkDedupPipeline(b *testing.B) {
+	// Hash + dedup store throughput over a stream of reports with
+	// line churn and order flips (the duplicates the scheme absorbs).
+	races := manifestAllListings(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := report.NewDeduper()
+		for _, r := range races {
+			d.Add(r)
+			// Flipped duplicate must be suppressed.
+			d.Add(report.Race{First: r.Second, Second: r.First, Detector: r.Detector})
+		}
+		_, unique, _ := d.Stats()
+		if unique == 0 {
+			b.Fatal("no unique races")
+		}
+	}
+}
+
+// --- E4/E5: Figures 3 and 4 — deployment time series ---
+
+func BenchmarkFigure3Outstanding(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := pipeline.DefaultConfig()
+		cfg.Seed = int64(i + 1)
+		o := pipeline.Run(cfg)
+		if s := pipeline.FormatFigure3(o); len(s) == 0 {
+			b.Fatal("empty series")
+		}
+	}
+}
+
+func BenchmarkFigure4FoundFixed(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := pipeline.DefaultConfig()
+		cfg.Seed = int64(i + 1)
+		o := pipeline.Run(cfg)
+		last := o.Days[len(o.Days)-1]
+		if last.CreatedCum <= last.ResolvedCum {
+			b.Fatal("created must exceed resolved at the end (paper shape)")
+		}
+	}
+}
+
+// --- E6/E7: Tables 2 and 3 — category counts ---
+
+func BenchmarkTable2GoPatternCounts(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := study.RunTable23(0.1, int64(i+1))
+		if len(r.Table2) == 0 {
+			b.Fatal("empty table 2")
+		}
+	}
+}
+
+func BenchmarkTable3AgnosticCounts(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := study.RunTable23(0.1, int64(i+1))
+		if len(r.Table3) == 0 {
+			b.Fatal("empty table 3")
+		}
+	}
+}
+
+// --- E8: §3.5 overhead — detector cost over the corpus ---
+
+// corpusWorkload runs every corpus racy variant once under one seed.
+func corpusWorkload(seed int64, ls ...trace.Listener) {
+	for _, p := range patterns.All() {
+		sched.Run(p.Racy, sched.Options{
+			Strategy: sched.NewRandom(), Seed: seed, MaxSteps: 1 << 16,
+			Listeners: ls,
+		})
+	}
+}
+
+func BenchmarkDetectorOverheadNone(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		corpusWorkload(int64(i))
+	}
+}
+
+func BenchmarkDetectorOverheadEpoch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		corpusWorkload(int64(i), detector.NewEpoch())
+	}
+}
+
+func BenchmarkDetectorOverheadFastTrack(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		corpusWorkload(int64(i), detector.NewFastTrack())
+	}
+}
+
+func BenchmarkDetectorOverheadDJIT(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		corpusWorkload(int64(i), detector.NewDJIT())
+	}
+}
+
+func BenchmarkDetectorOverheadEraser(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		corpusWorkload(int64(i), detector.NewEraser())
+	}
+}
+
+func BenchmarkDetectorOverheadHybrid(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		corpusWorkload(int64(i), detector.NewHybrid())
+	}
+}
+
+// --- E9: §3.2.1 — flakiness / schedule exploration ---
+
+func BenchmarkFlakinessRandom(b *testing.B) {
+	p, _ := patterns.ByID("waitgroup-add-inside")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		explore.Probe(p.Racy, func() sched.Strategy { return sched.NewRandom() }, 20, int64(i))
+	}
+}
+
+func BenchmarkFlakinessPCT(b *testing.B) {
+	p, _ := patterns.ByID("waitgroup-add-inside")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		explore.Probe(p.Racy, func() sched.Strategy { return sched.NewPCT(3, 2000) }, 20, int64(i))
+	}
+}
+
+func BenchmarkExhaustiveExploration(b *testing.B) {
+	p, _ := patterns.ByID("capture-loop-index")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := explore.Exhaustive(p.Racy, 100)
+		if res.Racy == 0 {
+			b.Fatal("exploration lost the race")
+		}
+	}
+}
+
+// --- E8 (pure analysis cost): replay a recorded trace into each
+// detector, isolating detector cost from the modeled scheduler. This
+// is the number comparable to TSan's 2×–20× instrumentation overhead:
+// events-with-detection vs events-without.
+
+func recordHeavyTrace(b *testing.B) *trace.Recorder {
+	b.Helper()
+	rec := &trace.Recorder{}
+	sched.Run(heavyProgram, sched.Options{
+		Strategy: sched.NewRandom(), Seed: 1, MaxSteps: 1 << 18,
+		Listeners: []trace.Listener{rec},
+	})
+	if len(rec.Events) == 0 {
+		b.Fatal("empty trace")
+	}
+	return rec
+}
+
+func BenchmarkReplayBaselineNoop(b *testing.B) {
+	rec := recordHeavyTrace(b)
+	noop := trace.ListenerFunc(func(trace.Event) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Replay(noop)
+	}
+}
+
+func BenchmarkReplayFastTrack(b *testing.B) {
+	rec := recordHeavyTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Replay(detector.NewFastTrack())
+	}
+}
+
+func BenchmarkReplayEpoch(b *testing.B) {
+	rec := recordHeavyTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Replay(detector.NewEpoch())
+	}
+}
+
+func BenchmarkReplayDJIT(b *testing.B) {
+	rec := recordHeavyTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Replay(detector.NewDJIT())
+	}
+}
+
+func BenchmarkReplayEraser(b *testing.B) {
+	rec := recordHeavyTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Replay(detector.NewEraser())
+	}
+}
+
+// --- Ablations (DESIGN.md) ---
+
+// heavyProgram stresses shadow-memory operations: many goroutines,
+// many cells, mixed sync.
+func heavyProgram(g *sched.G) {
+	const workers = 8
+	vars := make([]*sched.Var[int], 16)
+	for i := range vars {
+		vars[i] = sched.NewVar[int](g, "cell")
+	}
+	mu := sched.NewMutex(g, "mu")
+	wg := sched.NewWaitGroup(g, "wg")
+	for w := 0; w < workers; w++ {
+		wg.Add(g, 1)
+		w := w
+		g.Go("worker", func(g *sched.G) {
+			for i := 0; i < 40; i++ {
+				v := vars[(w*7+i)%len(vars)]
+				if i%3 == 0 {
+					mu.Lock(g)
+					v.Update(g, func(x int) int { return x + 1 })
+					mu.Unlock(g)
+				} else {
+					v.Load(g)
+				}
+			}
+			wg.Done(g)
+		})
+	}
+	wg.Wait(g)
+}
+
+func BenchmarkAblationEpochs(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ep := detector.NewEpoch()
+		sched.Run(heavyProgram, sched.Options{
+			Strategy: sched.NewRandom(), Seed: int64(i), MaxSteps: 1 << 18,
+			Listeners: []trace.Listener{ep},
+		})
+	}
+}
+
+func BenchmarkAblationFullVC(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dj := detector.NewDJIT()
+		sched.Run(heavyProgram, sched.Options{
+			Strategy: sched.NewRandom(), Seed: int64(i), MaxSteps: 1 << 18,
+			Listeners: []trace.Listener{dj},
+		})
+	}
+}
+
+func BenchmarkAblationHybridVsHB(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hy := detector.NewHybrid()
+		sched.Run(heavyProgram, sched.Options{
+			Strategy: sched.NewRandom(), Seed: int64(i), MaxSteps: 1 << 18,
+			Listeners: []trace.Listener{hy},
+		})
+	}
+}
+
+// --- Extension: static analysis of the §4 patterns ---
+
+const staticBenchSrc = `package p
+
+import "sync"
+
+func processJobs(jobs []int) {
+	var wg sync.WaitGroup
+	errMap := make(map[int]error)
+	for _, job := range jobs {
+		go func() {
+			wg.Add(1)
+			errMap[job] = nil
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func critical(mu sync.Mutex) (count int) {
+	mu.Lock()
+	go func() { count++ }()
+	mu.Unlock()
+	return 10
+}
+`
+
+func BenchmarkStaticAnalyzer(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fs, err := staticrace.AnalyzeSource("bench.go", staticBenchSrc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fs) < 4 {
+			b.Fatalf("analyzer lost findings: %d", len(fs))
+		}
+	}
+}
+
+// --- Extension: post-facto trace persistence ---
+
+func BenchmarkTraceSerialization(b *testing.B) {
+	rec := recordHeavyTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := rec.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		got, err := trace.Load(&buf)
+		if err != nil || len(got.Events) != len(rec.Events) {
+			b.Fatalf("round trip broken: %v", err)
+		}
+	}
+}
+
+// manifestAllListings collects one report per listing-backed pattern.
+func manifestAllListings(b *testing.B) []report.Race {
+	b.Helper()
+	var out []report.Race
+	for _, p := range patterns.All() {
+		if p.Listing == 0 {
+			continue
+		}
+		for seed := int64(0); seed < 60; seed++ {
+			ft := detector.NewFastTrack()
+			sched.Run(p.Racy, sched.Options{
+				Strategy: sched.NewRandom(), Seed: seed, MaxSteps: 1 << 16,
+				Listeners: []trace.Listener{ft},
+			})
+			if ft.RaceCount() > 0 {
+				out = append(out, ft.Races()[0])
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		b.Fatal("no listing races manifested")
+	}
+	return out
+}

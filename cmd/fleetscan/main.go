@@ -1,0 +1,39 @@
+// Command fleetscan regenerates Figure 1: the cumulative frequency
+// distribution of per-process concurrency (threads or goroutines) for
+// Go, Java, NodeJS, and Python fleets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+
+	"gorace/internal/fleet"
+	"gorace/internal/textplot"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "fleet sampling seed")
+	flag.Parse()
+
+	series := fleet.RunExperiment(*seed)
+	fmt.Println("Figure 1: cumulative fraction of processes at each concurrency level")
+	fmt.Print(fleet.Format(series))
+	fmt.Println()
+	var plotSeries []textplot.Series
+	for _, s := range series {
+		plotSeries = append(plotSeries, textplot.Series{Name: s.Lang, Points: s.CDF})
+	}
+	var labels []string
+	for _, b := range fleet.Buckets {
+		labels = append(labels, strconv.Itoa(b))
+	}
+	fmt.Print(textplot.CDF("Figure 1 (x = concurrency bucket, log scale)", labels, plotSeries, textplot.Options{}))
+	fmt.Println()
+	for _, s := range series {
+		fmt.Printf("%-8s %7d processes, p50 concurrency = %d\n", s.Lang, s.Processes, s.P50)
+	}
+	fmt.Println("\npaper: p50 = 16 (Node), 16 (Python), 256* (Java), 2048 (Go)")
+	fmt.Println("*the paper's own Figure 1 curve crosses 0.5 in the 512 bucket for Java;")
+	fmt.Println(" see EXPERIMENTS.md for the discrepancy note.")
+}

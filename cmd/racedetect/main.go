@@ -1,0 +1,106 @@
+// Command racedetect runs one corpus pattern under a chosen detector
+// and scheduling strategy and prints the resulting race reports in
+// Go-race-detector style.
+//
+// Usage:
+//
+//	racedetect -list
+//	racedetect -pattern capture-loop-index [-variant racy|fixed]
+//	           [-detector fasttrack|eraser|hybrid] [-strategy random|pct|...]
+//	           [-seeds 20]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gorace/internal/core"
+	"gorace/internal/patterns"
+	"gorace/internal/report"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list corpus patterns and exit")
+		pattern   = flag.String("pattern", "", "corpus pattern ID")
+		variant   = flag.String("variant", "racy", "racy or fixed")
+		det       = flag.String("detector", "fasttrack", "fasttrack, epoch, djit, eraser, hybrid, none")
+		strategy  = flag.String("strategy", "random", "random, roundrobin, pct, delay")
+		seeds     = flag.Int("seeds", 20, "seeds to try until a race manifests")
+		jsonOut   = flag.Bool("json", false, "emit reports as JSON Lines")
+		saveTrace = flag.String("save-trace", "", "write the manifesting run's event trace to this file (JSON Lines)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range patterns.All() {
+			listing := ""
+			if p.Listing > 0 {
+				listing = fmt.Sprintf(" (Listing %d)", p.Listing)
+			}
+			fmt.Printf("%-28s %-22s %s%s\n", p.ID, p.Cat, p.Description, listing)
+		}
+		return
+	}
+
+	p, ok := patterns.ByID(*pattern)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown pattern %q; use -list\n", *pattern)
+		os.Exit(2)
+	}
+	prog := p.Racy
+	if *variant == "fixed" {
+		prog = p.Fixed
+	}
+
+	for seed := int64(0); seed < int64(*seeds); seed++ {
+		out, err := core.Detect(prog, core.Config{
+			Detector: *det, Strategy: *strategy, Seed: seed,
+			Record: *saveTrace != "",
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if !out.HasRace() && len(out.Result.Leaked) == 0 {
+			continue
+		}
+		if *saveTrace != "" && out.Trace != nil {
+			f, err := os.Create(*saveTrace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			if err := out.Trace.Save(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "trace (%d events) written to %s\n", len(out.Trace.Events), *saveTrace)
+		}
+		if *jsonOut {
+			if err := report.WriteJSON(os.Stdout, report.UniqueByHash(out.Races)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			return
+		}
+		fmt.Printf("== %s/%s under %s, %s, seed %d ==\n", p.ID, *variant, out.Detector, out.Strategy, seed)
+		for _, r := range report.UniqueByHash(out.Races) {
+			fmt.Println(r)
+			fmt.Printf("dedup hash: %s\n\n", r.Hash())
+		}
+		if out.RaceCount > 0 {
+			fmt.Printf("race hits: %d (counting detector)\n", out.RaceCount)
+		}
+		for _, c := range report.UniqueByHash(out.Candidates) {
+			fmt.Printf("LOCKSET CANDIDATE (may not manifest):\n%s\n", c)
+		}
+		for _, l := range out.Result.Leaked {
+			fmt.Printf("LEAKED GOROUTINE g%d (%s) blocked on %s\n", l.G, l.Name, l.BlockedOn)
+		}
+		return
+	}
+	fmt.Printf("no race manifested for %s/%s across %d seeds\n", p.ID, *variant, *seeds)
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"gorace/internal/patterns"
+	"gorace/internal/sched"
+)
+
+func racy() func(*sched.G) {
+	p, ok := patterns.ByID("capture-err")
+	if !ok {
+		panic("pattern missing")
+	}
+	return p.Racy
+}
+
+func fixed() func(*sched.G) {
+	p, _ := patterns.ByID("capture-err")
+	return p.Fixed
+}
+
+func TestDetectDefaults(t *testing.T) {
+	out, err := Detect(racy(), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Detector != "fasttrack-hb" || out.Strategy != "random" {
+		t.Fatalf("defaults = %s / %s", out.Detector, out.Strategy)
+	}
+	if out.Trace != nil {
+		t.Fatal("trace recorded without Record")
+	}
+}
+
+func TestDetectAllDetectors(t *testing.T) {
+	for _, det := range []string{"fasttrack", "epoch", "djit", "eraser", "hybrid", "none"} {
+		det := det
+		t.Run(det, func(t *testing.T) {
+			out, err := Detect(racy(), Config{Detector: det, Seed: 0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Result == nil {
+				t.Fatal("no run result")
+			}
+			if det == "none" && out.HasRace() {
+				t.Fatal("the none detector detected something")
+			}
+		})
+	}
+}
+
+func TestDetectAllStrategies(t *testing.T) {
+	for _, st := range []string{"random", "roundrobin", "pct", "delay"} {
+		st := st
+		t.Run(st, func(t *testing.T) {
+			if _, err := Detect(fixed(), Config{Strategy: st, Seed: 1}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDetectUnknownNames(t *testing.T) {
+	if _, err := Detect(racy(), Config{Detector: "magic"}); err == nil {
+		t.Fatal("unknown detector accepted")
+	}
+	if _, err := Detect(racy(), Config{Strategy: "magic"}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestDetectRecordsTrace(t *testing.T) {
+	out, err := Detect(racy(), Config{Record: true, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace == nil || len(out.Trace.Events) == 0 {
+		t.Fatal("trace not recorded")
+	}
+}
+
+func TestDetectRacyEventuallyFlags(t *testing.T) {
+	found := false
+	for seed := int64(0); seed < 40 && !found; seed++ {
+		out, err := Detect(racy(), Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		found = out.HasRace()
+	}
+	if !found {
+		t.Fatal("racy program never flagged")
+	}
+}
+
+func TestDetectHybridSeparatesCandidates(t *testing.T) {
+	// The fixed variant synchronizes via a channel: the HB detector
+	// stays silent, but the lockset detector may surface candidates.
+	out, err := Detect(fixed(), Config{Detector: "hybrid", Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Races) != 0 {
+		t.Fatalf("fixed variant produced confirmed races:\n%s", out.Races[0])
+	}
+	// Candidates may or may not exist here; only check no overlap.
+	seen := make(map[string]bool)
+	for _, r := range out.Races {
+		seen[r.Hash()] = true
+	}
+	for _, c := range out.Candidates {
+		if seen[c.Hash()] {
+			t.Fatal("candidate duplicates a confirmed race")
+		}
+	}
+}
+
+func TestDetectionProbability(t *testing.T) {
+	p, err := DetectionProbability(racy(), Config{}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p > 1 {
+		t.Fatalf("P = %f", p)
+	}
+	pf, err := DetectionProbability(fixed(), Config{}, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf != 0 {
+		t.Fatalf("fixed P = %f, want 0", pf)
+	}
+	// Zero runs defaults to one run, not a division by zero.
+	if _, err := DetectionProbability(fixed(), Config{}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicOutcome(t *testing.T) {
+	a, _ := Detect(racy(), Config{Seed: 11})
+	b, _ := Detect(racy(), Config{Seed: 11})
+	if len(a.Races) != len(b.Races) {
+		t.Fatalf("same seed, different race counts: %d vs %d", len(a.Races), len(b.Races))
+	}
+	for i := range a.Races {
+		if a.Races[i].Hash() != b.Races[i].Hash() {
+			t.Fatal("same seed, different reports")
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package corpusgen
+
+import (
+	"strings"
+	"testing"
+
+	"gorace/internal/staticcount"
+)
+
+func countGoRepo(t *testing.T, files []File) staticcount.GoCounts {
+	t.Helper()
+	var total staticcount.GoCounts
+	for _, f := range files {
+		c, err := staticcount.CountGoSource(f.Name, f.Content)
+		if err != nil {
+			t.Fatalf("%s does not parse: %v", f.Name, err)
+		}
+		total.Add(c)
+	}
+	return total
+}
+
+func TestGeneratedGoParsesAndMatchesDensities(t *testing.T) {
+	const lines = 200_000 // 0.2 MLoC: enough for stable rates
+	files := GenGoRepo(UberGoProfile, lines, 1)
+	if len(files) < 10 {
+		t.Fatalf("only %d files generated", len(files))
+	}
+	c := countGoRepo(t, files)
+
+	within := func(name string, got int, wantPerMLoC float64) {
+		t.Helper()
+		gotRate := staticcount.PerMLoC(got, c.Lines)
+		if gotRate < wantPerMLoC*0.85 || gotRate > wantPerMLoC*1.15 {
+			t.Errorf("%s: got %.1f/MLoC, want ≈%.1f", name, gotRate, wantPerMLoC)
+		}
+	}
+	within("go statements", c.GoStatements, UberGoProfile.GoStmtsPerMLoC)
+	within("lock+unlock", c.LockUnlock, UberGoProfile.LockUnlockPerMLoC)
+	within("rlock+runlock", c.RLockRUnlock, UberGoProfile.RLockRUnlockPerMLoC)
+	within("chan ops", c.ChanOps, UberGoProfile.ChanOpsPerMLoC)
+	within("waitgroups", c.WaitGroupUses, UberGoProfile.WaitGroupPerMLoC)
+	within("maps", c.MapConstructs, UberGoProfile.MapsPerMLoC)
+}
+
+func TestGeneratedJavaMatchesDensities(t *testing.T) {
+	const lines = 200_000
+	files := GenJavaRepo(UberJavaProfile, lines, 1)
+	var c staticcount.JavaCounts
+	for _, f := range files {
+		c.Add(staticcount.CountJavaSource(f.Content))
+	}
+	within := func(name string, got int, wantPerMLoC float64) {
+		t.Helper()
+		gotRate := staticcount.PerMLoC(got, c.Lines)
+		if gotRate < wantPerMLoC*0.85 || gotRate > wantPerMLoC*1.15 {
+			t.Errorf("%s: got %.1f/MLoC, want ≈%.1f", name, gotRate, wantPerMLoC)
+		}
+	}
+	within("thread starts", c.ThreadStarts, UberJavaProfile.ThreadStartPerMLoC)
+	within("synchronized", c.Synchronized, UberJavaProfile.SynchronizedPerMLoC)
+	within("acquire+release", c.AcquireRelease, UberJavaProfile.AcquireRelPerMLoC)
+	within("lock+unlock", c.LockUnlock, UberJavaProfile.JLockUnlockPerMLoC)
+	within("group sync", c.GroupSync, UberJavaProfile.JGroupSyncPerMLoC)
+	within("maps", c.MapConstructs, UberJavaProfile.JMapsPerMLoC)
+}
+
+func TestTable1RatiosReproduce(t *testing.T) {
+	// The paper's headline Table 1 ratios: Go uses ~3.7× more
+	// point-to-point sync per MLoC than Java and ~1.9× more group
+	// sync; creation rates are comparable (250 vs 219 per MLoC).
+	const lines = 400_000
+	gc := countGoRepo(t, GenGoRepo(UberGoProfile, lines, 2))
+	var jc staticcount.JavaCounts
+	for _, f := range GenJavaRepo(UberJavaProfile, lines, 2) {
+		jc.Add(staticcount.CountJavaSource(f.Content))
+	}
+
+	goP2P := staticcount.PerMLoC(gc.PointToPoint(), gc.Lines)
+	javaP2P := staticcount.PerMLoC(jc.PointToPoint(), jc.Lines)
+	ratio := goP2P / javaP2P
+	if ratio < 3.0 || ratio > 4.5 {
+		t.Errorf("p2p sync ratio = %.2f, paper reports 3.7×", ratio)
+	}
+
+	goGroup := staticcount.PerMLoC(gc.WaitGroupUses, gc.Lines)
+	javaGroup := staticcount.PerMLoC(jc.GroupSync, jc.Lines)
+	gratio := goGroup / javaGroup
+	if gratio < 1.5 || gratio > 2.4 {
+		t.Errorf("group sync ratio = %.2f, paper reports 1.9×", gratio)
+	}
+
+	goCreate := staticcount.PerMLoC(gc.GoStatements, gc.Lines)
+	javaCreate := staticcount.PerMLoC(jc.ThreadStarts, jc.Lines)
+	cratio := goCreate / javaCreate
+	if cratio < 0.9 || cratio > 1.4 {
+		t.Errorf("creation ratio = %.2f, paper reports ~1.14×", cratio)
+	}
+
+	// §4.4's map ratio: 5950 vs 4389 per MLoC ≈ 1.34×.
+	mratio := staticcount.PerMLoC(gc.MapConstructs, gc.Lines) /
+		staticcount.PerMLoC(jc.MapConstructs, jc.Lines)
+	if mratio < 1.1 || mratio > 1.6 {
+		t.Errorf("map ratio = %.2f, paper reports 1.34×", mratio)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := GenGoRepo(UberGoProfile, 50_000, 7)
+	b := GenGoRepo(UberGoProfile, 50_000, 7)
+	if len(a) != len(b) {
+		t.Fatal("file counts differ")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Content != b[i].Content {
+			t.Fatalf("file %d differs between identical-seed generations", i)
+		}
+	}
+}
+
+func TestSmallRepoStillValid(t *testing.T) {
+	files := GenGoRepo(UberGoProfile, 1000, 3)
+	c := countGoRepo(t, files)
+	if c.ParseErrors != 0 {
+		t.Fatal("parse errors in small repo")
+	}
+	if !strings.HasSuffix(files[0].Name, ".go") {
+		t.Fatalf("odd file name %q", files[0].Name)
+	}
+}

@@ -1,0 +1,127 @@
+// Package detector implements dynamic data race detection over the
+// event stream of the modeled runtime.
+//
+// Three detectors are provided, mirroring the algorithm family §3.1
+// describes inside ThreadSanitizer:
+//
+//   - FastTrack: the precise happens-before detector (vector clocks
+//     with epoch optimizations), the reference detector of this repo.
+//   - Eraser: the classic lockset detector — interleaving-insensitive
+//     but imprecise ("may include races that may never manifest").
+//   - Hybrid: runs both, reporting FastTrack races as confirmed and
+//     Eraser-only findings as lockset candidates, approximating how
+//     TSan "integrates lock-set and happens-before algorithms".
+//
+// All detectors are trace.Listeners and can run online (attached to a
+// scheduler) or offline over a recorded trace (post-facto, the
+// deployment mode of §3.3).
+package detector
+
+import (
+	"gorace/internal/report"
+	"gorace/internal/trace"
+	"gorace/internal/vclock"
+)
+
+// Detector is a race detector consuming runtime events.
+type Detector interface {
+	trace.Listener
+	// Races returns the reports accumulated so far.
+	Races() []report.Race
+	// Name identifies the detector in reports and experiments.
+	Name() string
+}
+
+// lockTracker maintains per-goroutine held-lock sets from
+// acquire/release events. Shared by the HB detector (for report
+// annotation) and the Eraser detector (as its core state).
+type lockTracker struct {
+	// held[g] lists lock object ids currently held, in acquisition
+	// order; reads-held are tracked separately from write-held.
+	write map[vclock.TID][]lockEntry
+	read  map[vclock.TID][]lockEntry
+}
+
+type lockEntry struct {
+	obj   trace.ObjID
+	label string
+}
+
+func newLockTracker() *lockTracker {
+	return &lockTracker{
+		write: make(map[vclock.TID][]lockEntry),
+		read:  make(map[vclock.TID][]lockEntry),
+	}
+}
+
+// handle updates lock state; returns true if the event was lock-related.
+func (lt *lockTracker) handle(ev trace.Event) bool {
+	switch {
+	case ev.Op == trace.OpAcquire && ev.Kind == trace.KindMutex:
+		lt.write[ev.G] = append(lt.write[ev.G], lockEntry{ev.Obj, ev.Label})
+		return true
+	case ev.Op == trace.OpRelease && ev.Kind == trace.KindMutex:
+		lt.write[ev.G] = removeLock(lt.write[ev.G], ev.Obj)
+		return true
+	case ev.Op == trace.OpAcquire && ev.Kind == trace.KindRWRead:
+		lt.read[ev.G] = append(lt.read[ev.G], lockEntry{ev.Obj, ev.Label})
+		return true
+	case ev.Op == trace.OpRelease && ev.Kind == trace.KindRWRead:
+		lt.read[ev.G] = removeLock(lt.read[ev.G], ev.Obj)
+		return true
+	}
+	return false
+}
+
+func removeLock(ls []lockEntry, obj trace.ObjID) []lockEntry {
+	for i := len(ls) - 1; i >= 0; i-- {
+		if ls[i].obj == obj {
+			return append(ls[:i], ls[i+1:]...)
+		}
+	}
+	return ls
+}
+
+// writeHeld returns the ids of write-held locks of g.
+func (lt *lockTracker) writeHeld(g vclock.TID) []trace.ObjID {
+	return ids(lt.write[g])
+}
+
+// allHeld returns the ids of all locks (write- and read-held) of g.
+func (lt *lockTracker) allHeld(g vclock.TID) []trace.ObjID {
+	return append(ids(lt.write[g]), ids(lt.read[g])...)
+}
+
+// heldLabels returns human-readable names of all locks held by g.
+func (lt *lockTracker) heldLabels(g vclock.TID) []string {
+	var out []string
+	for _, e := range lt.write[g] {
+		out = append(out, e.label)
+	}
+	for _, e := range lt.read[g] {
+		out = append(out, e.label+"(r)")
+	}
+	return out
+}
+
+func ids(ls []lockEntry) []trace.ObjID {
+	out := make([]trace.ObjID, 0, len(ls))
+	for _, e := range ls {
+		out = append(out, e.obj)
+	}
+	return out
+}
+
+// intersect keeps the members of a that are also in b.
+func intersect(a, b []trace.ObjID) []trace.ObjID {
+	var out []trace.ObjID
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	return out
+}

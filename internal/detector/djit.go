@@ -1,0 +1,148 @@
+package detector
+
+import (
+	"gorace/internal/report"
+	"gorace/internal/trace"
+	"gorace/internal/vclock"
+)
+
+// DJIT is the pre-FastTrack vector-clock detector (DJIT+ of
+// Pozniansky & Schuster): every shadow cell holds two *full* vector
+// clocks — last-write times and last-read times per goroutine. It is
+// the baseline for the epochs-vs-vector-clocks ablation: verdicts
+// match the epoch detector, but every access pays O(goroutines)
+// instead of O(1) in the common case.
+type DJIT struct {
+	clocks    []*vclock.VC
+	objClocks map[trace.ObjID]*vclock.VC
+	cells     map[trace.Addr]*djitCell
+	count     int
+	racyAddrs map[trace.Addr]bool
+}
+
+type djitCell struct {
+	writes       *vclock.VC // per-goroutine last write time
+	reads        *vclock.VC // per-goroutine last plain-read time
+	atomicWrites *vclock.VC
+	atomicReads  *vclock.VC
+}
+
+// NewDJIT returns a fresh DJIT+ detector.
+func NewDJIT() *DJIT {
+	return &DJIT{
+		objClocks: make(map[trace.ObjID]*vclock.VC),
+		cells:     make(map[trace.Addr]*djitCell),
+		racyAddrs: make(map[trace.Addr]bool),
+	}
+}
+
+// Name implements Detector.
+func (d *DJIT) Name() string { return "djit-vc" }
+
+// Races implements Detector; DJIT counts races without report
+// metadata, like the epoch detector.
+func (d *DJIT) Races() []report.Race { return nil }
+
+// RaceCount returns the number of conflicting access pairs observed.
+func (d *DJIT) RaceCount() int { return d.count }
+
+// RacyAddrs returns the set of cells on which at least one race fired.
+func (d *DJIT) RacyAddrs() map[trace.Addr]bool { return d.racyAddrs }
+
+func (d *DJIT) clockOf(g vclock.TID) *vclock.VC {
+	for int(g) >= len(d.clocks) {
+		d.clocks = append(d.clocks, nil)
+	}
+	if d.clocks[g] == nil {
+		c := vclock.New()
+		c.Set(g, 1)
+		d.clocks[g] = c
+	}
+	return d.clocks[g]
+}
+
+func (d *DJIT) objClock(o trace.ObjID) *vclock.VC {
+	c, ok := d.objClocks[o]
+	if !ok {
+		c = vclock.New()
+		d.objClocks[o] = c
+	}
+	return c
+}
+
+func (d *DJIT) cell(a trace.Addr) *djitCell {
+	c, ok := d.cells[a]
+	if !ok {
+		c = &djitCell{
+			writes: vclock.New(), reads: vclock.New(),
+			atomicWrites: vclock.New(), atomicReads: vclock.New(),
+		}
+		d.cells[a] = c
+	}
+	return c
+}
+
+// HandleEvent implements trace.Listener.
+func (d *DJIT) HandleEvent(ev trace.Event) {
+	switch ev.Op {
+	case trace.OpFork:
+		parent := d.clockOf(ev.G)
+		child := parent.Copy()
+		child.Tick(ev.Child)
+		for int(ev.Child) >= len(d.clocks) {
+			d.clocks = append(d.clocks, nil)
+		}
+		d.clocks[ev.Child] = child
+		parent.Tick(ev.G)
+
+	case trace.OpAcquire:
+		d.clockOf(ev.G).Join(d.objClock(ev.Obj))
+
+	case trace.OpRelease:
+		if ev.Kind == trace.KindRWRead {
+			return
+		}
+		d.objClock(ev.Obj).Join(d.clockOf(ev.G))
+		d.clockOf(ev.G).Tick(ev.G)
+
+	case trace.OpRead, trace.OpAtomicLoad:
+		c := d.cell(ev.Addr)
+		cur := d.clockOf(ev.G)
+		d.countConcurrent(c.writes, cur, ev)
+		if !ev.Op.IsAtomic() {
+			// A plain read also conflicts with concurrent atomic writes.
+			d.countConcurrent(c.atomicWrites, cur, ev)
+			c.reads.Set(ev.G, cur.Get(ev.G))
+		} else {
+			c.atomicReads.Set(ev.G, cur.Get(ev.G))
+		}
+
+	case trace.OpWrite, trace.OpAtomicStore, trace.OpAtomicRMW:
+		c := d.cell(ev.Addr)
+		cur := d.clockOf(ev.G)
+		d.countConcurrent(c.writes, cur, ev)
+		d.countConcurrent(c.reads, cur, ev)
+		if !ev.Op.IsAtomic() {
+			d.countConcurrent(c.atomicWrites, cur, ev)
+			d.countConcurrent(c.atomicReads, cur, ev)
+			c.writes.Set(ev.G, cur.Get(ev.G))
+		} else {
+			c.atomicWrites.Set(ev.G, cur.Get(ev.G))
+		}
+	}
+}
+
+// countConcurrent tallies components of hist that are ahead of cur —
+// prior accesses by other goroutines not ordered before this one.
+func (d *DJIT) countConcurrent(hist *vclock.VC, cur *vclock.VC, ev trace.Event) {
+	for i := 0; i < hist.Len(); i++ {
+		t := vclock.TID(i)
+		if t == ev.G {
+			continue
+		}
+		if ts := hist.Get(t); ts != 0 && ts > cur.Get(t) {
+			d.count++
+			d.racyAddrs[ev.Addr] = true
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package detector
+
+import (
+	"gorace/internal/report"
+	"gorace/internal/trace"
+	"gorace/internal/vclock"
+)
+
+// Epoch is a lean FastTrack variant that keeps only epochs and
+// adaptive read sets in shadow cells — no stacks, labels, or lock
+// annotations — and counts races instead of building reports. It
+// exists for the epochs-vs-vector-clocks ablation (DESIGN.md): the
+// detection *verdicts* must match FastTrack exactly, at a fraction of
+// the per-access cost.
+type Epoch struct {
+	clocks    []*vclock.VC
+	objClocks map[trace.ObjID]*vclock.VC
+	cells     map[trace.Addr]*epochCell
+	count     int
+	racyAddrs map[trace.Addr]bool
+	stats     statCounter
+}
+
+type epochCell struct {
+	write       vclock.Epoch
+	writeAtomic bool
+	// Plain and atomic reads are kept in separate read sets so the
+	// atomic-vs-atomic suppression rule matches FastTrack verdicts.
+	reads       vclock.ReadSet
+	atomicReads vclock.ReadSet
+}
+
+// NewEpoch returns a fresh epoch-based detector.
+func NewEpoch() *Epoch {
+	return &Epoch{
+		objClocks: make(map[trace.ObjID]*vclock.VC),
+		cells:     make(map[trace.Addr]*epochCell),
+		racyAddrs: make(map[trace.Addr]bool),
+	}
+}
+
+// Name implements Detector.
+func (e *Epoch) Name() string { return "fasttrack-epoch" }
+
+// Races implements Detector. The epoch detector does not keep report
+// metadata; it returns nil. Use RaceCount and RacyAddrs.
+func (e *Epoch) Races() []report.Race { return nil }
+
+// RaceCount returns the number of conflicting access pairs observed.
+func (e *Epoch) RaceCount() int { return e.count }
+
+// RacyAddrs returns the set of cells on which at least one race fired.
+func (e *Epoch) RacyAddrs() map[trace.Addr]bool { return e.racyAddrs }
+
+func (e *Epoch) clockOf(g vclock.TID) *vclock.VC {
+	for int(g) >= len(e.clocks) {
+		e.clocks = append(e.clocks, nil)
+	}
+	if e.clocks[g] == nil {
+		c := vclock.New()
+		c.Set(g, 1)
+		e.clocks[g] = c
+	}
+	return e.clocks[g]
+}
+
+func (e *Epoch) objClock(o trace.ObjID) *vclock.VC {
+	c, ok := e.objClocks[o]
+	if !ok {
+		c = vclock.New()
+		e.objClocks[o] = c
+	}
+	return c
+}
+
+func (e *Epoch) cell(a trace.Addr) *epochCell {
+	c, ok := e.cells[a]
+	if !ok {
+		c = &epochCell{write: vclock.NoEpoch, reads: vclock.NewReadSet(), atomicReads: vclock.NewReadSet()}
+		e.cells[a] = c
+	}
+	return c
+}
+
+// HandleEvent implements trace.Listener.
+func (e *Epoch) HandleEvent(ev trace.Event) {
+	e.stats.note(ev)
+	switch ev.Op {
+	case trace.OpFork:
+		parent := e.clockOf(ev.G)
+		child := parent.Copy()
+		child.Tick(ev.Child)
+		for int(ev.Child) >= len(e.clocks) {
+			e.clocks = append(e.clocks, nil)
+		}
+		e.clocks[ev.Child] = child
+		parent.Tick(ev.G)
+
+	case trace.OpAcquire:
+		e.clockOf(ev.G).Join(e.objClock(ev.Obj))
+
+	case trace.OpRelease:
+		if ev.Kind == trace.KindRWRead {
+			return // lockset bookkeeping only; no HB edge
+		}
+		e.objClock(ev.Obj).Join(e.clockOf(ev.G))
+		e.clockOf(ev.G).Tick(ev.G)
+
+	case trace.OpRead, trace.OpAtomicLoad:
+		c := e.cell(ev.Addr)
+		cur := e.clockOf(ev.G)
+		if !c.write.IsNone() && c.write.TID() != ev.G && !c.write.LeqVC(cur) {
+			if !(c.writeAtomic && ev.Op.IsAtomic()) {
+				e.hit(ev.Addr)
+			}
+		}
+		if ev.Op.IsAtomic() {
+			c.atomicReads.Note(vclock.MakeEpoch(ev.G, cur.Get(ev.G)), cur)
+		} else {
+			c.reads.Note(vclock.MakeEpoch(ev.G, cur.Get(ev.G)), cur)
+		}
+
+	case trace.OpWrite, trace.OpAtomicStore, trace.OpAtomicRMW:
+		c := e.cell(ev.Addr)
+		cur := e.clockOf(ev.G)
+		if !c.write.IsNone() && c.write.TID() != ev.G && !c.write.LeqVC(cur) {
+			if !(c.writeAtomic && ev.Op.IsAtomic()) {
+				e.hit(ev.Addr)
+			}
+		}
+		// Report every concurrent reader, matching FastTrack's
+		// per-reader reporting. Atomic readers race with this write
+		// only if the write is not atomic itself.
+		for _, r := range c.reads.Readers() {
+			if r.TID() != ev.G && !r.LeqVC(cur) {
+				e.hit(ev.Addr)
+			}
+		}
+		if !ev.Op.IsAtomic() {
+			for _, r := range c.atomicReads.Readers() {
+				if r.TID() != ev.G && !r.LeqVC(cur) {
+					e.hit(ev.Addr)
+				}
+			}
+		}
+		c.write = vclock.MakeEpoch(ev.G, cur.Get(ev.G))
+		c.writeAtomic = ev.Op.IsAtomic()
+		c.reads.Reset()
+		c.atomicReads.Reset()
+	}
+}
+
+func (e *Epoch) hit(a trace.Addr) {
+	e.count++
+	e.racyAddrs[a] = true
+}

@@ -1,0 +1,201 @@
+package detector
+
+import (
+	"gorace/internal/report"
+	"gorace/internal/stack"
+	"gorace/internal/trace"
+	"gorace/internal/vclock"
+)
+
+// access is a recorded prior access to a shadow cell, with everything
+// a race report needs.
+type access struct {
+	g      vclock.TID
+	gname  string
+	time   uint32
+	op     trace.Op
+	stk    stack.Context
+	label  string
+	atomic bool
+	locks  []string
+	seq    uint64
+}
+
+func (a access) toReport(addr trace.Addr) report.Access {
+	return report.Access{
+		G: a.g, GName: a.gname, Op: a.op, Addr: addr, Seq: a.seq,
+		Stack: a.stk, Label: a.label, Atomic: a.atomic, Locks: a.locks,
+	}
+}
+
+// ftCell is the shadow state of one memory cell.
+type ftCell struct {
+	write    access
+	hasWrite bool
+	// reads holds the most recent read per goroutine since the last
+	// ordered write (FastTrack's read history, with report metadata).
+	reads   map[vclock.TID]access
+	reports int
+}
+
+// FastTrack is the happens-before race detector. It maintains one
+// vector clock per goroutine, one per synchronization object, and
+// per-cell access histories; a race is two accesses to the same cell,
+// at least one a write, not both atomic, with neither ordered before
+// the other.
+type FastTrack struct {
+	clocks    []*vclock.VC
+	objClocks map[trace.ObjID]*vclock.VC
+	cells     map[trace.Addr]*ftCell
+	locks     *lockTracker
+	races     []report.Race
+	stats     statCounter
+	// MaxReportsPerCell caps reports from a single cell so a racy
+	// loop does not flood the output (default 8).
+	MaxReportsPerCell int
+}
+
+// NewFastTrack returns a fresh happens-before detector.
+func NewFastTrack() *FastTrack {
+	return &FastTrack{
+		objClocks:         make(map[trace.ObjID]*vclock.VC),
+		cells:             make(map[trace.Addr]*ftCell),
+		locks:             newLockTracker(),
+		MaxReportsPerCell: 8,
+	}
+}
+
+// Name implements Detector.
+func (ft *FastTrack) Name() string { return "fasttrack-hb" }
+
+// Races implements Detector.
+func (ft *FastTrack) Races() []report.Race { return ft.races }
+
+// RaceCount returns the number of reports.
+func (ft *FastTrack) RaceCount() int { return len(ft.races) }
+
+// clockOf returns g's clock, initializing it with its own component
+// at 1 (each goroutine begins in its own epoch).
+func (ft *FastTrack) clockOf(g vclock.TID) *vclock.VC {
+	for int(g) >= len(ft.clocks) {
+		ft.clocks = append(ft.clocks, nil)
+	}
+	if ft.clocks[g] == nil {
+		c := vclock.New()
+		c.Set(g, 1)
+		ft.clocks[g] = c
+	}
+	return ft.clocks[g]
+}
+
+func (ft *FastTrack) objClock(o trace.ObjID) *vclock.VC {
+	c, ok := ft.objClocks[o]
+	if !ok {
+		c = vclock.New()
+		ft.objClocks[o] = c
+	}
+	return c
+}
+
+func (ft *FastTrack) cell(a trace.Addr) *ftCell {
+	c, ok := ft.cells[a]
+	if !ok {
+		c = &ftCell{reads: make(map[vclock.TID]access)}
+		ft.cells[a] = c
+	}
+	return c
+}
+
+// HandleEvent implements trace.Listener.
+func (ft *FastTrack) HandleEvent(ev trace.Event) {
+	ft.stats.note(ev)
+	switch ev.Op {
+	case trace.OpFork:
+		parent := ft.clockOf(ev.G)
+		child := parent.Copy()
+		child.Tick(ev.Child)
+		for int(ev.Child) >= len(ft.clocks) {
+			ft.clocks = append(ft.clocks, nil)
+		}
+		ft.clocks[ev.Child] = child
+		parent.Tick(ev.G)
+
+	case trace.OpAcquire:
+		ft.locks.handle(ev)
+		ft.clockOf(ev.G).Join(ft.objClock(ev.Obj))
+
+	case trace.OpRelease:
+		if ft.locks.handle(ev) && ev.Kind == trace.KindRWRead {
+			// Read-mode release: lockset bookkeeping only. The HB
+			// reader→writer edge travels through the RWMutex's
+			// internal read-release object instead.
+			return
+		}
+		ft.objClock(ev.Obj).Join(ft.clockOf(ev.G))
+		ft.clockOf(ev.G).Tick(ev.G)
+
+	case trace.OpRead, trace.OpAtomicLoad:
+		ft.read(ev)
+
+	case trace.OpWrite, trace.OpAtomicStore, trace.OpAtomicRMW:
+		ft.write(ev)
+	}
+}
+
+func (ft *FastTrack) newAccess(ev trace.Event) access {
+	return access{
+		g: ev.G, gname: ev.GName, time: ft.clockOf(ev.G).Get(ev.G),
+		op: ev.Op, stk: ev.Stack, label: ev.Label,
+		atomic: ev.Op.IsAtomic(), locks: ft.locks.heldLabels(ev.G), seq: ev.Seq,
+	}
+}
+
+func (ft *FastTrack) read(ev trace.Event) {
+	c := ft.cell(ev.Addr)
+	cur := ft.clockOf(ev.G)
+	if c.hasWrite && c.write.g != ev.G && c.write.time > cur.Get(c.write.g) {
+		if !(c.write.atomic && ev.Op.IsAtomic()) {
+			ft.report(ev, c, c.write)
+		}
+	}
+	c.reads[ev.G] = ft.newAccess(ev)
+}
+
+func (ft *FastTrack) write(ev trace.Event) {
+	c := ft.cell(ev.Addr)
+	cur := ft.clockOf(ev.G)
+	if c.hasWrite && c.write.g != ev.G && c.write.time > cur.Get(c.write.g) {
+		if !(c.write.atomic && ev.Op.IsAtomic()) {
+			ft.report(ev, c, c.write)
+		}
+	}
+	for g, r := range c.reads {
+		if g == ev.G {
+			continue
+		}
+		if r.time > cur.Get(g) && !(r.atomic && ev.Op.IsAtomic()) {
+			ft.report(ev, c, r)
+		}
+	}
+	c.write = ft.newAccess(ev)
+	c.hasWrite = true
+	// FastTrack: a write subsumes the ordered read history; concurrent
+	// reads were just reported. Clearing keeps the history bounded.
+	for g := range c.reads {
+		delete(c.reads, g)
+	}
+}
+
+func (ft *FastTrack) report(ev trace.Event, c *ftCell, prior access) {
+	if c.reports >= ft.MaxReportsPerCell {
+		return
+	}
+	c.reports++
+	second := ft.newAccess(ev)
+	ft.races = append(ft.races, report.Race{
+		First:    prior.toReport(ev.Addr),
+		Second:   second.toReport(ev.Addr),
+		Detector: ft.Name(),
+		Seq:      ev.Seq,
+	})
+}

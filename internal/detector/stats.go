@@ -1,0 +1,90 @@
+package detector
+
+import (
+	"fmt"
+
+	"gorace/internal/trace"
+)
+
+// Stats summarizes the work a detector performed, the denominator of
+// the overhead story: TSan's cost scales with instrumented accesses
+// and the shadow state they allocate ("memory usage increases by
+// 5×-10×", §1).
+type Stats struct {
+	Events     int // total events consumed
+	Accesses   int // plain + atomic memory accesses
+	SyncOps    int // acquire/release edges
+	Cells      int // shadow cells allocated
+	SyncClocks int // synchronization-object clocks allocated
+	Goroutines int // goroutine clocks allocated
+	Reports    int // races reported (or counted)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("events=%d accesses=%d syncs=%d cells=%d objclocks=%d goroutines=%d reports=%d",
+		s.Events, s.Accesses, s.SyncOps, s.Cells, s.SyncClocks, s.Goroutines, s.Reports)
+}
+
+// statCounter wraps the event-shape counters shared by detectors.
+type statCounter struct {
+	events, accesses, syncOps int
+}
+
+func (c *statCounter) note(ev trace.Event) {
+	c.events++
+	if ev.Op.IsAccess() {
+		c.accesses++
+	}
+	if ev.Op == trace.OpAcquire || ev.Op == trace.OpRelease {
+		c.syncOps++
+	}
+}
+
+// Stats reports the FastTrack detector's work counters.
+func (ft *FastTrack) Stats() Stats {
+	gor := 0
+	for _, c := range ft.clocks {
+		if c != nil {
+			gor++
+		}
+	}
+	return Stats{
+		Events:     ft.stats.events,
+		Accesses:   ft.stats.accesses,
+		SyncOps:    ft.stats.syncOps,
+		Cells:      len(ft.cells),
+		SyncClocks: len(ft.objClocks),
+		Goroutines: gor,
+		Reports:    len(ft.races),
+	}
+}
+
+// Stats reports the Epoch detector's work counters.
+func (e *Epoch) Stats() Stats {
+	gor := 0
+	for _, c := range e.clocks {
+		if c != nil {
+			gor++
+		}
+	}
+	return Stats{
+		Events:     e.stats.events,
+		Accesses:   e.stats.accesses,
+		SyncOps:    e.stats.syncOps,
+		Cells:      len(e.cells),
+		SyncClocks: len(e.objClocks),
+		Goroutines: gor,
+		Reports:    e.count,
+	}
+}
+
+// Stats reports the Eraser detector's work counters.
+func (e *Eraser) Stats() Stats {
+	return Stats{
+		Events:   e.stats.events,
+		Accesses: e.stats.accesses,
+		SyncOps:  e.stats.syncOps,
+		Cells:    len(e.cells),
+		Reports:  len(e.races),
+	}
+}

@@ -1,0 +1,133 @@
+package monorepo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateShape(t *testing.T) {
+	r := Generate(10, 4, 0.5, 1)
+	if len(r.Services) != 10 {
+		t.Fatalf("services = %d", len(r.Services))
+	}
+	total := 0
+	for _, s := range r.Services {
+		if len(s.Tests) != 4 {
+			t.Fatalf("%s has %d tests", s.Name, len(s.Tests))
+		}
+		total += len(s.Tests)
+	}
+	racy := r.RacyCount()
+	if racy == 0 || racy == total {
+		t.Fatalf("racy fraction degenerate: %d of %d", racy, total)
+	}
+}
+
+func TestRunAllTestsFindsOnlyRacyTests(t *testing.T) {
+	// With racyFraction 0 every test embeds the fixed variant: no
+	// detection may fire on any schedule.
+	clean := Generate(6, 3, 0, 2)
+	for day := int64(0); day < 3; day++ {
+		if dets := clean.RunAllTests(day); len(dets) != 0 {
+			t.Fatalf("day %d: %d detections in an all-fixed repo (first: %s)",
+				day, len(dets), dets[0].Hash)
+		}
+	}
+	// With racyFraction 1 most tests should eventually produce
+	// detections across a few nightly runs (some races are
+	// schedule-dependent, hence "eventually").
+	dirty := Generate(6, 3, 1, 2)
+	seen := make(map[string]bool)
+	for day := int64(0); day < 25; day++ {
+		for _, det := range dirty.RunAllTests(day * 977) {
+			seen[det.Service+"/"+det.Test] = true
+		}
+	}
+	if len(seen) < 12 { // 18 racy tests; allow the flakiest to hide
+		t.Fatalf("only %d/18 racy tests ever detected", len(seen))
+	}
+}
+
+func TestHashScopedByTest(t *testing.T) {
+	// The same corpus pattern in two services must file as two
+	// distinct defects.
+	r := Generate(2, 1, 1, 3)
+	// Force both tests to the same pattern.
+	r.Services[1].Tests[0].Pattern = r.Services[0].Tests[0].Pattern
+	r.Services[0].Tests[0].Racy = true
+	r.Services[1].Tests[0].Racy = true
+	seen := make(map[string]bool)
+	for day := int64(0); day < 30; day++ {
+		for _, det := range r.RunAllTests(day * 31) {
+			seen[det.Hash] = true
+		}
+	}
+	bySvc := map[string]bool{}
+	for h := range seen {
+		bySvc[strings.SplitN(h, "/", 2)[0]] = true
+	}
+	if len(bySvc) != 2 {
+		t.Fatalf("expected defects in both services, got %v", bySvc)
+	}
+}
+
+func TestFixSwitchesVariant(t *testing.T) {
+	r := Generate(1, 1, 1, 4)
+	svc, tst := r.Services[0].Name, r.Services[0].Tests[0].Name
+	if !r.Fix(svc, tst) {
+		t.Fatal("fix failed")
+	}
+	if r.Fix(svc, tst) {
+		t.Fatal("double fix succeeded")
+	}
+	if r.Fix("nope", tst) || r.Fix(svc, "nope") {
+		t.Fatal("fixing unknown test succeeded")
+	}
+	if r.RacyCount() != 0 {
+		t.Fatal("racy count not updated")
+	}
+}
+
+func TestSimulateDeploymentDrivesRacesDown(t *testing.T) {
+	r := Generate(8, 3, 0.6, 5)
+	before := r.RacyCount()
+	res := r.SimulateDeployment(30, 0.5, 9)
+	if len(res.Days) != 30 {
+		t.Fatalf("days = %d", len(res.Days))
+	}
+	if res.TotalFixed == 0 {
+		t.Fatal("nothing fixed in 30 days at 50% fix rate")
+	}
+	if res.StillRacy >= before {
+		t.Fatalf("racy count did not decrease: %d -> %d", before, res.StillRacy)
+	}
+	// Open defects must equal filed minus resolved each day; spot
+	// check monotone sanity of the final day.
+	last := res.Days[len(res.Days)-1]
+	if last.OpenDefects < 0 || res.TotalFixed > res.TotalFiled {
+		t.Fatalf("inconsistent accounting: %+v", res)
+	}
+}
+
+func TestSimulateDeploymentDeterministic(t *testing.T) {
+	a := Generate(5, 2, 0.5, 7).SimulateDeployment(10, 0.3, 11)
+	b := Generate(5, 2, 0.5, 7).SimulateDeployment(10, 0.3, 11)
+	if a.TotalFiled != b.TotalFiled || a.TotalFixed != b.TotalFixed || a.StillRacy != b.StillRacy {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+	for i := range a.Days {
+		if a.Days[i] != b.Days[i] {
+			t.Fatalf("day %d differs", i)
+		}
+	}
+}
+
+func TestNeverCaughtAccounting(t *testing.T) {
+	// With zero days nothing can be filed, so every racy test is
+	// "never caught".
+	r := Generate(4, 2, 1, 8)
+	res := r.SimulateDeployment(0, 1, 1)
+	if res.NeverCaught != r.RacyCount() {
+		t.Fatalf("never caught = %d, racy = %d", res.NeverCaught, r.RacyCount())
+	}
+}

@@ -1,0 +1,467 @@
+package patterns
+
+import (
+	"gorace/internal/sched"
+	"gorace/internal/taxonomy"
+)
+
+// Extended corpus: variations the paper describes in prose — "more
+// complex concurrent map access data races ... resulting from the same
+// hash table being passed to deep call paths" (§4.4), loop capture
+// "happens for value and reference types; slices, array, and maps"
+// (§4.2.1), and the §4.9 locking-mistake family.
+
+func init() {
+	register(Pattern{
+		ID:          "map-deep-call-path",
+		Listing:     0,
+		Cat:         taxonomy.CatMap,
+		Description: "Shared map passed down a deep call path and mutated by an async goroutine (§4.4)",
+		Racy:        mapDeepCallRacy,
+		Fixed:       mapDeepCallFixed,
+	})
+	register(Pattern{
+		ID:          "capture-map-range",
+		Listing:     0,
+		Cat:         taxonomy.CatCaptureLoop,
+		Secondary:   []taxonomy.Category{taxonomy.CatMap},
+		Description: "Map range variables captured by reference in per-entry goroutines (§4.2.1)",
+		Racy:        mapRangeCaptureRacy,
+		Fixed:       mapRangeCaptureFixed,
+	})
+	register(Pattern{
+		ID:          "slice-range-append",
+		Listing:     0,
+		Cat:         taxonomy.CatSlice,
+		Description: "Range iteration over a slice concurrent with appends to it",
+		Racy:        sliceRangeAppendRacy,
+		Fixed:       sliceRangeAppendFixed,
+	})
+	register(Pattern{
+		ID:          "double-checked-locking",
+		Listing:     0,
+		Cat:         taxonomy.CatMissingLock,
+		Description: "Double-checked locking: the unlocked fast-path check races with the locked write",
+		Racy:        doubleCheckedRacy,
+		Fixed:       doubleCheckedFixed,
+	})
+	register(Pattern{
+		ID:          "lazy-init",
+		Listing:     0,
+		Cat:         taxonomy.CatMissingLock,
+		Description: "Unsynchronized lazy initialization of a shared singleton",
+		Racy:        lazyInitRacy,
+		Fixed:       lazyInitFixed,
+	})
+	register(Pattern{
+		ID:          "chan-pointer-payload",
+		Listing:     0,
+		Cat:         taxonomy.CatMixedChanShared,
+		Description: "Pointer sent over a channel while the sender keeps mutating the pointee",
+		Racy:        chanPointerRacy,
+		Fixed:       chanPointerFixed,
+	})
+	register(Pattern{
+		ID:          "rwmutex-upgrade-gap",
+		Listing:     0,
+		Cat:         taxonomy.CatMissingLock,
+		Description: "Write after RUnlock without taking the write lock (bad lock upgrade)",
+		Racy:        rwUpgradeGapRacy,
+		Fixed:       rwUpgradeGapFixed,
+	})
+	register(Pattern{
+		ID:          "cond-unlocked-producer",
+		Listing:     0,
+		Cat:         taxonomy.CatMissingLock,
+		Description: "Condition-variable queue whose producer mutates state outside the lock",
+		Racy:        condProducerRacy,
+		Fixed:       condProducerFixed,
+	})
+	register(Pattern{
+		ID:          "atomic-rmw-mix",
+		Listing:     0,
+		Cat:         taxonomy.CatPartialAtomics,
+		Description: "atomic.Add on the write side, plain read on the reporting side (§4.9.2)",
+		Racy:        atomicRMWMixRacy,
+		Fixed:       atomicRMWMixFixed,
+	})
+}
+
+// mapDeepCallRacy threads the map through three call levels before the
+// mutation, so neither the caller nor the report's reader sees the
+// sharing at a glance.
+func mapDeepCallRacy(g *sched.G) {
+	g.Call("handleSync", "deepmap.go", 1, func() {
+		index := sched.NewMap[string, int](g, "index")
+		update := func(g *sched.G, key string) {
+			g.Call("refreshEntry", "deepmap.go", 20, func() {
+				g.Call("storeEntry", "deepmap.go", 31, func() {
+					index.Put(g, key, 1)
+				})
+			})
+		}
+		g.Go("handleSync.func1", func(g *sched.G) {
+			g.Call("handleSync.func1", "deepmap.go", 6, func() {
+				update(g, "alpha")
+			})
+		})
+		g.Line(9)
+		update(g, "beta")
+	})
+}
+
+func mapDeepCallFixed(g *sched.G) {
+	g.Call("handleSync", "deepmap.go", 1, func() {
+		index := sched.NewMap[string, int](g, "index")
+		mu := sched.NewMutex(g, "indexMu")
+		update := func(g *sched.G, key string) {
+			g.Call("refreshEntry", "deepmap.go", 20, func() {
+				g.Call("storeEntry", "deepmap.go", 31, func() {
+					mu.Lock(g)
+					index.Put(g, key, 1)
+					mu.Unlock(g)
+				})
+			})
+		}
+		wg := sched.NewWaitGroup(g, "wg")
+		wg.Add(g, 1)
+		g.Go("handleSync.func1", func(g *sched.G) {
+			g.Call("handleSync.func1", "deepmap.go", 6, func() {
+				update(g, "alpha")
+			})
+			wg.Done(g)
+		})
+		g.Line(9)
+		update(g, "beta")
+		wg.Wait(g)
+	})
+}
+
+// mapRangeCaptureRacy: both the key and value range variables are
+// shared with the goroutines, as in Listing 1 but over a map.
+func mapRangeCaptureRacy(g *sched.G) {
+	g.Call("notifyAll", "maprange.go", 1, func() {
+		k := sched.NewVar[string](g, "k(range)")
+		entries := []string{"a", "b", "c"} // deterministic stand-in for map order
+		for _, key := range entries {
+			g.Line(3)
+			k.Store(g, key)
+			g.Go("notifyAll.func1", func(g *sched.G) {
+				g.Call("notifyAll.func1", "maprange.go", 5, func() {
+					k.Load(g)
+				})
+			})
+		}
+	})
+}
+
+func mapRangeCaptureFixed(g *sched.G) {
+	g.Call("notifyAll", "maprange.go", 1, func() {
+		entries := []string{"a", "b", "c"}
+		for _, key := range entries {
+			g.Line(3)
+			priv := sched.NewVarOf(g, "k(private)", key)
+			g.Go("notifyAll.func1", func(g *sched.G) {
+				g.Call("notifyAll.func1", "maprange.go", 5, func() {
+					priv.Load(g)
+				})
+			})
+		}
+	})
+}
+
+// sliceRangeAppendRacy: a reader iterates (header reads + element
+// reads) while a writer appends (header writes).
+func sliceRangeAppendRacy(g *sched.G) {
+	g.Call("auditLog", "rangeappend.go", 1, func() {
+		log := sched.NewSlice[int](g, "log", 2)
+		g.Go("auditLog.func1", func(g *sched.G) {
+			g.Call("auditLog.func1", "rangeappend.go", 4, func() {
+				log.Append(g, 3)
+			})
+		})
+		g.Line(8)
+		for i := 0; i < log.Len(g); i++ {
+			log.Get(g, i)
+		}
+	})
+}
+
+func sliceRangeAppendFixed(g *sched.G) {
+	g.Call("auditLog", "rangeappend.go", 1, func() {
+		log := sched.NewSlice[int](g, "log", 2)
+		mu := sched.NewRWMutex(g, "logMu")
+		done := sched.NewChan[int](g, "done", 1)
+		g.Go("auditLog.func1", func(g *sched.G) {
+			g.Call("auditLog.func1", "rangeappend.go", 4, func() {
+				mu.Lock(g)
+				log.Append(g, 3)
+				mu.Unlock(g)
+				done.Send(g, 1)
+			})
+		})
+		g.Line(8)
+		mu.RLock(g)
+		for i := 0; i < log.Len(g); i++ {
+			log.Get(g, i)
+		}
+		mu.RUnlock(g)
+		done.Recv(g)
+	})
+}
+
+// doubleCheckedRacy: the classic broken idiom — an unlocked fast-path
+// read of the flag races with the locked initialization write.
+func doubleCheckedRacy(g *sched.G) {
+	g.Call("getConfig", "dcl.go", 1, func() {
+		initialized := sched.NewVar[bool](g, "initialized")
+		mu := sched.NewMutex(g, "initMu")
+		wg := sched.NewWaitGroup(g, "wg")
+		for i := 0; i < 2; i++ {
+			wg.Add(g, 1)
+			g.Go("getConfig.func1", func(g *sched.G) {
+				g.Call("getConfig.func1", "dcl.go", 5, func() {
+					if !initialized.Load(g) { // unlocked fast path
+						mu.Lock(g)
+						if !initialized.Load(g) {
+							initialized.Store(g, true)
+						}
+						mu.Unlock(g)
+					}
+				})
+				wg.Done(g)
+			})
+		}
+		wg.Wait(g)
+	})
+}
+
+// doubleCheckedFixed uses sync.Once, the idiomatic repair.
+func doubleCheckedFixed(g *sched.G) {
+	g.Call("getConfig", "dcl.go", 1, func() {
+		initialized := sched.NewVar[bool](g, "initialized")
+		once := sched.NewOnce(g, "initOnce")
+		wg := sched.NewWaitGroup(g, "wg")
+		for i := 0; i < 2; i++ {
+			wg.Add(g, 1)
+			g.Go("getConfig.func1", func(g *sched.G) {
+				g.Call("getConfig.func1", "dcl.go", 5, func() {
+					once.Do(g, func() {
+						initialized.Store(g, true)
+					})
+					initialized.Load(g)
+				})
+				wg.Done(g)
+			})
+		}
+		wg.Wait(g)
+	})
+}
+
+// lazyInitRacy: two goroutines race to populate a shared singleton.
+func lazyInitRacy(g *sched.G) {
+	g.Call("getInstance", "lazy.go", 1, func() {
+		instance := sched.NewVar[int](g, "instance")
+		wg := sched.NewWaitGroup(g, "wg")
+		for i := 0; i < 2; i++ {
+			wg.Add(g, 1)
+			g.Go("getInstance.worker", func(g *sched.G) {
+				g.Call("getInstance.worker", "lazy.go", 5, func() {
+					if instance.Load(g) == 0 {
+						instance.Store(g, 42)
+					}
+				})
+				wg.Done(g)
+			})
+		}
+		wg.Wait(g)
+	})
+}
+
+func lazyInitFixed(g *sched.G) {
+	g.Call("getInstance", "lazy.go", 1, func() {
+		instance := sched.NewVar[int](g, "instance")
+		once := sched.NewOnce(g, "instanceOnce")
+		wg := sched.NewWaitGroup(g, "wg")
+		for i := 0; i < 2; i++ {
+			wg.Add(g, 1)
+			g.Go("getInstance.worker", func(g *sched.G) {
+				g.Call("getInstance.worker", "lazy.go", 5, func() {
+					once.Do(g, func() { instance.Store(g, 42) })
+					instance.Load(g)
+				})
+				wg.Done(g)
+			})
+		}
+		wg.Wait(g)
+	})
+}
+
+// chanPointerRacy: the channel synchronizes the *handoff*, but the
+// sender keeps mutating the pointee after the send — message passing
+// in form, shared memory in substance.
+func chanPointerRacy(g *sched.G) {
+	g.Call("submit", "chanptr.go", 1, func() {
+		reqField := sched.NewVar[string](g, "req.field")
+		ch := sched.NewChan[int](g, "ch", 1)
+		g.Go("submit.func1", func(g *sched.G) {
+			g.Call("submit.func1", "chanptr.go", 4, func() {
+				ch.Send(g, 1)              // hand the pointer over
+				reqField.Store(g, "oops!") // ...then keep writing through it
+			})
+		})
+		g.Line(9)
+		ch.Recv(g)
+		reqField.Load(g) // races with the post-send write
+	})
+}
+
+func chanPointerFixed(g *sched.G) {
+	g.Call("submit", "chanptr.go", 1, func() {
+		reqField := sched.NewVar[string](g, "req.field")
+		ch := sched.NewChan[int](g, "ch", 1)
+		g.Go("submit.func1", func(g *sched.G) {
+			g.Call("submit.func1", "chanptr.go", 4, func() {
+				reqField.Store(g, "final") // finish all writes first
+				ch.Send(g, 1)              // transfer ownership last
+			})
+		})
+		g.Line(9)
+		ch.Recv(g)
+		reqField.Load(g)
+	})
+}
+
+// rwUpgradeGapRacy: read under RLock, drop it, then write without
+// taking the write lock — a botched lock upgrade.
+func rwUpgradeGapRacy(g *sched.G) {
+	g.Call("rebalance", "upgrade.go", 1, func() {
+		shards := sched.NewVar[int](g, "shards")
+		mu := sched.NewRWMutex(g, "shardMu")
+		wg := sched.NewWaitGroup(g, "wg")
+		for i := 0; i < 2; i++ {
+			wg.Add(g, 1)
+			g.Go("rebalance.func1", func(g *sched.G) {
+				g.Call("rebalance.func1", "upgrade.go", 5, func() {
+					mu.RLock(g)
+					n := shards.Load(g)
+					mu.RUnlock(g)
+					shards.Store(g, n+1) // forgot mu.Lock for the upgrade
+				})
+				wg.Done(g)
+			})
+		}
+		wg.Wait(g)
+	})
+}
+
+func rwUpgradeGapFixed(g *sched.G) {
+	g.Call("rebalance", "upgrade.go", 1, func() {
+		shards := sched.NewVar[int](g, "shards")
+		mu := sched.NewRWMutex(g, "shardMu")
+		wg := sched.NewWaitGroup(g, "wg")
+		for i := 0; i < 2; i++ {
+			wg.Add(g, 1)
+			g.Go("rebalance.func1", func(g *sched.G) {
+				g.Call("rebalance.func1", "upgrade.go", 5, func() {
+					mu.Lock(g) // take the write lock for the full RMW
+					n := shards.Load(g)
+					shards.Store(g, n+1)
+					mu.Unlock(g)
+				})
+				wg.Done(g)
+			})
+		}
+		wg.Wait(g)
+	})
+}
+
+// condProducerRacy: the consumer is disciplined (checks the queue
+// under the lock, waits on the cond), but the producer bumps the queue
+// without the lock.
+func condProducerRacy(g *sched.G) {
+	g.Call("dispatch", "condq.go", 1, func() {
+		queued := sched.NewVar[int](g, "queued")
+		mu := sched.NewMutex(g, "qMu")
+		cond := sched.NewCond(g, "qCond", mu)
+		wg := sched.NewWaitGroup(g, "wg")
+		wg.Add(g, 1)
+		g.Go("consumer", func(g *sched.G) {
+			g.Call("consumeLoop", "condq.go", 6, func() {
+				mu.Lock(g)
+				for queued.Load(g) == 0 {
+					cond.Wait(g)
+				}
+				queued.Store(g, queued.Load(g)-1)
+				mu.Unlock(g)
+			})
+			wg.Done(g)
+		})
+		g.Line(16)
+		queued.Store(g, 1) // producer forgot the lock
+		cond.Signal(g)
+		wg.Wait(g)
+	})
+}
+
+func condProducerFixed(g *sched.G) {
+	g.Call("dispatch", "condq.go", 1, func() {
+		queued := sched.NewVar[int](g, "queued")
+		mu := sched.NewMutex(g, "qMu")
+		cond := sched.NewCond(g, "qCond", mu)
+		wg := sched.NewWaitGroup(g, "wg")
+		wg.Add(g, 1)
+		g.Go("consumer", func(g *sched.G) {
+			g.Call("consumeLoop", "condq.go", 6, func() {
+				mu.Lock(g)
+				for queued.Load(g) == 0 {
+					cond.Wait(g)
+				}
+				queued.Store(g, queued.Load(g)-1)
+				mu.Unlock(g)
+			})
+			wg.Done(g)
+		})
+		g.Line(16)
+		mu.Lock(g)
+		queued.Store(g, 1)
+		mu.Unlock(g)
+		cond.Signal(g)
+		wg.Wait(g)
+	})
+}
+
+// atomicRMWMixRacy: counters bumped with atomic.Add but read plainly.
+func atomicRMWMixRacy(g *sched.G) {
+	g.Call("trackRequests", "rmwmix.go", 1, func() {
+		inflight := sched.NewAtomic(g, "inflight")
+		wg := sched.NewWaitGroup(g, "wg")
+		wg.Add(g, 1)
+		g.Go("trackRequests.func1", func(g *sched.G) {
+			g.Call("trackRequests.func1", "rmwmix.go", 4, func() {
+				inflight.Add(g, 1)
+			})
+			wg.Done(g)
+		})
+		g.Line(8)
+		inflight.PlainLoad(g) // plain read of an atomically-updated cell
+		wg.Wait(g)
+	})
+}
+
+func atomicRMWMixFixed(g *sched.G) {
+	g.Call("trackRequests", "rmwmix.go", 1, func() {
+		inflight := sched.NewAtomic(g, "inflight")
+		wg := sched.NewWaitGroup(g, "wg")
+		wg.Add(g, 1)
+		g.Go("trackRequests.func1", func(g *sched.G) {
+			g.Call("trackRequests.func1", "rmwmix.go", 4, func() {
+				inflight.Add(g, 1)
+			})
+			wg.Done(g)
+		})
+		g.Line(8)
+		inflight.Load(g)
+		wg.Wait(g)
+	})
+}

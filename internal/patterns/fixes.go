@@ -1,0 +1,147 @@
+package patterns
+
+import (
+	"gorace/internal/sched"
+	"gorace/internal/taxonomy"
+)
+
+// The last three rows of Table 3 are fix *strategies* rather than root
+// causes: races that were "not root caused but instead addressed by
+// refactoring the code". Their Racy variants are ordinary races; the
+// Fixed variants model the respective escape hatch.
+
+func init() {
+	register(Pattern{
+		ID:          "fix-removed-concurrency",
+		Listing:     0,
+		Cat:         taxonomy.CatFixRemovedConc,
+		Secondary:   []taxonomy.Category{taxonomy.CatMissingLock},
+		Description: "Race fixed conservatively by eliminating the concurrency altogether",
+		Racy:        removedConcRacy,
+		Fixed:       removedConcFixed,
+	})
+	register(Pattern{
+		ID:          "fix-disabled-test",
+		Listing:     0,
+		Cat:         taxonomy.CatFixDisabledTest,
+		Secondary:   []taxonomy.Category{taxonomy.CatParallelTest},
+		Description: "Race 'fixed' by disabling the test that exposed it",
+		Racy:        disabledTestRacy,
+		Fixed:       disabledTestFixed,
+	})
+	register(Pattern{
+		ID:          "fix-major-refactor",
+		Listing:     0,
+		Cat:         taxonomy.CatFixRefactor,
+		Secondary:   []taxonomy.Category{taxonomy.CatMixedChanShared},
+		Description: "Race fixed by redesigning the component around a single owner goroutine",
+		Racy:        refactorRacy,
+		Fixed:       refactorFixed,
+	})
+}
+
+// removedConcRacy: parallel enrichment of items over a shared cursor.
+func removedConcRacy(g *sched.G) {
+	g.Call("enrichAll", "enrich.go", 1, func() {
+		cursor := sched.NewVar[int](g, "cursor")
+		for i := 0; i < 2; i++ {
+			g.Go("enrichAll.func1", func(g *sched.G) {
+				g.Call("enrichAll.func1", "enrich.go", 5, func() {
+					cursor.Update(g, func(x int) int { return x + 1 })
+				})
+			})
+		}
+	})
+}
+
+// removedConcFixed runs the same work sequentially — the conservative
+// "suspicious code region" fix the paper's introduction mentions.
+func removedConcFixed(g *sched.G) {
+	g.Call("enrichAll", "enrich.go", 1, func() {
+		cursor := sched.NewVar[int](g, "cursor")
+		for i := 0; i < 2; i++ {
+			g.Call("enrichAll.step", "enrich.go", 5, func() {
+				cursor.Update(g, func(x int) int { return x + 1 })
+			})
+		}
+	})
+}
+
+// disabledTestRacy: a parallel test tripping over shared product state.
+func disabledTestRacy(g *sched.G) {
+	g.Call("TestFlaky", "flaky_test.go", 1, func() {
+		sharedState := sched.NewVar[int](g, "server.state")
+		for i := 0; i < 2; i++ {
+			i := i
+			g.Go("TestFlaky/sub", func(g *sched.G) {
+				g.Call("TestFlaky.func1", "flaky_test.go", 6, func() {
+					sharedState.Store(g, i)
+				})
+			})
+		}
+	})
+}
+
+// disabledTestFixed models t.Skip(): the racy body never runs.
+func disabledTestFixed(g *sched.G) {
+	g.Call("TestFlaky", "flaky_test.go", 1, func() {
+		// t.Skip("disabled: flaky under -race") — nothing executes.
+	})
+}
+
+// refactorRacy: two owners mutate connection state guarded by
+// half-shared conventions.
+func refactorRacy(g *sched.G) {
+	g.Call("connManager", "conn.go", 1, func() {
+		connState := sched.NewVar[string](g, "conn.state")
+		g.Go("reader", func(g *sched.G) {
+			g.Call("readLoop", "conn.go", 8, func() {
+				connState.Store(g, "reading")
+			})
+		})
+		g.Go("writer", func(g *sched.G) {
+			g.Call("writeLoop", "conn.go", 20, func() {
+				connState.Store(g, "writing")
+			})
+		})
+	})
+}
+
+// refactorFixed redesigns around a single owner goroutine fed by
+// channels — "changing the code/logic in a significant way".
+func refactorFixed(g *sched.G) {
+	g.Call("connManager", "conn.go", 1, func() {
+		connState := sched.NewVar[string](g, "conn.state")
+		requests := sched.NewChan[string](g, "requests", 2)
+		done := sched.NewChan[int](g, "ownerDone", 0)
+		g.Go("owner", func(g *sched.G) {
+			g.Call("ownerLoop", "conn.go", 30, func() {
+				for {
+					msg, ok := requests.Recv(g)
+					if !ok {
+						break
+					}
+					connState.Store(g, msg) // single writer
+				}
+				done.Send(g, 1)
+			})
+		})
+		wg := sched.NewWaitGroup(g, "wg")
+		wg.Add(g, 2)
+		g.Go("reader", func(g *sched.G) {
+			g.Call("readLoop", "conn.go", 8, func() {
+				requests.Send(g, "reading")
+			})
+			wg.Done(g)
+		})
+		g.Go("writer", func(g *sched.G) {
+			g.Call("writeLoop", "conn.go", 20, func() {
+				requests.Send(g, "writing")
+			})
+			wg.Done(g)
+		})
+		wg.Wait(g)
+		requests.Close(g)
+		done.Recv(g)
+	})
+}

@@ -1,0 +1,157 @@
+package patterns
+
+import (
+	"os"
+	"testing"
+
+	"gorace/internal/detector"
+	"gorace/internal/sched"
+	"gorace/internal/taxonomy"
+	"gorace/internal/trace"
+)
+
+func TestRegistryValid(t *testing.T) {
+	if err := Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(All()) < 20 {
+		t.Fatalf("corpus has only %d patterns", len(All()))
+	}
+}
+
+func TestEveryTableCategoryCovered(t *testing.T) {
+	// Every row of Tables 2 and 3 must have at least one corpus entry
+	// (primary category).
+	for _, e := range taxonomy.Entries {
+		if len(ByCategory(e.Cat)) == 0 {
+			t.Errorf("category %q (%s) has no corpus pattern", e.Cat, e.Description)
+		}
+	}
+}
+
+func TestEveryListingCovered(t *testing.T) {
+	want := map[int]bool{1: false, 2: false, 3: false, 4: false, 5: false,
+		6: false, 7: false, 9: false, 10: false, 11: false}
+	for _, p := range All() {
+		if _, ok := want[p.Listing]; ok {
+			want[p.Listing] = true
+		}
+	}
+	for l, ok := range want {
+		if !ok {
+			t.Errorf("paper listing %d has no corpus pattern", l)
+		}
+	}
+}
+
+func TestByIDAndIDs(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(All()) {
+		t.Fatal("IDs/All length mismatch")
+	}
+	for _, id := range ids {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("ByID(%q) failed", id)
+		}
+	}
+	if _, ok := ByID("no-such-pattern"); ok {
+		t.Error("ByID on unknown id succeeded")
+	}
+}
+
+func TestRacyVariantsManifest(t *testing.T) {
+	const maxSeeds = 80
+	for _, p := range All() {
+		p := p
+		t.Run(p.ID+"/racy", func(t *testing.T) {
+			for seed := int64(0); seed < maxSeeds; seed++ {
+				ft := detector.NewFastTrack()
+				res := sched.Run(p.Racy, sched.Options{
+					Strategy: sched.NewRandom(), Seed: seed, MaxSteps: 1 << 16,
+					Listeners: []trace.Listener{ft},
+				})
+				if res.BudgetExceeded {
+					t.Fatalf("seed %d: budget exceeded", seed)
+				}
+				if ft.RaceCount() > 0 {
+					return // manifested
+				}
+			}
+			t.Fatalf("race never manifested across %d seeds", maxSeeds)
+		})
+	}
+}
+
+func TestFixedVariantsClean(t *testing.T) {
+	const seeds = 40
+	for _, p := range All() {
+		p := p
+		t.Run(p.ID+"/fixed", func(t *testing.T) {
+			for seed := int64(0); seed < seeds; seed++ {
+				ft := detector.NewFastTrack()
+				res := sched.Run(p.Fixed, sched.Options{
+					Strategy: sched.NewRandom(), Seed: seed, MaxSteps: 1 << 16,
+					Listeners: []trace.Listener{ft},
+				})
+				if ft.RaceCount() > 0 {
+					t.Fatalf("seed %d: fixed variant raced:\n%s", seed, ft.Races()[0])
+				}
+				if res.Deadlocked() {
+					t.Fatalf("seed %d: fixed variant leaked goroutines: %+v", seed, res.Leaked)
+				}
+				if len(res.Failures) > 0 {
+					t.Fatalf("seed %d: fixed variant failed: %v", seed, res.Failures)
+				}
+				if res.BudgetExceeded {
+					t.Fatalf("seed %d: budget exceeded", seed)
+				}
+			}
+		})
+	}
+}
+
+func TestFutureRacyLeaksGoroutine(t *testing.T) {
+	// Listing 9's second defect: when the cancel arm wins, the future
+	// goroutine blocks forever on the unbuffered send.
+	p, _ := ByID("future-ctx-cancel")
+	leaked := false
+	for seed := int64(0); seed < 80 && !leaked; seed++ {
+		res := sched.Run(p.Racy, sched.Options{
+			Strategy: sched.NewRandom(), Seed: seed, MaxSteps: 1 << 16,
+		})
+		leaked = res.Deadlocked()
+	}
+	if !leaked {
+		t.Fatal("future goroutine never leaked across 80 seeds")
+	}
+}
+
+func TestRacyReportsCarryListingFrames(t *testing.T) {
+	// Reports from listing-based patterns should carry the pseudo
+	// source files of the paper's listings.
+	p, _ := ByID("capture-loop-index")
+	for seed := int64(0); seed < 40; seed++ {
+		ft := detector.NewFastTrack()
+		sched.Run(p.Racy, sched.Options{
+			Strategy: sched.NewRandom(), Seed: seed, MaxSteps: 1 << 16,
+			Listeners: []trace.Listener{ft},
+		})
+		for _, r := range ft.Races() {
+			if r.Second.Stack.Leaf().File == "listing1.go" || r.First.Stack.Leaf().File == "listing1.go" {
+				return
+			}
+		}
+	}
+	t.Fatal("no report referenced listing1.go")
+}
+
+func TestCatalogInSyncWithFile(t *testing.T) {
+	want := Catalog()
+	got, err := os.ReadFile("../../PATTERNS.md")
+	if err != nil {
+		t.Fatalf("PATTERNS.md missing: %v (regenerate with the snippet in the test)", err)
+	}
+	if string(got) != want {
+		t.Fatal("PATTERNS.md is stale; regenerate it from patterns.Catalog()")
+	}
+}

@@ -1,0 +1,189 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"gorace/internal/taxonomy"
+)
+
+func TestSummaryMatchesPaperAggregates(t *testing.T) {
+	// §3.5: ~2000 detected, 1011 fixed, 790 unique patches by 210
+	// engineers, ~5 new reports/day, ~78% unique root causes. We
+	// accept ±15% (it is a stochastic simulation of a stochastic
+	// process).
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		s := Run(cfg).Summary
+		within := func(name string, got, want, tolPct int) {
+			t.Helper()
+			lo := want * (100 - tolPct) / 100
+			hi := want * (100 + tolPct) / 100
+			if got < lo || got > hi {
+				t.Errorf("seed %d: %s = %d, want %d ±%d%%", seed, name, got, want, tolPct)
+			}
+		}
+		within("unique races", s.UniqueRaces, 2000, 15)
+		within("fixed races", s.FixedRaces, 1011, 15)
+		within("unique patches", s.UniquePatches, 790, 15)
+		within("unique fixers", s.UniqueFixers, 210, 15)
+		if s.NewRacesPerDay < 3.5 || s.NewRacesPerDay > 8 {
+			t.Errorf("seed %d: new/day = %.1f, want ~5", seed, s.NewRacesPerDay)
+		}
+		if s.UniqueRootCausePct < 70 || s.UniqueRootCausePct > 86 {
+			t.Errorf("seed %d: root-cause%% = %.1f, want ~78", seed, s.UniqueRootCausePct)
+		}
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	// The paper's narrative: a noticeable drop during the shepherded
+	// initial phase, a surge when the floodgates open, then a gradual
+	// climb once shepherding stops.
+	o := Run(DefaultConfig())
+	d := o.Days
+	cfg := DefaultConfig()
+	pre := d[cfg.FloodgateDay-1].Outstanding
+	start := d[0].Outstanding
+	if pre >= start {
+		t.Errorf("no drop during shepherding: day0=%d, pre-floodgate=%d", start, pre)
+	}
+	surge := d[cfg.FloodgateDay+5].Outstanding
+	if surge <= pre*2 {
+		t.Errorf("no floodgate surge: pre=%d, post=%d", pre, surge)
+	}
+	end := d[len(d)-1].Outstanding
+	mid := d[cfg.ShepherdEndDay+10].Outstanding
+	if end <= mid {
+		t.Errorf("no gradual climb after shepherding: day%d=%d, end=%d",
+			cfg.ShepherdEndDay+10, mid, end)
+	}
+}
+
+func TestFigure4Gradients(t *testing.T) {
+	// "the gradient for the task creation is higher than that of task
+	// resolution because the authors disengaged from shepherding."
+	o := Run(DefaultConfig())
+	cfg := DefaultConfig()
+	late := o.Days[cfg.ShepherdEndDay+20:]
+	first, last := late[0], late[len(late)-1]
+	createdSlope := last.CreatedCum - first.CreatedCum
+	resolvedSlope := last.ResolvedCum - first.ResolvedCum
+	if createdSlope <= resolvedSlope {
+		t.Errorf("late-phase creation slope %d not above resolution slope %d",
+			createdSlope, resolvedSlope)
+	}
+	// Cumulative series must be monotone.
+	for i := 1; i < len(o.Days); i++ {
+		if o.Days[i].CreatedCum < o.Days[i-1].CreatedCum ||
+			o.Days[i].ResolvedCum < o.Days[i-1].ResolvedCum {
+			t.Fatal("cumulative series decreased")
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a := Run(DefaultConfig())
+	b := Run(DefaultConfig())
+	if a.Summary != b.Summary {
+		t.Fatalf("same seed, different summaries: %+v vs %+v", a.Summary, b.Summary)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 99
+	c := Run(cfg)
+	if a.Summary == c.Summary {
+		t.Log("note: different seeds produced identical summaries (unlikely)")
+	}
+}
+
+func TestCategoryMixFollowsTables(t *testing.T) {
+	o := Run(DefaultConfig())
+	// The two largest categories in the paper are missing-lock (470)
+	// and slice (391); they should dominate the sampled mix too.
+	if o.CategoryMix[taxonomy.CatMissingLock] < o.CategoryMix[taxonomy.CatRLockMutation] {
+		t.Error("missing-lock should outnumber rlock-mutation (470 vs 2)")
+	}
+	if o.CategoryMix[taxonomy.CatSlice] < o.CategoryMix[taxonomy.CatMap] {
+		t.Error("slice should outnumber map (391 vs 38)")
+	}
+	total := 0
+	for _, n := range o.CategoryMix {
+		total += n
+	}
+	if total != o.Summary.UniqueRaces {
+		t.Errorf("category mix sums to %d, want %d", total, o.Summary.UniqueRaces)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	o := Run(DefaultConfig())
+	f3 := FormatFigure3(o)
+	if !strings.HasPrefix(f3, "day,outstanding\n") || strings.Count(f3, "\n") != len(o.Days)+1 {
+		t.Error("figure 3 CSV malformed")
+	}
+	f4 := FormatFigure4(o)
+	if !strings.HasPrefix(f4, "day,created,resolved\n") {
+		t.Error("figure 4 CSV malformed")
+	}
+	sum := FormatSummary(o.Summary)
+	for _, want := range []string{"1011", "790", "210", "unique races"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}
+
+func TestConfigOverridesRespected(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Days = 30
+	cfg.PreexistingRaces = 50
+	o := Run(cfg)
+	if len(o.Days) != 30 {
+		t.Fatalf("days = %d", len(o.Days))
+	}
+	if o.Summary.UniqueRaces > 50+30*int(cfg.NewRacesPerDay)+5 {
+		t.Fatalf("more races filed than can exist: %d", o.Summary.UniqueRaces)
+	}
+}
+
+func BenchmarkDeploymentSimulation(b *testing.B) {
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		Run(cfg)
+	}
+}
+
+func TestFixDifficultySlowsHardCategories(t *testing.T) {
+	// With difficulty applied, the hard categories' fix fraction must
+	// trail the easy ones'. Compare fixed counts per category between
+	// a run with and without the difficulty map.
+	base := DefaultConfig()
+	base.Seed = 6
+	hard := base
+	hard.FixDifficulty = map[taxonomy.Category]float64{
+		taxonomy.CatMissingLock: 0.05, // make the largest category sticky
+	}
+	easyRun := Run(base)
+	hardRun := Run(hard)
+	if hardRun.Summary.FixedRaces >= easyRun.Summary.FixedRaces {
+		t.Fatalf("difficulty had no effect: %d vs %d",
+			hardRun.Summary.FixedRaces, easyRun.Summary.FixedRaces)
+	}
+}
+
+func TestDefaultFixDifficultyIsSane(t *testing.T) {
+	for cat, d := range DefaultFixDifficulty() {
+		if d <= 0 || d > 1 {
+			t.Errorf("%s difficulty %f out of (0,1]", cat, d)
+		}
+	}
+	// The default simulation (no difficulty map) must keep matching
+	// the paper aggregates — guarded by TestSummaryMatchesPaperAggregates.
+	cfg := DefaultConfig()
+	if cfg.FixDifficulty != nil {
+		t.Fatal("difficulty must be opt-in to preserve calibration")
+	}
+}

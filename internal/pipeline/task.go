@@ -1,0 +1,68 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"gorace/internal/report"
+)
+
+// Task is the defect filed for a detected race, carrying what §3.3–3.4
+// say a report must contain: the source version the race was detected
+// on, the two conflicting stack traces with access types, and the
+// instructions to reproduce the underlying race, plus the assignee and
+// the log of how the heuristic chose them.
+type Task struct {
+	ID            int
+	Hash          string
+	SourceVersion string
+	Race          report.Race
+	Assignee      string
+	Rationale     []string
+	Candidates    []string
+	ReproCmd      string
+}
+
+// NewTask builds a task from a detected race and an assignment.
+func NewTask(id int, sourceVersion string, r report.Race, a Assignment, reproCmd string) Task {
+	t := Task{
+		ID:            id,
+		Hash:          r.Hash(),
+		SourceVersion: sourceVersion,
+		Race:          r,
+		Rationale:     a.Rationale,
+		Candidates:    a.Candidates,
+		ReproCmd:      reproCmd,
+	}
+	if a.Engineer != nil {
+		t.Assignee = a.Engineer.ID
+	}
+	return t
+}
+
+// String renders the task body as it would be filed to the bug
+// tracker.
+func (t Task) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DATA RACE DEFECT #%d (hash %s)\n", t.ID, t.Hash)
+	fmt.Fprintf(&b, "source version: %s\n", t.SourceVersion)
+	fmt.Fprintf(&b, "assignee: %s\n", t.Assignee)
+	if len(t.Candidates) > 0 {
+		fmt.Fprintf(&b, "candidate owners considered:\n")
+		for _, c := range t.Candidates {
+			fmt.Fprintf(&b, "  - %s\n", c)
+		}
+	}
+	if len(t.Rationale) > 0 {
+		fmt.Fprintf(&b, "assignment rationale:\n")
+		for _, r := range t.Rationale {
+			fmt.Fprintf(&b, "  - %s\n", r)
+		}
+	}
+	b.WriteString("\n")
+	b.WriteString(t.Race.String())
+	if t.ReproCmd != "" {
+		fmt.Fprintf(&b, "\nto reproduce:\n  %s\n", t.ReproCmd)
+	}
+	return b.String()
+}

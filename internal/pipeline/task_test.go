@@ -1,0 +1,68 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"gorace/internal/detector"
+	"gorace/internal/patterns"
+	"gorace/internal/report"
+	"gorace/internal/sched"
+	"gorace/internal/trace"
+)
+
+func manifestOne(t *testing.T, id string) report.Race {
+	t.Helper()
+	p, ok := patterns.ByID(id)
+	if !ok {
+		t.Fatalf("pattern %s missing", id)
+	}
+	for seed := int64(0); seed < 80; seed++ {
+		ft := detector.NewFastTrack()
+		sched.Run(p.Racy, sched.Options{
+			Strategy: sched.NewRandom(), Seed: seed, MaxSteps: 1 << 16,
+			Listeners: []trace.Listener{ft},
+		})
+		if ft.RaceCount() > 0 {
+			return ft.Races()[0]
+		}
+	}
+	t.Fatal("race never manifested")
+	return report.Race{}
+}
+
+func TestTaskRendersAllSections(t *testing.T) {
+	r := manifestOne(t, "capture-err")
+	org := newTestOrg()
+	a := org.Assign(org.RandomFile(), org.RandomFile(), 3)
+	task := NewTask(42, "rev-abc123", r, a,
+		"go run ./cmd/racedetect -pattern capture-err -seeds 80")
+	s := task.String()
+	for _, want := range []string{
+		"DATA RACE DEFECT #42",
+		"source version: rev-abc123",
+		"assignee: " + a.Engineer.ID,
+		"WARNING: DATA RACE",
+		"to reproduce:",
+		"assignment rationale:",
+		"candidate owners considered:",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("task missing %q\n%s", want, s)
+		}
+	}
+	if task.Hash != r.Hash() {
+		t.Error("task hash differs from report hash")
+	}
+}
+
+func TestTaskWithoutAssignee(t *testing.T) {
+	r := manifestOne(t, "capture-err")
+	task := NewTask(1, "rev-x", r, Assignment{}, "")
+	if task.Assignee != "" {
+		t.Fatal("phantom assignee")
+	}
+	if strings.Contains(task.String(), "to reproduce") {
+		t.Fatal("empty repro command rendered")
+	}
+}

@@ -1,0 +1,228 @@
+// Package progen generates random modeled programs for differential
+// testing: the scheduler must execute them without model failures
+// under every strategy, runs must be deterministic per seed, and the
+// happens-before detectors (FastTrack, Epoch, DJIT) must agree on
+// verdicts within their published differences.
+//
+// A generated program spawns a random set of goroutines, each
+// performing a random straight-line sequence of operations over a
+// shared pool of variables, mutexes, RW mutexes, atomics, buffered
+// channels, and a WaitGroup. Blocking hazards are constrained by
+// construction: locks are released in LIFO order by the acquiring
+// goroutine, channel traffic is pre-balanced (every receive has a
+// matching send), and Wait runs only in the main goroutine after all
+// Adds. Generated programs may still race — that is the point.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gorace/internal/sched"
+)
+
+// Params bounds the generated program shape.
+type Params struct {
+	Goroutines  int // worker goroutines (default 4)
+	OpsPerG     int // operations per goroutine (default 12)
+	Vars        int // shared plain variables (default 4)
+	Mutexes     int // shared mutexes (default 2)
+	RWMutexes   int // shared RW mutexes (default 1)
+	Atomics     int // shared atomic cells (default 1)
+	Channels    int // shared buffered channels (default 1)
+	ChanCap     int // capacity of each channel (default 4)
+	LockedRatio int // percent of accesses performed under a lock (default 50)
+}
+
+func (p Params) withDefaults() Params {
+	def := Params{Goroutines: 4, OpsPerG: 12, Vars: 4, Mutexes: 2,
+		RWMutexes: 1, Atomics: 1, Channels: 1, ChanCap: 4, LockedRatio: 50}
+	if p.Goroutines == 0 {
+		p.Goroutines = def.Goroutines
+	}
+	if p.OpsPerG == 0 {
+		p.OpsPerG = def.OpsPerG
+	}
+	if p.Vars == 0 {
+		p.Vars = def.Vars
+	}
+	if p.Mutexes == 0 {
+		p.Mutexes = def.Mutexes
+	}
+	if p.RWMutexes == 0 {
+		p.RWMutexes = def.RWMutexes
+	}
+	if p.Atomics == 0 {
+		p.Atomics = def.Atomics
+	}
+	if p.Channels == 0 {
+		p.Channels = def.Channels
+	}
+	if p.ChanCap == 0 {
+		p.ChanCap = def.ChanCap
+	}
+	if p.LockedRatio == 0 {
+		p.LockedRatio = def.LockedRatio
+	}
+	return p
+}
+
+// op is one generated operation in a goroutine's straight-line body.
+type op struct {
+	kind    opKind
+	target  int // index into the relevant resource pool
+	lock    int // mutex index for guarded ops, -1 for unguarded
+	rwRead  bool
+	isWrite bool
+}
+
+type opKind uint8
+
+const (
+	opVar opKind = iota
+	opAtomic
+	opChanSend
+	opChanRecv
+	opYield
+)
+
+// Program is a generated program plus its metadata.
+type Program struct {
+	Seed   int64
+	Params Params
+	bodies [][]op
+	sends  []int // pre-balanced sends per channel (main drains them)
+}
+
+// Generate builds a random program from a seed.
+func Generate(seed int64, p Params) *Program {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	prog := &Program{Seed: seed, Params: p, sends: make([]int, p.Channels)}
+	for gi := 0; gi < p.Goroutines; gi++ {
+		var body []op
+		for oi := 0; oi < p.OpsPerG; oi++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4: // plain variable access
+				o := op{kind: opVar, target: rng.Intn(p.Vars), lock: -1,
+					isWrite: rng.Intn(2) == 0}
+				if rng.Intn(100) < p.LockedRatio {
+					o.lock = rng.Intn(p.Mutexes)
+				}
+				body = append(body, o)
+			case 5: // RW-guarded variable access
+				o := op{kind: opVar, target: rng.Intn(p.Vars), lock: p.Mutexes + rng.Intn(p.RWMutexes)}
+				o.isWrite = rng.Intn(2) == 0
+				o.rwRead = !o.isWrite // readers take RLock, writers Lock
+				body = append(body, o)
+			case 6: // atomic access
+				body = append(body, op{kind: opAtomic, target: rng.Intn(p.Atomics),
+					lock: -1, isWrite: rng.Intn(2) == 0})
+			case 7: // channel send (buffered; may block on full buffer,
+				// but main drains everything afterwards)
+				ch := rng.Intn(p.Channels)
+				prog.sends[ch]++
+				body = append(body, op{kind: opChanSend, target: ch, lock: -1})
+			case 8: // pure computation
+				body = append(body, op{kind: opYield, lock: -1})
+			case 9: // guarded read-modify-write
+				body = append(body, op{kind: opVar, target: rng.Intn(p.Vars),
+					lock: rng.Intn(p.Mutexes), isWrite: true})
+			}
+		}
+		prog.bodies = append(prog.bodies, body)
+	}
+	return prog
+}
+
+// Main returns the runnable program body.
+func (pr *Program) Main() func(*sched.G) {
+	p := pr.Params
+	return func(g *sched.G) {
+		vars := make([]*sched.Var[int], p.Vars)
+		for i := range vars {
+			vars[i] = sched.NewVar[int](g, fmt.Sprintf("v%d", i))
+		}
+		mus := make([]*sched.Mutex, p.Mutexes)
+		for i := range mus {
+			mus[i] = sched.NewMutex(g, fmt.Sprintf("mu%d", i))
+		}
+		rws := make([]*sched.RWMutex, p.RWMutexes)
+		for i := range rws {
+			rws[i] = sched.NewRWMutex(g, fmt.Sprintf("rw%d", i))
+		}
+		atoms := make([]*sched.Atomic, p.Atomics)
+		for i := range atoms {
+			atoms[i] = sched.NewAtomic(g, fmt.Sprintf("at%d", i))
+		}
+		chans := make([]*sched.Chan[int], p.Channels)
+		for i := range chans {
+			// Capacity covers all sends so no producer blocks forever
+			// even if main is still spawning.
+			chans[i] = sched.NewChan[int](g, fmt.Sprintf("ch%d", i), pr.sends[i]+1)
+		}
+		wg := sched.NewWaitGroup(g, "wg")
+
+		for gi, body := range pr.bodies {
+			body := body
+			wg.Add(g, 1)
+			g.Go(fmt.Sprintf("w%d", gi), func(g *sched.G) {
+				for _, o := range body {
+					execOp(g, o, vars, mus, rws, atoms, chans)
+				}
+				wg.Done(g)
+			})
+		}
+		wg.Wait(g)
+		// Drain every channel so no value is stranded.
+		for ci, n := range pr.sends {
+			for i := 0; i < n; i++ {
+				chans[ci].Recv(g)
+			}
+		}
+	}
+}
+
+func execOp(g *sched.G, o op,
+	vars []*sched.Var[int], mus []*sched.Mutex, rws []*sched.RWMutex,
+	atoms []*sched.Atomic, chans []*sched.Chan[int]) {
+	switch o.kind {
+	case opVar:
+		unlock := func() {}
+		if o.lock >= 0 {
+			if o.lock < len(mus) {
+				mu := mus[o.lock]
+				mu.Lock(g)
+				unlock = func() { mu.Unlock(g) }
+			} else {
+				rw := rws[o.lock-len(mus)]
+				if o.rwRead {
+					rw.RLock(g)
+					unlock = func() { rw.RUnlock(g) }
+				} else {
+					rw.Lock(g)
+					unlock = func() { rw.Unlock(g) }
+				}
+			}
+		}
+		v := vars[o.target]
+		if o.isWrite {
+			v.Store(g, 1)
+		} else {
+			v.Load(g)
+		}
+		unlock()
+	case opAtomic:
+		if o.isWrite {
+			atoms[o.target].Add(g, 1)
+		} else {
+			atoms[o.target].Load(g)
+		}
+	case opChanSend:
+		chans[o.target].Send(g, 1)
+	case opChanRecv:
+		chans[o.target].Recv(g)
+	case opYield:
+		g.Yield()
+	}
+}

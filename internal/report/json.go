@@ -1,0 +1,64 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"gorace/internal/stack"
+)
+
+// Wire formats for tooling integration: race reports as JSON, the
+// shape a bug tracker ingestion endpoint (the paper's JIRA stage)
+// would consume.
+
+// wireAccess is the serialized form of Access.
+type wireAccess struct {
+	Goroutine     int32         `json:"goroutine"`
+	GoroutineName string        `json:"goroutineName,omitempty"`
+	Kind          string        `json:"kind"`
+	Addr          uint64        `json:"addr"`
+	Seq           uint64        `json:"seq,omitempty"`
+	Stack         []stack.Frame `json:"stack"`
+	Label         string        `json:"label,omitempty"`
+	Atomic        bool          `json:"atomic,omitempty"`
+	Locks         []string      `json:"locksHeld,omitempty"`
+}
+
+// wireRace is the serialized form of Race.
+type wireRace struct {
+	Hash     string     `json:"hash"`
+	Variable string     `json:"variable,omitempty"`
+	Detector string     `json:"detector,omitempty"`
+	First    wireAccess `json:"first"`
+	Second   wireAccess `json:"second"`
+}
+
+func toWireAccess(a Access) wireAccess {
+	return wireAccess{
+		Goroutine: int32(a.G), GoroutineName: a.GName, Kind: a.Kind(),
+		Addr: uint64(a.Addr), Seq: a.Seq, Stack: a.Stack.Frames(),
+		Label: a.Label, Atomic: a.Atomic, Locks: a.Locks,
+	}
+}
+
+// MarshalJSON implements json.Marshaler for Race.
+func (r Race) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireRace{
+		Hash:     r.Hash(),
+		Variable: r.Var(),
+		Detector: r.Detector,
+		First:    toWireAccess(r.First),
+		Second:   toWireAccess(r.Second),
+	})
+}
+
+// WriteJSON emits races as JSON Lines, one report per line.
+func WriteJSON(w io.Writer, races []Race) error {
+	enc := json.NewEncoder(w)
+	for _, r := range races {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

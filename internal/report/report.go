@@ -1,0 +1,171 @@
+// Package report models data race reports and the de-duplication
+// scheme of §3.3.1.
+//
+// A detected race report contains the conflicting memory address, the
+// two calling contexts of the conflicting accesses, and the access
+// types. The dedup hash (a) ignores source line numbers in both call
+// chains, so unrelated edits within a function do not produce duplicate
+// reports, and (b) orders the two call chains lexicographically, so a
+// report is identical whichever access the detector happened to see
+// first.
+package report
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"gorace/internal/stack"
+	"gorace/internal/trace"
+	"gorace/internal/vclock"
+)
+
+// Access is one side of a race: who touched what, how, from where.
+type Access struct {
+	G      vclock.TID
+	GName  string
+	Op     trace.Op
+	Addr   trace.Addr
+	Seq    uint64 // event sequence number of this access
+	Stack  stack.Context
+	Label  string   // source-level label, e.g. "errMap(internal)"
+	Atomic bool     // access used sync/atomic
+	Locks  []string // names of locks held at the access (diagnostic)
+}
+
+// Kind renders the access type like Go's race detector ("Read",
+// "Write", "Atomic write", ...).
+func (a Access) Kind() string {
+	switch a.Op {
+	case trace.OpRead:
+		return "Read"
+	case trace.OpWrite:
+		return "Write"
+	case trace.OpAtomicLoad:
+		return "Atomic read"
+	case trace.OpAtomicStore, trace.OpAtomicRMW:
+		return "Atomic write"
+	default:
+		return a.Op.String()
+	}
+}
+
+// Race is a detected data race: two conflicting accesses to the same
+// address with no happens-before ordering (or, for the lockset
+// detector, no common lock).
+type Race struct {
+	First    Access // the earlier access in the analyzed execution
+	Second   Access // the access whose check fired
+	Detector string // which detector produced the report
+	Seq      uint64 // event sequence number of the detection
+}
+
+// Var returns the best available variable label for the race.
+func (r Race) Var() string {
+	if r.Second.Label != "" {
+		return r.Second.Label
+	}
+	return r.First.Label
+}
+
+// Hash implements the §3.3.1 dedup hash: line numbers are dropped from
+// both calling contexts and the two contexts are ordered
+// lexicographically before hashing, making the hash stable across
+// unrelated source edits and across access-order flips.
+func (r Race) Hash() string {
+	k1, k2 := r.First.Stack.Key(), r.Second.Stack.Key()
+	if k2 < k1 {
+		k1, k2 = k2, k1
+	}
+	sum := sha256.Sum256([]byte(k1 + "\x00" + k2))
+	return hex.EncodeToString(sum[:8])
+}
+
+// String renders the race in the style of Go's race detector output.
+func (r Race) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "WARNING: DATA RACE (%s)\n", r.Detector)
+	fmt.Fprintf(&b, "%s at a%d (%s) by goroutine g%d (%s):\n%s",
+		r.Second.Kind(), r.Second.Addr, r.Var(), r.Second.G, r.Second.GName, r.Second.Stack)
+	if len(r.Second.Locks) > 0 {
+		fmt.Fprintf(&b, "  [locks held: %s]\n", strings.Join(r.Second.Locks, ", "))
+	}
+	fmt.Fprintf(&b, "Previous %s at a%d by goroutine g%d (%s):\n%s",
+		strings.ToLower(r.First.Kind()), r.First.Addr, r.First.G, r.First.GName, r.First.Stack)
+	if len(r.First.Locks) > 0 {
+		fmt.Fprintf(&b, "  [locks held: %s]\n", strings.Join(r.First.Locks, ", "))
+	}
+	return b.String()
+}
+
+// Deduper suppresses duplicate reports by hash, mirroring the paper's
+// rule: a defect is suppressed iff an *active* defect with the same
+// hash is already open; once that defect is fixed (Resolve), the next
+// occurrence files again.
+type Deduper struct {
+	open   map[string]int // hash -> occurrences while open
+	total  int
+	unique int
+}
+
+// NewDeduper returns an empty deduper.
+func NewDeduper() *Deduper {
+	return &Deduper{open: make(map[string]int)}
+}
+
+// Add offers a race; it returns true if the race is new (no active
+// defect with the same hash) and should be filed.
+func (d *Deduper) Add(r Race) bool {
+	d.total++
+	h := r.Hash()
+	if _, ok := d.open[h]; ok {
+		d.open[h]++
+		return false
+	}
+	d.open[h] = 1
+	d.unique++
+	return true
+}
+
+// Resolve marks the defect with hash h fixed; a later identical race
+// will be filed as a fresh defect.
+func (d *Deduper) Resolve(h string) {
+	delete(d.open, h)
+}
+
+// Stats reports (total offered, unique filed, currently open).
+func (d *Deduper) Stats() (total, unique, open int) {
+	return d.total, d.unique, len(d.open)
+}
+
+// SortRaces orders races deterministically (by hash, then sequence),
+// so experiment output is stable across runs.
+func SortRaces(rs []Race) {
+	sort.Slice(rs, func(i, j int) bool {
+		hi, hj := rs[i].Hash(), rs[j].Hash()
+		if hi != hj {
+			return hi < hj
+		}
+		return rs[i].Seq < rs[j].Seq
+	})
+}
+
+// UniqueByHash returns the first representative of each hash, in
+// deterministic order.
+func UniqueByHash(rs []Race) []Race {
+	seen := make(map[string]bool)
+	var out []Race
+	sorted := make([]Race, len(rs))
+	copy(sorted, rs)
+	SortRaces(sorted)
+	for _, r := range sorted {
+		h := r.Hash()
+		if !seen[h] {
+			seen[h] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}

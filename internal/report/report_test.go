@@ -1,0 +1,220 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gorace/internal/stack"
+	"gorace/internal/trace"
+)
+
+func mkAccess(op trace.Op, fn string, line int) Access {
+	return Access{
+		G: 1, GName: "worker", Op: op, Addr: 7,
+		Stack: stack.NewContext(
+			stack.Frame{Func: "main", File: "m.go", Line: 1},
+			stack.Frame{Func: fn, File: "m.go", Line: line},
+		),
+		Label: "x",
+	}
+}
+
+func TestHashIgnoresLineNumbers(t *testing.T) {
+	// §3.3.1 requirement (a): unrelated source edits that shift line
+	// numbers must not change the hash.
+	r1 := Race{First: mkAccess(trace.OpWrite, "P", 10), Second: mkAccess(trace.OpRead, "Q", 20)}
+	r2 := Race{First: mkAccess(trace.OpWrite, "P", 99), Second: mkAccess(trace.OpRead, "Q", 1)}
+	if r1.Hash() != r2.Hash() {
+		t.Fatal("hash changed with line numbers")
+	}
+}
+
+func TestHashOrderInsensitive(t *testing.T) {
+	// §3.3.1 requirement (b): flipping which access was seen first
+	// must not change the hash.
+	a := mkAccess(trace.OpWrite, "P", 1)
+	b := mkAccess(trace.OpRead, "Q", 2)
+	r1 := Race{First: a, Second: b}
+	r2 := Race{First: b, Second: a}
+	if r1.Hash() != r2.Hash() {
+		t.Fatal("hash depends on access order")
+	}
+}
+
+func TestHashDistinguishesDifferentCallChains(t *testing.T) {
+	r1 := Race{First: mkAccess(trace.OpWrite, "P", 1), Second: mkAccess(trace.OpRead, "Q", 2)}
+	r2 := Race{First: mkAccess(trace.OpWrite, "P", 1), Second: mkAccess(trace.OpRead, "R", 2)}
+	if r1.Hash() == r2.Hash() {
+		t.Fatal("distinct call chains collided")
+	}
+}
+
+func TestHashSuppressionLimitation(t *testing.T) {
+	// The paper notes the flip side: races sharing both call chains
+	// but differing only in line numbers hash identically and are
+	// suppressed while one is open. Encode that as a regression test.
+	r1 := Race{First: mkAccess(trace.OpWrite, "P", 5), Second: mkAccess(trace.OpRead, "Q", 6)}
+	r2 := Race{First: mkAccess(trace.OpWrite, "P", 7), Second: mkAccess(trace.OpRead, "Q", 8)}
+	if r1.Hash() != r2.Hash() {
+		t.Fatal("same-chain different-line races should share a hash (by design)")
+	}
+}
+
+func TestDeduperSuppressWhileOpenRefileAfterResolve(t *testing.T) {
+	d := NewDeduper()
+	r := Race{First: mkAccess(trace.OpWrite, "P", 1), Second: mkAccess(trace.OpRead, "Q", 2)}
+	if !d.Add(r) {
+		t.Fatal("first occurrence should file")
+	}
+	if d.Add(r) {
+		t.Fatal("duplicate of open defect should be suppressed")
+	}
+	d.Resolve(r.Hash())
+	if !d.Add(r) {
+		t.Fatal("after resolution, the same race should file a fresh defect")
+	}
+	total, unique, open := d.Stats()
+	if total != 3 || unique != 2 || open != 1 {
+		t.Fatalf("stats = %d/%d/%d", total, unique, open)
+	}
+}
+
+func TestAccessKindRendering(t *testing.T) {
+	cases := map[trace.Op]string{
+		trace.OpRead:        "Read",
+		trace.OpWrite:       "Write",
+		trace.OpAtomicLoad:  "Atomic read",
+		trace.OpAtomicStore: "Atomic write",
+		trace.OpAtomicRMW:   "Atomic write",
+	}
+	for op, want := range cases {
+		if got := (Access{Op: op}).Kind(); got != want {
+			t.Errorf("Kind(%v) = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestStringRendersTSanStyle(t *testing.T) {
+	r := Race{
+		First:    mkAccess(trace.OpWrite, "P", 1),
+		Second:   mkAccess(trace.OpRead, "Q", 2),
+		Detector: "fasttrack-hb",
+	}
+	s := r.String()
+	for _, want := range []string{"WARNING: DATA RACE", "Read at", "Previous write", "P m.go:1", "Q m.go:2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestStringIncludesHeldLocks(t *testing.T) {
+	a := mkAccess(trace.OpWrite, "P", 1)
+	a.Locks = []string{"mu"}
+	r := Race{First: a, Second: mkAccess(trace.OpRead, "Q", 2), Detector: "d"}
+	if !strings.Contains(r.String(), "locks held: mu") {
+		t.Error("held locks not rendered")
+	}
+}
+
+func TestSortRacesDeterministic(t *testing.T) {
+	rs := []Race{
+		{First: mkAccess(trace.OpWrite, "Z", 1), Second: mkAccess(trace.OpRead, "Y", 2), Seq: 5},
+		{First: mkAccess(trace.OpWrite, "A", 1), Second: mkAccess(trace.OpRead, "B", 2), Seq: 9},
+		{First: mkAccess(trace.OpWrite, "A", 3), Second: mkAccess(trace.OpRead, "B", 4), Seq: 2},
+	}
+	SortRaces(rs)
+	if rs[0].Hash() > rs[1].Hash() || rs[1].Hash() > rs[2].Hash() {
+		t.Fatal("not sorted by hash")
+	}
+	// Equal hashes (entries 2 and 3 share chains) must order by Seq.
+	for i := 0; i < len(rs)-1; i++ {
+		if rs[i].Hash() == rs[i+1].Hash() && rs[i].Seq > rs[i+1].Seq {
+			t.Fatal("equal-hash races not ordered by seq")
+		}
+	}
+}
+
+func TestUniqueByHash(t *testing.T) {
+	rs := []Race{
+		{First: mkAccess(trace.OpWrite, "P", 1), Second: mkAccess(trace.OpRead, "Q", 2), Seq: 1},
+		{First: mkAccess(trace.OpWrite, "P", 9), Second: mkAccess(trace.OpRead, "Q", 8), Seq: 2},
+		{First: mkAccess(trace.OpWrite, "X", 1), Second: mkAccess(trace.OpRead, "Y", 2), Seq: 3},
+	}
+	u := UniqueByHash(rs)
+	if len(u) != 2 {
+		t.Fatalf("unique = %d, want 2", len(u))
+	}
+}
+
+func TestVarLabelFallback(t *testing.T) {
+	r := Race{First: Access{Label: "fallback"}, Second: Access{}}
+	if r.Var() != "fallback" {
+		t.Fatalf("Var = %q", r.Var())
+	}
+	r.Second.Label = "primary"
+	if r.Var() != "primary" {
+		t.Fatalf("Var = %q", r.Var())
+	}
+}
+
+// Property: the hash is invariant under line-number perturbation and
+// access swap, for arbitrary function names.
+func TestHashInvarianceProperty(t *testing.T) {
+	f := func(fn1, fn2 string, l1, l2, l3, l4 uint8) bool {
+		if fn1 == "" || fn2 == "" {
+			return true
+		}
+		mk := func(fn string, line int) Access {
+			return Access{Stack: stack.NewContext(stack.Frame{Func: fn, File: "f.go", Line: line})}
+		}
+		base := Race{First: mk(fn1, int(l1)), Second: mk(fn2, int(l2))}
+		perturbed := Race{First: mk(fn2, int(l3)), Second: mk(fn1, int(l4))}
+		return base.Hash() == perturbed.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDedupHash(b *testing.B) {
+	r := Race{First: mkAccess(trace.OpWrite, "P", 1), Second: mkAccess(trace.OpRead, "Q", 2)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Hash()
+	}
+}
+
+func TestWriteJSONShape(t *testing.T) {
+	r := Race{
+		First:    mkAccess(trace.OpWrite, "P", 1),
+		Second:   mkAccess(trace.OpRead, "Q", 2),
+		Detector: "fasttrack-hb",
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []Race{r, r}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["hash"] != r.Hash() {
+		t.Errorf("hash = %v", decoded["hash"])
+	}
+	first, ok := decoded["first"].(map[string]any)
+	if !ok || first["kind"] != "Write" {
+		t.Errorf("first access = %v", decoded["first"])
+	}
+	stackList, ok := first["stack"].([]any)
+	if !ok || len(stackList) != 2 {
+		t.Errorf("stack = %v", first["stack"])
+	}
+}

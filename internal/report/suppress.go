@@ -1,0 +1,83 @@
+package report
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+)
+
+// SuppressionList mirrors ThreadSanitizer's suppression files: each
+// rule names a function (substring match against either call chain),
+// and reports matching any rule are dropped. Large deployments need
+// this valve for races in third-party code that cannot be fixed
+// locally — part of making the §3.3 pipeline livable.
+type SuppressionList struct {
+	rules []suppression
+}
+
+type suppression struct {
+	kind    string // "race" (reserved for future kinds)
+	pattern string
+}
+
+// ParseSuppressions reads rules in TSan's format, one per line:
+//
+//	race:FunctionNameSubstring
+//
+// Blank lines and #-comments are ignored. Unknown kinds are errors.
+func ParseSuppressions(text string) (*SuppressionList, error) {
+	sl := &SuppressionList{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		kind, pattern, ok := strings.Cut(line, ":")
+		if !ok || pattern == "" {
+			return nil, fmt.Errorf("suppressions: line %d: want kind:pattern, got %q", lineNo, line)
+		}
+		if kind != "race" {
+			return nil, fmt.Errorf("suppressions: line %d: unknown kind %q", lineNo, kind)
+		}
+		sl.rules = append(sl.rules, suppression{kind: kind, pattern: pattern})
+	}
+	return sl, sc.Err()
+}
+
+// Len returns the number of rules.
+func (sl *SuppressionList) Len() int { return len(sl.rules) }
+
+// Matches reports whether any rule matches either calling context.
+func (sl *SuppressionList) Matches(r Race) bool {
+	for _, rule := range sl.rules {
+		if stackMatches(r.First, rule.pattern) || stackMatches(r.Second, rule.pattern) {
+			return true
+		}
+	}
+	return false
+}
+
+func stackMatches(a Access, pattern string) bool {
+	for _, f := range a.Stack.Frames() {
+		if strings.Contains(f.Func, pattern) {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply returns the races not matched by the list, and the count
+// suppressed.
+func (sl *SuppressionList) Apply(races []Race) (kept []Race, suppressed int) {
+	for _, r := range races {
+		if sl.Matches(r) {
+			suppressed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	return kept, suppressed
+}

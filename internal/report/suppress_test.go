@@ -1,0 +1,75 @@
+package report
+
+import (
+	"testing"
+
+	"gorace/internal/trace"
+)
+
+func TestParseSuppressions(t *testing.T) {
+	sl, err := ParseSuppressions(`
+# third-party noise
+race:vendorlib.Process
+
+race:legacyCache
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Len() != 2 {
+		t.Fatalf("rules = %d", sl.Len())
+	}
+}
+
+func TestParseSuppressionsErrors(t *testing.T) {
+	if _, err := ParseSuppressions("race:"); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if _, err := ParseSuppressions("deadlock:foo"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := ParseSuppressions("no-colon-here"); err == nil {
+		t.Error("malformed line accepted")
+	}
+}
+
+func TestSuppressionMatching(t *testing.T) {
+	sl, _ := ParseSuppressions("race:vendorlib")
+	vendored := Race{
+		First:  mkAccess(trace.OpWrite, "vendorlib.Process", 1),
+		Second: mkAccess(trace.OpRead, "ourCode", 2),
+	}
+	ours := Race{
+		First:  mkAccess(trace.OpWrite, "ourCode", 1),
+		Second: mkAccess(trace.OpRead, "moreOfOurs", 2),
+	}
+	if !sl.Matches(vendored) {
+		t.Error("vendored race not matched")
+	}
+	if sl.Matches(ours) {
+		t.Error("our race wrongly matched")
+	}
+	kept, suppressed := sl.Apply([]Race{vendored, ours, vendored})
+	if suppressed != 2 || len(kept) != 1 {
+		t.Fatalf("kept %d, suppressed %d", len(kept), suppressed)
+	}
+}
+
+func TestSuppressionMatchesEitherStack(t *testing.T) {
+	sl, _ := ParseSuppressions("race:deepHelper")
+	r := Race{
+		First:  mkAccess(trace.OpWrite, "plain", 1),
+		Second: mkAccess(trace.OpRead, "deepHelper", 2),
+	}
+	if !sl.Matches(r) {
+		t.Error("second-stack match missed")
+	}
+}
+
+func TestEmptyListKeepsEverything(t *testing.T) {
+	sl, _ := ParseSuppressions("")
+	kept, suppressed := sl.Apply([]Race{{First: mkAccess(trace.OpWrite, "a", 1)}})
+	if suppressed != 0 || len(kept) != 1 {
+		t.Fatal("empty list dropped reports")
+	}
+}

@@ -1,0 +1,74 @@
+package sched
+
+import "gorace/internal/trace"
+
+// Atomic models a sync/atomic int64 cell. Atomic operations both
+// synchronize (acquire/release on the cell's sync object, as the Go
+// memory model guarantees for sync/atomic since Go 1.19) and access
+// memory (with the atomic flag set in the shadow cell).
+//
+// The PlainLoad/PlainStore methods model the §4.9.2 "partial atomics"
+// bug: using an atomic write but a plain read (or vice versa) on the
+// same variable. A plain access carries no acquire/release edge and no
+// atomic flag, so it races with concurrent atomic accesses — exactly
+// how ThreadSanitizer treats mixed atomic/plain accesses.
+type Atomic struct {
+	s    *Scheduler
+	id   trace.ObjID
+	addr trace.Addr
+	name string
+	val  int64
+}
+
+// NewAtomic allocates a modeled atomic cell.
+func NewAtomic(g *G, name string) *Atomic {
+	return &Atomic{s: g.s, id: g.s.newObj(), addr: g.s.newAddr(), name: name}
+}
+
+// Addr exposes the shadow cell, for tests and classifiers.
+func (a *Atomic) Addr() trace.Addr { return a.addr }
+
+// Name returns the diagnostic name.
+func (a *Atomic) Name() string { return a.name }
+
+// Load models atomic.LoadInt64.
+func (a *Atomic) Load(g *G) int64 {
+	g.point()
+	a.s.emit(g, trace.Event{Op: trace.OpAcquire, Obj: a.id, Kind: trace.KindAtomic, Label: a.name})
+	a.s.emit(g, trace.Event{Op: trace.OpAtomicLoad, Addr: a.addr, Label: a.name})
+	return a.val
+}
+
+// Store models atomic.StoreInt64.
+func (a *Atomic) Store(g *G, v int64) {
+	g.point()
+	a.s.emit(g, trace.Event{Op: trace.OpAcquire, Obj: a.id, Kind: trace.KindAtomic, Label: a.name})
+	a.s.emit(g, trace.Event{Op: trace.OpAtomicStore, Addr: a.addr, Label: a.name})
+	a.s.emit(g, trace.Event{Op: trace.OpRelease, Obj: a.id, Kind: trace.KindAtomic, Label: a.name})
+	a.val = v
+}
+
+// Add models atomic.AddInt64 and returns the new value.
+func (a *Atomic) Add(g *G, delta int64) int64 {
+	g.point()
+	a.s.emit(g, trace.Event{Op: trace.OpAcquire, Obj: a.id, Kind: trace.KindAtomic, Label: a.name})
+	a.s.emit(g, trace.Event{Op: trace.OpAtomicRMW, Addr: a.addr, Label: a.name})
+	a.s.emit(g, trace.Event{Op: trace.OpRelease, Obj: a.id, Kind: trace.KindAtomic, Label: a.name})
+	a.val += delta
+	return a.val
+}
+
+// PlainLoad models reading the variable without sync/atomic — the
+// "forgot to use atomic on the read side" half of a partial-atomics bug.
+func (a *Atomic) PlainLoad(g *G) int64 {
+	g.point()
+	a.s.emit(g, trace.Event{Op: trace.OpRead, Addr: a.addr, Label: a.name})
+	return a.val
+}
+
+// PlainStore models writing the variable without sync/atomic.
+func (a *Atomic) PlainStore(g *G, v int64) {
+	g.point()
+	a.s.emit(g, trace.Event{Op: trace.OpWrite, Addr: a.addr, Label: a.name})
+	a.val = v
+}

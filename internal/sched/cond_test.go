@@ -1,0 +1,155 @@
+package sched
+
+import (
+	"testing"
+
+	"gorace/internal/trace"
+)
+
+func TestCondSignalWakesOneWaiter(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		var served int
+		res, _ := run(t, Options{Strategy: NewRandom(), Seed: seed}, func(g *G) {
+			mu := NewMutex(g, "mu")
+			cond := NewCond(g, "cond", mu)
+			queue := 0
+			wg := NewWaitGroup(g, "wg")
+			wg.Add(g, 1)
+			g.Go("consumer", func(g *G) {
+				mu.Lock(g)
+				for queue == 0 {
+					cond.Wait(g)
+				}
+				queue--
+				served++
+				mu.Unlock(g)
+				wg.Done(g)
+			})
+			mu.Lock(g)
+			queue++
+			mu.Unlock(g)
+			cond.Signal(g)
+			wg.Wait(g)
+		})
+		if served != 1 {
+			t.Fatalf("seed %d: served = %d", seed, served)
+		}
+		if res.Deadlocked() || len(res.Failures) > 0 {
+			t.Fatalf("seed %d: %+v", seed, res)
+		}
+	}
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		woken := 0
+		res, _ := run(t, Options{Strategy: NewRandom(), Seed: seed}, func(g *G) {
+			mu := NewMutex(g, "mu")
+			cond := NewCond(g, "cond", mu)
+			ready := false
+			wg := NewWaitGroup(g, "wg")
+			for i := 0; i < 3; i++ {
+				wg.Add(g, 1)
+				g.Go("waiter", func(g *G) {
+					mu.Lock(g)
+					for !ready {
+						cond.Wait(g)
+					}
+					woken++
+					mu.Unlock(g)
+					wg.Done(g)
+				})
+			}
+			mu.Lock(g)
+			ready = true
+			mu.Unlock(g)
+			cond.Broadcast(g)
+			// Late waiters that never parked still see ready==true.
+			wg.Wait(g)
+		})
+		if woken != 3 {
+			t.Fatalf("seed %d: woken = %d", seed, woken)
+		}
+		if res.Deadlocked() || len(res.Failures) > 0 {
+			t.Fatalf("seed %d: %+v", seed, res)
+		}
+	}
+}
+
+func TestCondWaitWithoutLockFails(t *testing.T) {
+	res, _ := run(t, Options{}, func(g *G) {
+		mu := NewMutex(g, "mu")
+		cond := NewCond(g, "cond", mu)
+		cond.Wait(g)
+	})
+	if len(res.Failures) != 1 {
+		t.Fatalf("failures = %v", res.Failures)
+	}
+}
+
+func TestCondSignalNoWaitersIsNoop(t *testing.T) {
+	res, _ := run(t, Options{}, func(g *G) {
+		mu := NewMutex(g, "mu")
+		cond := NewCond(g, "cond", mu)
+		cond.Signal(g)
+		cond.Broadcast(g)
+		if cond.WaiterCount() != 0 {
+			t.Error("phantom waiters")
+		}
+	})
+	if len(res.Failures) != 0 || res.Deadlocked() {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestCondHBOrdersThroughMutex(t *testing.T) {
+	// Data written before Signal under the lock must be ordered with
+	// the waiter's read after Wait returns — through the mutex edges.
+	// Verified by running the detector-equivalent check: record the
+	// trace and assert release/acquire pairs bracket the wait.
+	res, rec := run(t, Options{Strategy: NewRoundRobin()}, func(g *G) {
+		mu := NewMutex(g, "mu")
+		cond := NewCond(g, "cond", mu)
+		data := NewVar[int](g, "data")
+		ready := false
+		wg := NewWaitGroup(g, "wg")
+		wg.Add(g, 1)
+		g.Go("waiter", func(g *G) {
+			mu.Lock(g)
+			for !ready {
+				cond.Wait(g)
+			}
+			data.Load(g)
+			mu.Unlock(g)
+			wg.Done(g)
+		})
+		// Let the waiter park inside Wait before signaling, so the
+		// release/park/re-acquire path actually executes.
+		for cond.WaiterCount() == 0 {
+			g.Yield()
+		}
+		mu.Lock(g)
+		ready = true
+		data.Store(g, 1)
+		mu.Unlock(g)
+		cond.Signal(g)
+		wg.Wait(g)
+	})
+	if res.Deadlocked() {
+		t.Fatalf("deadlock: %+v", res.Leaked)
+	}
+	var acquires, releases int
+	for _, ev := range rec.Events {
+		if ev.Kind == trace.KindMutex {
+			switch ev.Op {
+			case trace.OpAcquire:
+				acquires++
+			case trace.OpRelease:
+				releases++
+			}
+		}
+	}
+	if acquires != releases || acquires < 3 {
+		t.Fatalf("unbalanced mutex edges: %d acquires, %d releases", acquires, releases)
+	}
+}

@@ -1,0 +1,87 @@
+package sched
+
+// Context models context.Context as the §4.6 patterns use it:
+// "Contexts in Go carry deadlines, cancelation signals, and other
+// request-scoped values across API boundaries... This is a common
+// pattern in microservices where timelines are set for tasks."
+//
+// The model provides the cancellation half: Done() is a channel that
+// closes on cancel, Err() reports the cancellation, and WithTimeout
+// schedules an asynchronous canceller (a modeled goroutine that
+// cancels after a given number of scheduling points — logical time,
+// since the modeled runtime has no wall clock).
+type Context struct {
+	s      *Scheduler
+	name   string
+	done   *Chan[int]
+	err    string
+	parent *Context
+}
+
+// Background returns a root context that is never cancelled.
+func Background(g *G) *Context {
+	return &Context{s: g.s, name: "background", done: NewChan[int](g, "ctx.bg.Done", 0)}
+}
+
+// WithCancel derives a cancellable context; cancel is idempotent.
+func (c *Context) WithCancel(g *G, name string) (*Context, func(*G)) {
+	child := &Context{
+		s: c.s, name: name, parent: c,
+		done: NewChan[int](g, "ctx."+name+".Done", 0),
+	}
+	cancelled := false
+	cancel := func(g *G) {
+		if cancelled {
+			return
+		}
+		cancelled = true
+		child.errIfUnset("context canceled")
+		child.done.Close(g)
+	}
+	return child, cancel
+}
+
+// WithTimeout derives a context that cancels itself after `points`
+// scheduling points of logical delay, via an asynchronous timer
+// goroutine — the modeled analogue of a deadline firing.
+func (c *Context) WithTimeout(g *G, name string, points int) *Context {
+	child, cancel := c.WithCancel(g, name)
+	child.err = "" // set at fire time
+	g.Go("ctx."+name+".timer", func(g *G) {
+		for i := 0; i < points; i++ {
+			g.Yield()
+		}
+		child.errIfUnset("context deadline exceeded")
+		cancel(g)
+	})
+	return child
+}
+
+func (c *Context) errIfUnset(msg string) {
+	if c.err == "" {
+		c.err = msg
+	}
+}
+
+// Done returns the cancellation channel, for use in Select arms.
+func (c *Context) Done() *Chan[int] { return c.done }
+
+// Err returns the cancellation cause, empty while the context lives.
+// Reading Err is not itself an instrumented access (context.Context
+// implementations synchronize internally).
+func (c *Context) Err(g *G) string {
+	g.point()
+	return c.err
+}
+
+// OnDone builds a Select arm that fires when the context is cancelled.
+func (c *Context) OnDone(fn func()) SelectCase {
+	return OnRecv(c.done, func(int, bool) {
+		if fn != nil {
+			fn()
+		}
+	})
+}
+
+// Name returns the diagnostic name.
+func (c *Context) Name() string { return c.name }

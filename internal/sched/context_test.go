@@ -1,0 +1,87 @@
+package sched
+
+import "testing"
+
+func TestContextCancelClosesDone(t *testing.T) {
+	var errMsg string
+	res, _ := run(t, Options{Strategy: NewRandom(), Seed: 2}, func(g *G) {
+		ctx, cancel := Background(g).WithCancel(g, "req")
+		g.Go("canceller", func(g *G) {
+			cancel(g)
+		})
+		ctx.Done().Recv(g) // unblocks on cancel
+		errMsg = ctx.Err(g)
+	})
+	if errMsg != "context canceled" {
+		t.Fatalf("err = %q", errMsg)
+	}
+	if res.Deadlocked() || len(res.Failures) > 0 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestContextCancelIdempotent(t *testing.T) {
+	res, _ := run(t, Options{}, func(g *G) {
+		_, cancel := Background(g).WithCancel(g, "req")
+		cancel(g)
+		cancel(g) // second cancel must not double-close
+	})
+	if len(res.Failures) != 0 {
+		t.Fatalf("failures: %v", res.Failures)
+	}
+}
+
+func TestContextTimeoutFires(t *testing.T) {
+	var errMsg string
+	res, _ := run(t, Options{Strategy: NewRandom(), Seed: 5}, func(g *G) {
+		ctx := Background(g).WithTimeout(g, "rpc", 3)
+		ctx.Done().Recv(g)
+		errMsg = ctx.Err(g)
+	})
+	if errMsg != "context deadline exceeded" {
+		t.Fatalf("err = %q", errMsg)
+	}
+	if res.Deadlocked() {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestContextInSelect(t *testing.T) {
+	// The Listing 9 shape with the modeled Context type: the select
+	// takes either the work channel or ctx.Done.
+	for seed := int64(0); seed < 20; seed++ {
+		picked := -1
+		res, _ := run(t, Options{Strategy: NewRandom(), Seed: seed}, func(g *G) {
+			ctx := Background(g).WithTimeout(g, "rpc", 2)
+			work := NewChan[int](g, "work", 1)
+			g.Go("worker", func(g *G) {
+				work.Send(g, 1) // buffered: never leaks
+			})
+			picked = g.Select(
+				OnRecv(work, nil),
+				ctx.OnDone(nil),
+			)
+		})
+		if picked != 0 && picked != 1 {
+			t.Fatalf("seed %d: picked %d", seed, picked)
+		}
+		if res.Deadlocked() {
+			t.Fatalf("seed %d: %+v", seed, res)
+		}
+	}
+}
+
+func TestBackgroundNeverDone(t *testing.T) {
+	res, _ := run(t, Options{}, func(g *G) {
+		ctx := Background(g)
+		if ctx.Err(g) != "" {
+			t.Error("background context has an error")
+		}
+		g.Go("stuck", func(g *G) {
+			ctx.Done().Recv(g) // blocks forever
+		})
+	})
+	if !res.Deadlocked() {
+		t.Fatal("waiting on background Done should leak")
+	}
+}

@@ -1,0 +1,368 @@
+// Package sched is the modeled concurrency runtime on which the race
+// pattern corpus executes.
+//
+// Real Go schedules goroutines preemptively and non-deterministically,
+// which is exactly why the paper's dynamic race detection is flaky
+// (§3.2.1). This package replaces the real scheduler with a cooperative,
+// deterministic one: modeled goroutines (G) run one at a time and hand
+// control back at every instrumented operation (memory access or
+// synchronization op). A pluggable Strategy decides which runnable
+// goroutine proceeds at each step, so a single program can be executed
+// under round-robin, seeded-random, PCT, delay-injection, or replayed
+// schedules — making race manifestation measurable and repeatable.
+//
+// Every operation on the modeled primitives (Var, Mutex, RWMutex, Chan,
+// WaitGroup, Atomic, Map, Slice) emits trace.Events to the registered
+// listeners; the detectors in internal/detector consume that stream.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gorace/internal/stack"
+	"gorace/internal/trace"
+	"gorace/internal/vclock"
+)
+
+type gstate uint8
+
+const (
+	gReady gstate = iota
+	gRunning
+	gBlocked
+	gDone
+)
+
+// errAborted is panicked inside a modeled goroutine to unwind it when
+// the scheduler tears the run down (deadlock, leak, or step budget).
+type abortSignal struct{}
+
+// G is a modeled goroutine. All primitive operations take the acting G
+// as their first argument; a G must only be used from its own body
+// function.
+type G struct {
+	id        vclock.TID
+	name      string
+	s         *Scheduler
+	stk       *stack.Stack
+	state     gstate
+	resume    chan resumeMsg
+	blockedOn string
+}
+
+type resumeMsg struct{ abort bool }
+
+// ID returns the goroutine's TID (dense, assigned in spawn order).
+func (g *G) ID() vclock.TID { return g.id }
+
+// Name returns the goroutine's diagnostic name.
+func (g *G) Name() string { return g.name }
+
+// LeakInfo describes a goroutine still blocked when the program ended,
+// e.g. the forever-blocked channel send of Listing 9.
+type LeakInfo struct {
+	G         vclock.TID
+	Name      string
+	BlockedOn string
+	Stack     stack.Context
+}
+
+// Result summarizes one modeled execution.
+type Result struct {
+	Steps          int        // scheduling decisions taken
+	Goroutines     int        // total modeled goroutines spawned
+	Events         uint64     // events emitted
+	Failures       []string   // model-level failures (panics, unlock of unlocked mutex, ...)
+	Leaked         []LeakInfo // goroutines blocked at program end
+	BudgetExceeded bool       // the step budget was hit before quiescence
+}
+
+// Deadlocked reports whether the run ended with blocked goroutines.
+func (r *Result) Deadlocked() bool { return len(r.Leaked) > 0 }
+
+// Options configures a modeled run.
+type Options struct {
+	// Strategy picks the next runnable goroutine. Defaults to
+	// RoundRobin. Strategies are Reset with Seed at run start.
+	Strategy Strategy
+	// Seed drives all strategy randomness; same seed, same schedule.
+	Seed int64
+	// MaxSteps bounds the run (default 1 << 20 scheduling points).
+	MaxSteps int
+	// Listeners observe the event stream (detectors, recorders).
+	Listeners []trace.Listener
+}
+
+// Scheduler owns a single modeled execution.
+type Scheduler struct {
+	gs        []*G
+	runnable  []*G
+	listeners trace.Multi
+	strategy  Strategy
+	rng       *rand.Rand
+	parked    chan struct{}
+	seq       uint64
+	steps     int
+	maxSteps  int
+	nextAddr  trace.Addr
+	nextObj   trace.ObjID
+	result    Result
+	// pollers are goroutines blocked in a select with no ready arm;
+	// they are woken (to re-poll) on any channel state change.
+	pollers []*G
+}
+
+// Run executes main as the program's main goroutine under the given
+// options and returns the run summary. Detection results live in the
+// listeners passed via Options.
+func Run(main func(g *G), opts Options) *Result {
+	s := newScheduler(opts)
+	s.spawn(nil, "main", main)
+	s.loop()
+	s.result.Steps = s.steps
+	s.result.Goroutines = len(s.gs)
+	s.result.Events = s.seq
+	r := s.result
+	return &r
+}
+
+func newScheduler(opts Options) *Scheduler {
+	st := opts.Strategy
+	if st == nil {
+		st = NewRoundRobin()
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 1 << 20
+	}
+	s := &Scheduler{
+		listeners: trace.Multi(opts.Listeners),
+		strategy:  st,
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+		parked:    make(chan struct{}),
+		maxSteps:  maxSteps,
+		nextAddr:  1,
+		nextObj:   1,
+	}
+	st.Reset(opts.Seed)
+	return s
+}
+
+// spawn creates a modeled goroutine. parent is nil only for main.
+func (s *Scheduler) spawn(parent *G, name string, fn func(*G)) *G {
+	g := &G{
+		id:     vclock.TID(len(s.gs)),
+		name:   name,
+		s:      s,
+		stk:    stack.NewStack(),
+		state:  gReady,
+		resume: make(chan resumeMsg),
+	}
+	s.gs = append(s.gs, g)
+	s.runnable = append(s.runnable, g)
+	s.strategy.OnSpawn(g.id, s.rng)
+	if parent != nil {
+		s.emit(parent, trace.Event{Op: trace.OpFork, Child: g.id})
+	}
+	go s.body(g, fn)
+	return g
+}
+
+// body is the OS-goroutine trampoline for a modeled goroutine.
+func (s *Scheduler) body(g *G, fn func(*G)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, aborted := r.(abortSignal); !aborted {
+				s.result.Failures = append(s.result.Failures,
+					fmt.Sprintf("goroutine %q panicked: %v", g.name, r))
+			}
+		}
+		g.state = gDone
+		s.removeRunnable(g)
+		s.emit(g, trace.Event{Op: trace.OpGoEnd})
+		s.parked <- struct{}{}
+	}()
+	msg := <-g.resume
+	if msg.abort {
+		panic(abortSignal{})
+	}
+	fn(g)
+}
+
+// loop is the scheduling loop; it runs on the caller's goroutine and
+// holds the token whenever no modeled goroutine is executing.
+func (s *Scheduler) loop() {
+	for {
+		if len(s.runnable) == 0 {
+			if s.liveCount() == 0 {
+				return // quiescent: all goroutines finished
+			}
+			s.recordLeaks()
+			s.abortAll()
+			return
+		}
+		if s.steps >= s.maxSteps {
+			s.result.BudgetExceeded = true
+			s.abortAll()
+			return
+		}
+		idx := s.strategy.Pick(s.runnable, s.steps, s.rng)
+		if idx < 0 || idx >= len(s.runnable) {
+			idx = 0
+		}
+		g := s.runnable[idx]
+		g.state = gRunning
+		s.steps++
+		g.resume <- resumeMsg{}
+		<-s.parked
+		if g.state == gRunning {
+			g.state = gReady
+		}
+	}
+}
+
+func (s *Scheduler) liveCount() int {
+	n := 0
+	for _, g := range s.gs {
+		if g.state != gDone {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Scheduler) recordLeaks() {
+	for _, g := range s.gs {
+		if g.state == gBlocked {
+			s.result.Leaked = append(s.result.Leaked, LeakInfo{
+				G: g.id, Name: g.name, BlockedOn: g.blockedOn, Stack: g.stk.Capture(),
+			})
+			s.emit(g, trace.Event{Op: trace.OpGoLeak})
+		}
+	}
+}
+
+// abortAll unwinds every parked goroutine (runnable or blocked).
+func (s *Scheduler) abortAll() {
+	for _, g := range s.gs {
+		if g.state == gDone || g.state == gRunning {
+			continue
+		}
+		g.resume <- resumeMsg{abort: true}
+		<-s.parked
+	}
+}
+
+func (s *Scheduler) removeRunnable(g *G) {
+	for i, r := range s.runnable {
+		if r == g {
+			s.runnable = append(s.runnable[:i], s.runnable[i+1:]...)
+			return
+		}
+	}
+}
+
+// emit delivers an event attributed to g, filling sequence and stack.
+func (s *Scheduler) emit(g *G, ev trace.Event) {
+	s.seq++
+	ev.Seq = s.seq
+	ev.G = g.id
+	ev.GName = g.name
+	ev.Stack = g.stk.Capture()
+	s.listeners.HandleEvent(ev)
+}
+
+// newAddr allocates a fresh shadow memory cell.
+func (s *Scheduler) newAddr() trace.Addr {
+	a := s.nextAddr
+	s.nextAddr++
+	return a
+}
+
+// newObj allocates a fresh synchronization object identity.
+func (s *Scheduler) newObj() trace.ObjID {
+	o := s.nextObj
+	s.nextObj++
+	return o
+}
+
+// point is a scheduling point: the goroutine offers the scheduler the
+// chance to run someone else before its next operation executes.
+func (g *G) point() {
+	g.s.parked <- struct{}{}
+	msg := <-g.resume
+	if msg.abort {
+		panic(abortSignal{})
+	}
+}
+
+// block parks the goroutine until another goroutine wakes it.
+func (g *G) block(reason string) {
+	g.state = gBlocked
+	g.blockedOn = reason
+	g.s.removeRunnable(g)
+	g.s.parked <- struct{}{}
+	msg := <-g.resume
+	if msg.abort {
+		panic(abortSignal{})
+	}
+}
+
+// wake moves a blocked goroutine back to the runnable set.
+func (s *Scheduler) wake(g *G) {
+	if g.state == gBlocked {
+		g.state = gReady
+		g.blockedOn = ""
+		s.runnable = append(s.runnable, g)
+	}
+}
+
+// wakePollers re-arms every goroutine blocked in a select poll.
+func (s *Scheduler) wakePollers() {
+	if len(s.pollers) == 0 {
+		return
+	}
+	ps := s.pollers
+	s.pollers = nil
+	for _, g := range ps {
+		s.wake(g)
+	}
+}
+
+// fail records a model-level failure (the modeled program misused a
+// primitive in a way real Go would panic on or forbid).
+func (s *Scheduler) fail(g *G, format string, args ...any) {
+	s.result.Failures = append(s.result.Failures,
+		fmt.Sprintf("g%d(%s): %s", g.id, g.name, fmt.Sprintf(format, args...)))
+}
+
+// --- G program-facing helpers ---
+
+// Go launches fn as a new modeled goroutine, mirroring the `go` keyword.
+// The fork establishes the parent→child happens-before edge.
+func (g *G) Go(name string, fn func(*G)) {
+	g.point()
+	g.s.spawn(g, name, fn)
+}
+
+// Push enters a named function frame on the modeled call stack.
+func (g *G) Push(fn, file string, line int) { g.stk.Push(fn, file, line) }
+
+// Pop leaves the innermost frame.
+func (g *G) Pop() { g.stk.Pop() }
+
+// Line updates the current source line, so subsequent events carry it.
+func (g *G) Line(line int) { g.stk.SetLine(line) }
+
+// Call runs body inside a pushed frame, popping it on the way out
+// (including on abort-unwind).
+func (g *G) Call(fn, file string, line int, body func()) {
+	g.Push(fn, file, line)
+	defer g.Pop()
+	body()
+}
+
+// Yield voluntarily inserts a scheduling point with no event, useful to
+// model pure computation between instrumented operations.
+func (g *G) Yield() { g.point() }

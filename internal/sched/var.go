@@ -1,0 +1,59 @@
+package sched
+
+import "gorace/internal/trace"
+
+// Var is an instrumented scalar variable: every Load/Store is a
+// scheduling point and emits a read/write event on the variable's
+// shadow cell. Var models ordinary Go variables shared across
+// goroutines — including closure-captured free variables, the paper's
+// Observation 3 (transparent capture-by-reference).
+type Var[T any] struct {
+	s    *Scheduler
+	addr trace.Addr
+	name string
+	val  T
+}
+
+// NewVar allocates an instrumented variable. The name labels events
+// and race reports ("err", "result", "job").
+func NewVar[T any](g *G, name string) *Var[T] {
+	return &Var[T]{s: g.s, addr: g.s.newAddr(), name: name}
+}
+
+// NewVarOf allocates an instrumented variable with an initial value,
+// without emitting a write (declaration-time initialization is not an
+// access visible to other goroutines yet).
+func NewVarOf[T any](g *G, name string, init T) *Var[T] {
+	v := NewVar[T](g, name)
+	v.val = init
+	return v
+}
+
+// Addr exposes the shadow cell, for tests and classifiers.
+func (v *Var[T]) Addr() trace.Addr { return v.addr }
+
+// Name returns the diagnostic name.
+func (v *Var[T]) Name() string { return v.name }
+
+// Load reads the variable.
+func (v *Var[T]) Load(g *G) T {
+	g.point()
+	g.s.emit(g, trace.Event{Op: trace.OpRead, Addr: v.addr, Label: v.name})
+	return v.val
+}
+
+// Store writes the variable.
+func (v *Var[T]) Store(g *G, val T) {
+	g.point()
+	g.s.emit(g, trace.Event{Op: trace.OpWrite, Addr: v.addr, Label: v.name})
+	v.val = val
+}
+
+// Update applies f to the current value and stores the result. It is a
+// read-modify-write of two accesses (one read, one write) with a
+// scheduling point between them, so it is every bit as racy as
+// `x = f(x)` in real Go.
+func (v *Var[T]) Update(g *G, f func(T) T) {
+	old := v.Load(g)
+	v.Store(g, f(old))
+}

@@ -1,0 +1,64 @@
+package sched
+
+import "gorace/internal/trace"
+
+// WaitGroup models sync.WaitGroup with the flexible (and race-prone)
+// dynamic registration the paper's Observation 8 describes: Add may
+// run at any time, so a Wait that executes before the workers' Add
+// calls unblocks prematurely — Wait only acquires the completion
+// clocks of Done calls that have already been released, leaving later
+// writes unordered with the waiter's reads (Listing 10).
+type WaitGroup struct {
+	s     *Scheduler
+	id    trace.ObjID
+	name  string
+	count int
+}
+
+// NewWaitGroup allocates a modeled WaitGroup.
+func NewWaitGroup(g *G, name string) *WaitGroup {
+	return &WaitGroup{s: g.s, id: g.s.newObj(), name: name}
+}
+
+// Name returns the diagnostic name.
+func (w *WaitGroup) Name() string { return w.name }
+
+// Add registers delta additional participants.
+func (w *WaitGroup) Add(g *G, delta int) {
+	g.point()
+	w.count += delta
+	if w.count < 0 {
+		w.s.fail(g, "negative WaitGroup %s counter", w.name)
+		w.count = 0
+	}
+	if w.count == 0 {
+		w.s.wakeAllBlocked()
+	}
+}
+
+// Done marks one participant complete, releasing its clock into the
+// group so Wait observes everything the participant did.
+func (w *WaitGroup) Done(g *G) {
+	g.point()
+	w.s.emit(g, trace.Event{Op: trace.OpRelease, Obj: w.id, Kind: trace.KindWG, Label: w.name})
+	w.count--
+	if w.count < 0 {
+		w.s.fail(g, "negative WaitGroup %s counter", w.name)
+		w.count = 0
+	}
+	if w.count == 0 {
+		w.s.wakeAllBlocked()
+	}
+}
+
+// Wait blocks until the counter is zero, then acquires the group's
+// accumulated completion clock. If the counter is already zero —
+// perhaps because Add was misplaced inside the goroutines — Wait
+// returns immediately, having synchronized with nobody.
+func (w *WaitGroup) Wait(g *G) {
+	g.point()
+	for w.count > 0 {
+		g.block("waitgroup " + w.name)
+	}
+	w.s.emit(g, trace.Event{Op: trace.OpAcquire, Obj: w.id, Kind: trace.KindWG, Label: w.name})
+}

@@ -1,0 +1,160 @@
+package stack
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopDepth(t *testing.T) {
+	s := NewStack()
+	if s.Depth() != 0 {
+		t.Fatal("new stack not empty")
+	}
+	s.Push("main", "main.go", 1)
+	s.Push("worker", "main.go", 10)
+	if s.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", s.Depth())
+	}
+	s.Pop()
+	if s.Depth() != 1 {
+		t.Fatalf("depth = %d, want 1", s.Depth())
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty stack did not panic")
+		}
+	}()
+	NewStack().Pop()
+}
+
+func TestCaptureSnapshotIsImmutable(t *testing.T) {
+	s := NewStack()
+	s.Push("a", "f.go", 1)
+	c := s.Capture()
+	s.Push("b", "f.go", 2)
+	s.SetLine(3)
+	if c.Depth() != 1 || c.Leaf().Func != "a" {
+		t.Fatalf("earlier capture changed: %v", c.Frames())
+	}
+}
+
+func TestCaptureCaching(t *testing.T) {
+	s := NewStack()
+	s.Push("a", "f.go", 1)
+	c1 := s.Capture()
+	c2 := s.Capture()
+	if &c1.frames[0] != &c2.frames[0] {
+		t.Error("repeated capture without mutation should reuse the snapshot")
+	}
+	s.SetLine(2)
+	c3 := s.Capture()
+	if c3.Leaf().Line != 2 {
+		t.Errorf("capture after SetLine has line %d", c3.Leaf().Line)
+	}
+	if c1.Leaf().Line != 1 {
+		t.Error("old capture mutated by SetLine")
+	}
+}
+
+func TestSetLineOnEmptyIsNoop(t *testing.T) {
+	s := NewStack()
+	s.SetLine(42) // must not panic
+	if s.Depth() != 0 {
+		t.Fatal("SetLine changed depth")
+	}
+}
+
+func TestRootAndLeaf(t *testing.T) {
+	c := NewContext(
+		Frame{Func: "root", File: "r.go", Line: 1},
+		Frame{Func: "mid", File: "m.go", Line: 2},
+		Frame{Func: "leaf", File: "l.go", Line: 3},
+	)
+	if c.Root().Func != "root" || c.Leaf().Func != "leaf" {
+		t.Fatalf("root/leaf = %v / %v", c.Root(), c.Leaf())
+	}
+	var empty Context
+	if empty.Root() != (Frame{}) || empty.Leaf() != (Frame{}) {
+		t.Fatal("empty context root/leaf should be zero frames")
+	}
+}
+
+func TestKeyIgnoresLineNumbers(t *testing.T) {
+	a := NewContext(Frame{Func: "P", Line: 10}, Frame{Func: "Q", Line: 20})
+	b := NewContext(Frame{Func: "P", Line: 99}, Frame{Func: "Q", Line: 7})
+	if a.Key() != b.Key() {
+		t.Fatalf("Key differs on line-number change: %q vs %q", a.Key(), b.Key())
+	}
+	if a.Key() != "P->Q" {
+		t.Fatalf("Key = %q", a.Key())
+	}
+}
+
+func TestStringLeafFirst(t *testing.T) {
+	c := NewContext(Frame{Func: "outer", File: "o.go", Line: 1}, Frame{Func: "inner", File: "i.go", Line: 2})
+	s := c.String()
+	if !strings.Contains(s, "inner") || !strings.Contains(s, "outer") {
+		t.Fatalf("String = %q", s)
+	}
+	if strings.Index(s, "inner") > strings.Index(s, "outer") {
+		t.Error("String should print the leaf frame first")
+	}
+}
+
+func TestFrameString(t *testing.T) {
+	f := Frame{Func: "Foo", File: "foo.go", Line: 3}
+	if f.String() != "Foo foo.go:3" {
+		t.Fatalf("Frame.String = %q", f.String())
+	}
+	if (Frame{Func: "Bare"}).String() != "Bare" {
+		t.Fatal("file-less frame should render the name only")
+	}
+}
+
+// Property: Capture after a sequence of pushes preserves order and depth.
+func TestCaptureReflectsPushesProperty(t *testing.T) {
+	f := func(names []string) bool {
+		s := NewStack()
+		for i, n := range names {
+			s.Push(n, "f.go", i)
+		}
+		c := s.Capture()
+		if c.Depth() != len(names) {
+			return false
+		}
+		for i, fr := range c.Frames() {
+			if fr.Func != names[i] || fr.Line != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkCaptureCached(b *testing.B) {
+	s := NewStack()
+	s.Push("a", "f.go", 1)
+	s.Push("b", "f.go", 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Capture()
+	}
+}
+
+func BenchmarkCaptureAfterSetLine(b *testing.B) {
+	s := NewStack()
+	s.Push("a", "f.go", 1)
+	s.Push("b", "f.go", 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.SetLine(i & 7)
+		_ = s.Capture()
+	}
+}

@@ -1,0 +1,167 @@
+// Package staticcount counts concurrency-related constructs in source
+// code, reproducing the methodology behind Table 1 ("As a rough
+// approximation of the use of concurrency, we counted the number of
+// concurrency creation constructs and synchronization constructs").
+//
+// Go sources are counted precisely on the AST (go statements, channel
+// operations, Lock/Unlock/RLock/RUnlock calls, WaitGroup mentions, map
+// types); Java sources are counted with the same kind of coarse
+// text/regex matching the paper describes (".start()", "synchronized",
+// lock()/unlock(), acquire()/release(), CyclicBarrier/CountDownLatch/
+// Phaser), since no Java parser is available in the Go stdlib — the
+// paper itself calls its look-up "coarse-grained and imperfect".
+package staticcount
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// GoCounts are the Table 1 construct tallies for Go code.
+type GoCounts struct {
+	Lines          int
+	GoStatements   int // concurrency creation: `go f()`
+	LockUnlock     int // Lock() + Unlock() calls
+	RLockRUnlock   int // RLock() + RUnlock() calls
+	ChanOps        int // channel sends and receives
+	WaitGroupUses  int // sync.WaitGroup mentions (type + Add/Done/Wait)
+	MapConstructs  int // map type expressions and literals
+	ParseErrors    int
+	FilesProcessed int
+}
+
+// PointToPoint is the Table 1 "point-to-point communication" total.
+func (c GoCounts) PointToPoint() int { return c.LockUnlock + c.RLockRUnlock + c.ChanOps }
+
+// CountGoSource counts constructs in one Go source file.
+func CountGoSource(filename, src string) (GoCounts, error) {
+	var c GoCounts
+	c.Lines = strings.Count(src, "\n") + 1
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, 0)
+	if err != nil {
+		c.ParseErrors++
+		return c, err
+	}
+	c.FilesProcessed = 1
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			c.GoStatements++
+		case *ast.SendStmt:
+			c.ChanOps++
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				c.ChanOps++ // receive expression
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Lock", "Unlock":
+					c.LockUnlock++
+				case "RLock", "RUnlock":
+					c.RLockRUnlock++
+				case "Add", "Done", "Wait":
+					if isWaitGroupRecv(sel.X) {
+						c.WaitGroupUses++
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			// sync.WaitGroup type mentions.
+			if id, ok := x.X.(*ast.Ident); ok && id.Name == "sync" && x.Sel.Name == "WaitGroup" {
+				c.WaitGroupUses++
+			}
+		case *ast.MapType:
+			c.MapConstructs++
+		}
+		return true
+	})
+	return c, nil
+}
+
+// isWaitGroupRecv applies the coarse variable-name heuristic the
+// paper's regex-based lookup implies: receivers named like WaitGroups.
+func isWaitGroupRecv(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	n := strings.ToLower(id.Name)
+	return n == "wg" || strings.Contains(n, "waitgroup") || strings.HasSuffix(n, "wg")
+}
+
+// Add accumulates other into c.
+func (c *GoCounts) Add(o GoCounts) {
+	c.Lines += o.Lines
+	c.GoStatements += o.GoStatements
+	c.LockUnlock += o.LockUnlock
+	c.RLockRUnlock += o.RLockRUnlock
+	c.ChanOps += o.ChanOps
+	c.WaitGroupUses += o.WaitGroupUses
+	c.MapConstructs += o.MapConstructs
+	c.ParseErrors += o.ParseErrors
+	c.FilesProcessed += o.FilesProcessed
+}
+
+// JavaCounts are the Table 1 construct tallies for Java code.
+type JavaCounts struct {
+	Lines          int
+	ThreadStarts   int // `.start(` — concurrency creation
+	Synchronized   int // synchronized blocks/methods
+	AcquireRelease int // semaphore acquire()/release()
+	LockUnlock     int // lock()/unlock() calls
+	GroupSync      int // CyclicBarrier, CountDownLatch, Phaser
+	MapConstructs  int // Map/HashMap/ConcurrentHashMap mentions
+	FilesProcessed int
+}
+
+// PointToPoint is the Table 1 "point-to-point communication" total.
+func (c JavaCounts) PointToPoint() int { return c.Synchronized + c.AcquireRelease + c.LockUnlock }
+
+var (
+	reStart     = regexp.MustCompile(`\.start\s*\(`)
+	reSync      = regexp.MustCompile(`\bsynchronized\b`)
+	reAcqRel    = regexp.MustCompile(`\.(acquire|release)\s*\(`)
+	reLockUnl   = regexp.MustCompile(`\.(lock|unlock)\s*\(`)
+	reGroupSync = regexp.MustCompile(`\b(CyclicBarrier|CountDownLatch|Phaser)\b`)
+	reJavaMap   = regexp.MustCompile(`\b(HashMap|ConcurrentHashMap|TreeMap|LinkedHashMap|Map)\s*<`)
+)
+
+// CountJavaSource counts constructs in one Java source file using the
+// paper's regex-style lookup.
+func CountJavaSource(src string) JavaCounts {
+	return JavaCounts{
+		Lines:          strings.Count(src, "\n") + 1,
+		ThreadStarts:   len(reStart.FindAllString(src, -1)),
+		Synchronized:   len(reSync.FindAllString(src, -1)),
+		AcquireRelease: len(reAcqRel.FindAllString(src, -1)),
+		LockUnlock:     len(reLockUnl.FindAllString(src, -1)),
+		GroupSync:      len(reGroupSync.FindAllString(src, -1)),
+		MapConstructs:  len(reJavaMap.FindAllString(src, -1)),
+		FilesProcessed: 1,
+	}
+}
+
+// Add accumulates other into c.
+func (c *JavaCounts) Add(o JavaCounts) {
+	c.Lines += o.Lines
+	c.ThreadStarts += o.ThreadStarts
+	c.Synchronized += o.Synchronized
+	c.AcquireRelease += o.AcquireRelease
+	c.LockUnlock += o.LockUnlock
+	c.GroupSync += o.GroupSync
+	c.MapConstructs += o.MapConstructs
+	c.FilesProcessed += o.FilesProcessed
+}
+
+// PerMLoC normalizes a count to per-million-lines.
+func PerMLoC(count, lines int) float64 {
+	if lines == 0 {
+		return 0
+	}
+	return float64(count) / (float64(lines) / 1e6)
+}

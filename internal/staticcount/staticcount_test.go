@@ -1,0 +1,149 @@
+package staticcount
+
+import "testing"
+
+const goSample = `package demo
+
+import "sync"
+
+var mu sync.Mutex
+var wg sync.WaitGroup
+
+func produce(ch chan int) {
+	go worker()
+	go func() {
+		ch <- 1
+	}()
+	v := <-ch
+	_ = v
+}
+
+func worker() {
+	mu.Lock()
+	defer mu.Unlock()
+	var rw sync.RWMutex
+	rw.RLock()
+	rw.RUnlock()
+	wg.Add(1)
+	wg.Done()
+	wg.Wait()
+	m := map[string]int{"a": 1}
+	_ = m
+	var n map[int]bool
+	_ = n
+}
+`
+
+func TestCountGoSource(t *testing.T) {
+	c, err := CountGoSource("demo.go", goSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.GoStatements != 2 {
+		t.Errorf("go statements = %d, want 2", c.GoStatements)
+	}
+	if c.ChanOps != 2 {
+		t.Errorf("chan ops = %d, want 2 (one send, one recv)", c.ChanOps)
+	}
+	if c.LockUnlock != 2 {
+		t.Errorf("lock+unlock = %d, want 2", c.LockUnlock)
+	}
+	if c.RLockRUnlock != 2 {
+		t.Errorf("rlock+runlock = %d, want 2", c.RLockRUnlock)
+	}
+	// 1 type mention + Add + Done + Wait on a wg-named receiver.
+	if c.WaitGroupUses != 4 {
+		t.Errorf("waitgroup uses = %d, want 4", c.WaitGroupUses)
+	}
+	if c.MapConstructs != 2 {
+		t.Errorf("maps = %d, want 2", c.MapConstructs)
+	}
+}
+
+func TestCountGoSourceParseError(t *testing.T) {
+	c, err := CountGoSource("bad.go", "package {{{")
+	if err == nil {
+		t.Fatal("expected a parse error")
+	}
+	if c.ParseErrors != 1 {
+		t.Fatalf("ParseErrors = %d", c.ParseErrors)
+	}
+}
+
+const javaSample = `public class Demo {
+  void run() {
+    new Thread(this::work).start();
+    sem.acquire();
+    sem.release();
+    mu.lock();
+    mu.unlock();
+  }
+  synchronized void critical() {}
+  CountDownLatch latch;
+  CyclicBarrier barrier;
+  Phaser phaser;
+  HashMap<String, Integer> cache = makeCache();
+  Map<String, String> index;
+}
+`
+
+func TestCountJavaSource(t *testing.T) {
+	c := CountJavaSource(javaSample)
+	if c.ThreadStarts != 1 {
+		t.Errorf("starts = %d", c.ThreadStarts)
+	}
+	if c.Synchronized != 1 {
+		t.Errorf("synchronized = %d", c.Synchronized)
+	}
+	if c.AcquireRelease != 2 {
+		t.Errorf("acquire+release = %d", c.AcquireRelease)
+	}
+	if c.LockUnlock != 2 {
+		t.Errorf("lock+unlock = %d", c.LockUnlock)
+	}
+	if c.GroupSync != 3 {
+		t.Errorf("group sync = %d", c.GroupSync)
+	}
+	if c.MapConstructs != 2 {
+		t.Errorf("maps = %d", c.MapConstructs)
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	a, _ := CountGoSource("a.go", goSample)
+	var tot GoCounts
+	tot.Add(a)
+	tot.Add(a)
+	if tot.GoStatements != 2*a.GoStatements || tot.Lines != 2*a.Lines {
+		t.Fatal("Add did not accumulate")
+	}
+	var j JavaCounts
+	j.Add(CountJavaSource(javaSample))
+	j.Add(CountJavaSource(javaSample))
+	if j.ThreadStarts != 2 {
+		t.Fatal("Java Add did not accumulate")
+	}
+}
+
+func TestPerMLoC(t *testing.T) {
+	if got := PerMLoC(250, 1_000_000); got != 250 {
+		t.Fatalf("PerMLoC = %f", got)
+	}
+	if got := PerMLoC(5, 0); got != 0 {
+		t.Fatalf("PerMLoC with zero lines = %f", got)
+	}
+	if got := PerMLoC(1, 500_000); got != 2 {
+		t.Fatalf("PerMLoC = %f", got)
+	}
+}
+
+func TestPointToPointTotals(t *testing.T) {
+	g := GoCounts{LockUnlock: 3, RLockRUnlock: 2, ChanOps: 5}
+	if g.PointToPoint() != 10 {
+		t.Fatal("Go p2p total wrong")
+	}
+	j := JavaCounts{Synchronized: 1, AcquireRelease: 2, LockUnlock: 3}
+	if j.PointToPoint() != 6 {
+		t.Fatal("Java p2p total wrong")
+	}
+}

@@ -1,0 +1,151 @@
+package staticrace
+
+import "go/ast"
+
+// freeVars computes the free identifiers of a function literal: names
+// referenced in the body that are not declared by the literal itself
+// (parameters, named results, local declarations, range/assign
+// variables, type switch bindings). This is the mechanical core of
+// Observation 3: closures in Go capture free variables by reference,
+// transparently.
+func freeVars(fl *ast.FuncLit) map[string][]*ast.Ident {
+	bound := make(map[string]bool)
+	if fl.Type.Params != nil {
+		for _, f := range fl.Type.Params.List {
+			for _, n := range f.Names {
+				bound[n.Name] = true
+			}
+		}
+	}
+	if fl.Type.Results != nil {
+		for _, f := range fl.Type.Results.List {
+			for _, n := range f.Names {
+				bound[n.Name] = true
+			}
+		}
+	}
+	collectBound(fl.Body, bound)
+
+	free := make(map[string][]*ast.Ident)
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			// Only the operand can be a variable reference; the
+			// selected name never is.
+			ast.Inspect(x.X, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					noteFree(free, bound, id)
+				}
+				return true
+			})
+			return false
+		case *ast.KeyValueExpr:
+			// Struct literal keys are field names, not variables.
+			ast.Inspect(x.Value, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					noteFree(free, bound, id)
+				}
+				return true
+			})
+			return false
+		case *ast.Ident:
+			noteFree(free, bound, x)
+		}
+		return true
+	})
+	return free
+}
+
+func noteFree(free map[string][]*ast.Ident, bound map[string]bool, id *ast.Ident) {
+	if id.Name == "_" || id.Name == "nil" || id.Name == "true" || id.Name == "false" {
+		return
+	}
+	if bound[id.Name] {
+		return
+	}
+	free[id.Name] = append(free[id.Name], id)
+}
+
+// collectBound gathers every name declared anywhere inside the body.
+// This over-approximates lexical scoping (a name declared in a nested
+// block shadows uses elsewhere), which errs toward *fewer* findings —
+// the right direction for a linter's false-positive budget.
+func collectBound(body *ast.BlockStmt, bound map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok.String() == ":=" {
+				for _, lhs := range x.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						bound[id.Name] = true
+					}
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range x.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, id := range vs.Names {
+						bound[id.Name] = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if id, ok := x.Key.(*ast.Ident); ok && x.Tok.String() == ":=" {
+				bound[id.Name] = true
+			}
+			if id, ok := x.Value.(*ast.Ident); ok && x.Tok.String() == ":=" {
+				bound[id.Name] = true
+			}
+		case *ast.TypeSwitchStmt:
+			if as, ok := x.Assign.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						bound[id.Name] = true
+					}
+				}
+			}
+		case *ast.FuncLit:
+			// Nested literals declare their own scope; their params
+			// do not bind names in the outer body, but anything they
+			// declare with := inside is also invisible outside. We
+			// still walk in (shared over-approximation).
+		}
+		return true
+	})
+}
+
+// assignedIdents returns identifiers assigned (written) in the node,
+// including the base identifier of selector and dereference targets —
+// `f.err = nil` and `*p = v` both write through the captured name.
+func assignedIdents(n ast.Node) []*ast.Ident {
+	var out []*ast.Ident
+	note := func(e ast.Expr) {
+		for {
+			switch x := e.(type) {
+			case *ast.Ident:
+				out = append(out, x)
+				return
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			default:
+				return // index targets are handled by the map check
+			}
+		}
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				note(lhs)
+			}
+		case *ast.IncDecStmt:
+			note(x.X)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,335 @@
+// Package staticrace is a static analyzer for the Go data race
+// patterns of §4, the "further research in static race detection for
+// Go" the paper's conclusion calls for. It inspects real Go source
+// (go/ast, no type information required) and flags the syntactic
+// shapes behind the study's most frequent root causes:
+//
+//	loop-capture        a goroutine closure captures the loop variable (Listing 1)
+//	err-capture         a goroutine closure assigns a captured err (Listing 2)
+//	named-return        a goroutine closure references a named return (Listings 3–4)
+//	mutex-by-value      a sync.Mutex/RWMutex parameter passed by value (Listing 7)
+//	wg-add-inside       wg.Add called inside the goroutine it accounts for (Listing 10)
+//	map-in-goroutine    a captured map written inside a goroutine (Listing 6)
+//	capture-write       a goroutine closure writes any captured variable (Observation 3)
+//
+// Like every purely syntactic checker, it over- and under-approximates;
+// each Finding carries the pattern ID so downstream tooling can tune
+// severities. The corpus-derived tests pin both true positives and
+// clean-code non-findings.
+package staticrace
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Check identifies one analyzer rule.
+type Check string
+
+// The checks, named after the corpus patterns they correspond to.
+const (
+	CheckLoopCapture  Check = "loop-capture"
+	CheckErrCapture   Check = "err-capture"
+	CheckNamedReturn  Check = "named-return"
+	CheckMutexByValue Check = "mutex-by-value"
+	CheckWGAddInside  Check = "wg-add-inside"
+	CheckMapInGo      Check = "map-in-goroutine"
+	CheckCaptureWrite Check = "capture-write"
+)
+
+// Finding is one static report.
+type Finding struct {
+	Check   Check
+	Pos     token.Position
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+}
+
+// AnalyzeSource parses one Go file and runs all checks.
+func AnalyzeSource(filename, src string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, 0)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeFile(fset, f), nil
+}
+
+// AnalyzeFile runs all checks over a parsed file.
+func AnalyzeFile(fset *token.FileSet, f *ast.File) []Finding {
+	a := &analyzer{fset: fset}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			a.checkFuncDecl(x)
+		case *ast.FuncLit:
+			a.checkMutexParams(x.Type, x.Pos())
+		case *ast.RangeStmt:
+			a.checkLoop(loopVars(x), x.Body)
+		case *ast.ForStmt:
+			a.checkLoop(forVars(x), x.Body)
+		case *ast.GoStmt:
+			a.checkGoStmt(x)
+		}
+		return true
+	})
+	sort.Slice(a.findings, func(i, j int) bool {
+		if a.findings[i].Pos.Line != a.findings[j].Pos.Line {
+			return a.findings[i].Pos.Line < a.findings[j].Pos.Line
+		}
+		return a.findings[i].Check < a.findings[j].Check
+	})
+	return a.findings
+}
+
+type analyzer struct {
+	fset     *token.FileSet
+	findings []Finding
+}
+
+func (a *analyzer) report(check Check, pos token.Pos, format string, args ...any) {
+	a.findings = append(a.findings, Finding{
+		Check:   check,
+		Pos:     a.fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// loopVars returns the := variables of a range statement.
+func loopVars(r *ast.RangeStmt) map[string]bool {
+	out := make(map[string]bool)
+	if r.Tok.String() != ":=" {
+		return out
+	}
+	if id, ok := r.Key.(*ast.Ident); ok && id.Name != "_" {
+		out[id.Name] = true
+	}
+	if id, ok := r.Value.(*ast.Ident); ok && id.Name != "_" {
+		out[id.Name] = true
+	}
+	return out
+}
+
+// forVars returns the init-declared variables of a 3-clause for.
+func forVars(f *ast.ForStmt) map[string]bool {
+	out := make(map[string]bool)
+	if as, ok := f.Init.(*ast.AssignStmt); ok && as.Tok.String() == ":=" {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				out[id.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// checkLoop flags goroutine closures inside the loop body that
+// capture the loop variable (Listing 1). A same-name redeclaration
+// (`job := job`) between the loop header and the go statement
+// privatizes the variable, so such closures are not flagged — the
+// binding analysis in freeVars handles that, because the shadowing
+// declaration bounds the name.
+func (a *analyzer) checkLoop(vars map[string]bool, body *ast.BlockStmt) {
+	if len(vars) == 0 {
+		return
+	}
+	// A redeclaration anywhere in the loop body privatizes the name
+	// for the closures below it; approximate by dropping redeclared
+	// names entirely (toward fewer false positives).
+	for _, stmt := range body.List {
+		if as, ok := stmt.(*ast.AssignStmt); ok && as.Tok.String() == ":=" {
+			for i := range as.Lhs {
+				lid, lok := as.Lhs[i].(*ast.Ident)
+				if !lok || i >= len(as.Rhs) {
+					continue
+				}
+				if rid, rok := as.Rhs[i].(*ast.Ident); rok && lok && rid.Name == lid.Name {
+					delete(vars, lid.Name)
+				}
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		fl, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		free := freeVars(fl)
+		for name := range vars {
+			if ids := free[name]; len(ids) > 0 {
+				a.report(CheckLoopCapture, ids[0].Pos(),
+					"goroutine closure captures loop variable %q by reference (Listing 1); pass it as an argument or redeclare it", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkGoStmt flags err-captures, map writes, wg.Add placement, and
+// generic captured-variable writes inside goroutine closures.
+func (a *analyzer) checkGoStmt(gs *ast.GoStmt) {
+	fl, ok := gs.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	free := freeVars(fl)
+
+	// err-capture (Listing 2): the closure assigns a free variable
+	// named err (or *err-suffixed), the idiomatic shared error slot.
+	for _, id := range assignedIdents(fl.Body) {
+		if !isErrName(id.Name) {
+			continue
+		}
+		if ids := free[id.Name]; len(ids) > 0 {
+			a.report(CheckErrCapture, id.Pos(),
+				"goroutine assigns captured error variable %q (Listing 2); declare a fresh variable inside the closure", id.Name)
+			break
+		}
+	}
+
+	// map-in-goroutine (Listing 6): an index-assignment m[k] = v where
+	// m is free. Without type info this also catches slice element
+	// writes — which are racy for the same reason (Observation 4).
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			ix, ok := lhs.(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := ix.X.(*ast.Ident); ok {
+				if ids := free[id.Name]; len(ids) > 0 {
+					a.report(CheckMapInGo, id.Pos(),
+						"goroutine writes element of captured %q (Listings 5–6); maps and slice structure are thread-unsafe", id.Name)
+				}
+			}
+		}
+		return true
+	})
+
+	// wg-add-inside (Listing 10): wg.Add(...) in the goroutine body.
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && isWGName(id.Name) {
+			if ids := free[id.Name]; len(ids) > 0 {
+				a.report(CheckWGAddInside, call.Pos(),
+					"%s.Add inside the goroutine it accounts for (Listing 10); Wait may unblock early — call Add before `go`", id.Name)
+			}
+		}
+		return true
+	})
+
+	// capture-write (Observation 3, generic): plain writes to any
+	// free variable. Skip names already reported by the specific
+	// checks to keep reports focused.
+	reported := make(map[string]bool)
+	for _, f := range a.findings {
+		if strings.Contains(f.Message, "\"") {
+			if q := strings.SplitN(f.Message, "\"", 3); len(q) == 3 {
+				reported[q[1]] = true
+			}
+		}
+	}
+	for _, id := range assignedIdents(fl.Body) {
+		if reported[id.Name] || isErrName(id.Name) {
+			continue
+		}
+		if ids := free[id.Name]; len(ids) > 0 {
+			reported[id.Name] = true // one finding per captured name
+			a.report(CheckCaptureWrite, id.Pos(),
+				"goroutine writes captured variable %q (Observation 3); synchronize or privatize it", id.Name)
+		}
+	}
+}
+
+// checkFuncDecl flags named-return capture and by-value mutex params.
+func (a *analyzer) checkFuncDecl(fd *ast.FuncDecl) {
+	a.checkMutexParams(fd.Type, fd.Pos())
+	if fd.Body == nil || fd.Type.Results == nil {
+		return
+	}
+	named := make(map[string]bool)
+	for _, f := range fd.Type.Results.List {
+		for _, id := range f.Names {
+			named[id.Name] = true
+		}
+	}
+	if len(named) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		fl, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		free := freeVars(fl)
+		for name := range named {
+			if ids := free[name]; len(ids) > 0 {
+				a.report(CheckNamedReturn, ids[0].Pos(),
+					"goroutine captures named return %q (Listings 3–4); every return statement writes it", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkMutexParams flags sync.Mutex / sync.RWMutex parameters passed
+// by value (Listing 7).
+func (a *analyzer) checkMutexParams(ft *ast.FuncType, pos token.Pos) {
+	if ft.Params == nil {
+		return
+	}
+	for _, f := range ft.Params.List {
+		sel, ok := f.Type.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "sync" {
+			continue
+		}
+		if sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex" {
+			p := pos
+			if len(f.Names) > 0 {
+				p = f.Names[0].Pos()
+			}
+			a.report(CheckMutexByValue, p,
+				"sync.%s parameter passed by value (Listing 7); each call locks a private copy — use *sync.%s",
+				sel.Sel.Name, sel.Sel.Name)
+		}
+	}
+}
+
+func isErrName(n string) bool {
+	return n == "err" || strings.HasSuffix(n, "Err") || strings.HasSuffix(n, "err")
+}
+
+func isWGName(n string) bool {
+	l := strings.ToLower(n)
+	return l == "wg" || strings.Contains(l, "waitgroup") || strings.HasSuffix(l, "wg")
+}

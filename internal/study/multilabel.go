@@ -1,0 +1,119 @@
+package study
+
+import (
+	"fmt"
+	"strings"
+
+	"gorace/internal/classify"
+	"gorace/internal/detector"
+	"gorace/internal/patterns"
+	"gorace/internal/sched"
+	"gorace/internal/taxonomy"
+	"gorace/internal/trace"
+)
+
+// MultiLabelResult quantifies §4.10's remark that the study's
+// "labelings are not mutually exclusive; sometimes, multiple labels
+// were assigned to the same bug".
+type MultiLabelResult struct {
+	Instances   int
+	MultiLabel  int     // instances whose reports carry ≥2 labels
+	AvgLabels   float64 // mean labels per classified instance
+	PairCounts  map[string]int
+	SecondaryOK int // instances whose declared secondary label appears
+	SecondaryN  int // instances that declare a secondary label
+}
+
+// RunMultiLabel classifies one manifesting run of every corpus pattern
+// (excluding the fix-strategy entries) and tallies label multiplicity.
+func RunMultiLabel(seed int64) *MultiLabelResult {
+	res := &MultiLabelResult{PairCounts: make(map[string]int)}
+	totalLabels := 0
+	for _, p := range patterns.All() {
+		if fixCats[p.Cat] {
+			continue
+		}
+		cats, ok := classifyInstanceAll(p, seed)
+		if !ok {
+			continue
+		}
+		res.Instances++
+		totalLabels += len(cats)
+		if len(cats) >= 2 {
+			res.MultiLabel++
+			key := fmt.Sprintf("%s+%s", cats[0], cats[1])
+			res.PairCounts[key]++
+		}
+		if len(p.Secondary) > 0 {
+			res.SecondaryN++
+			for _, want := range p.Secondary {
+				for _, got := range cats {
+					if got == want {
+						res.SecondaryOK++
+						want = "" // count each instance once
+						break
+					}
+				}
+				if want == "" {
+					break
+				}
+			}
+		}
+	}
+	if res.Instances > 0 {
+		res.AvgLabels = float64(totalLabels) / float64(res.Instances)
+	}
+	return res
+}
+
+// classifyInstanceAll returns the full ordered label list of the first
+// manifesting report union, across reports of the manifesting run.
+func classifyInstanceAll(p patterns.Pattern, base int64) ([]taxonomy.Category, bool) {
+	const maxSeeds = 60
+	for s := int64(0); s < maxSeeds; s++ {
+		ft := detector.NewFastTrack()
+		rec := &trace.Recorder{}
+		sched.Run(p.Racy, sched.Options{
+			Strategy: sched.NewRandom(), Seed: base + s, MaxSteps: 1 << 16,
+			Listeners: []trace.Listener{ft, rec},
+		})
+		if ft.RaceCount() == 0 {
+			continue
+		}
+		hints := classify.HintsFromTrace(rec.Events)
+		var out []taxonomy.Category
+		seen := make(map[taxonomy.Category]bool)
+		for _, r := range ft.Races() {
+			// The missing-lock label is the classifier's universal
+			// fallback; as a *secondary* label it only carries signal
+			// when the race shows partial locking (one side holds a
+			// lock the other does not).
+			partialLocking := (len(r.First.Locks) > 0) != (len(r.Second.Locks) > 0) ||
+				(len(r.First.Locks) > 0 && len(r.Second.Locks) > 0)
+			for _, c := range classify.Classify(r, hints) {
+				if c == taxonomy.CatMissingLock && len(out) > 0 && !partialLocking {
+					continue
+				}
+				if !seen[c] {
+					seen[c] = true
+					out = append(out, c)
+				}
+			}
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// Format renders the multi-label summary.
+func (m *MultiLabelResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "multi-label study (§4.10: labels are not mutually exclusive)\n")
+	fmt.Fprintf(&b, "instances classified:        %d\n", m.Instances)
+	fmt.Fprintf(&b, "with ≥2 labels:              %d\n", m.MultiLabel)
+	fmt.Fprintf(&b, "mean labels per instance:    %.2f\n", m.AvgLabels)
+	if m.SecondaryN > 0 {
+		fmt.Fprintf(&b, "declared secondaries found:  %d/%d\n", m.SecondaryOK, m.SecondaryN)
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package taxonomy
+
+import "testing"
+
+func TestEntriesMatchPaperTotals(t *testing.T) {
+	// Table 2's Observation 3 parent row: 121 capture races.
+	capture := 0
+	for _, c := range []Category{CatCaptureErr, CatCaptureLoop, CatCaptureNamedReturn, CatCaptureOther} {
+		e, ok := ByCategory(c)
+		if !ok {
+			t.Fatalf("missing %q", c)
+		}
+		capture += e.PaperCount
+	}
+	if capture != Table2CaptureTotal {
+		t.Fatalf("capture sub-rows sum to %d, want %d", capture, Table2CaptureTotal)
+	}
+}
+
+func TestPublishedRowCounts(t *testing.T) {
+	want := map[Category]int{
+		CatCaptureErr:         50,
+		CatCaptureLoop:        48,
+		CatCaptureNamedReturn: 4,
+		CatSlice:              391,
+		CatMap:                38,
+		CatPassByValue:        38,
+		CatMixedChanShared:    25,
+		CatGroupSync:          24,
+		CatParallelTest:       139,
+		CatMissingLock:        470,
+		CatRLockMutation:      2,
+		CatAPIContract:        369,
+		CatGlobalVar:          24,
+		CatPartialAtomics:     40,
+		CatStatementOrder:     5,
+		CatComplex:            6,
+		CatMetricsLogging:     18,
+		CatFixRemovedConc:     26,
+		CatFixDisabledTest:    3,
+		CatFixRefactor:        30,
+	}
+	for cat, n := range want {
+		e, ok := ByCategory(cat)
+		if !ok {
+			t.Errorf("missing category %q", cat)
+			continue
+		}
+		if e.PaperCount != n {
+			t.Errorf("%s: count %d, want %d", cat, e.PaperCount, n)
+		}
+	}
+}
+
+func TestTableEntriesPartition(t *testing.T) {
+	t2, t3 := TableEntries(2), TableEntries(3)
+	if len(t2)+len(t3) != len(Entries) {
+		t.Fatal("tables do not partition the entries")
+	}
+	for _, e := range t2 {
+		if e.Table != 2 {
+			t.Errorf("%s in wrong table", e.Cat)
+		}
+	}
+	for _, e := range t3 {
+		if e.Table != 3 {
+			t.Errorf("%s in wrong table", e.Cat)
+		}
+	}
+	if len(TableEntries(4)) != 0 {
+		t.Error("table 4 should be empty")
+	}
+}
+
+func TestByCategoryUnknown(t *testing.T) {
+	if _, ok := ByCategory("no-such"); ok {
+		t.Fatal("unknown category found")
+	}
+	if _, ok := ByCategory(CatUnknown); ok {
+		t.Fatal("CatUnknown has no table row and must not resolve")
+	}
+}
+
+func TestLabelsNotMutuallyExclusive(t *testing.T) {
+	// Σ of all rows exceeds the 1011 fixed races, as the paper notes.
+	total := 0
+	for _, e := range Entries {
+		total += e.PaperCount
+	}
+	if total <= TotalFixed {
+		t.Fatalf("row sum %d should exceed %d (multi-labeling)", total, TotalFixed)
+	}
+}
+
+func TestDescriptionsNonEmpty(t *testing.T) {
+	for _, e := range Entries {
+		if e.Description == "" || e.Cat == "" {
+			t.Errorf("entry %+v incomplete", e)
+		}
+		if e.Table != 2 && e.Table != 3 {
+			t.Errorf("entry %s has table %d", e.Cat, e.Table)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package textplot renders small ASCII charts for the figure-
+// regeneration commands: line charts for time series (Figures 3–4)
+// and multi-series step charts for CDFs (Figure 1). Stdlib-only, fixed
+// width, deterministic output suitable for golden tests.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name   string
+	Points []float64
+}
+
+// Options sizes a chart.
+type Options struct {
+	Width  int // plot columns (default 72)
+	Height int // plot rows (default 16)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 72
+	}
+	if o.Height <= 0 {
+		o.Height = 16
+	}
+	return o
+}
+
+// markers distinguish up to six series.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Chart renders the series over a common x-index (0..n-1 scaled to
+// Width) and a common y-range. Returns a multi-line string with a
+// y-axis, the plot area, and a legend.
+func Chart(title string, series []Series, opts Options) string {
+	opts = opts.withDefaults()
+	maxLen := 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Points) > maxLen {
+			maxLen = len(s.Points)
+		}
+		for _, v := range s.Points {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if maxLen == 0 {
+		return title + "\n(no data)\n"
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, opts.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i, v := range s.Points {
+			col := 0
+			if maxLen > 1 {
+				col = i * (opts.Width - 1) / (maxLen - 1)
+			}
+			row := int(float64(opts.Height-1) * (hi - v) / (hi - lo))
+			if row < 0 {
+				row = 0
+			}
+			if row >= opts.Height {
+				row = opts.Height - 1
+			}
+			grid[row][col] = m
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for r, line := range grid {
+		yval := hi - (hi-lo)*float64(r)/float64(opts.Height-1)
+		fmt.Fprintf(&b, "%10.1f |%s\n", yval, string(line))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", opts.Width))
+	fmt.Fprintf(&b, "%10s  0%*s\n", "", opts.Width-1, fmt.Sprintf("%d", maxLen-1))
+	for si, s := range series {
+		fmt.Fprintf(&b, "%10s  %c = %s\n", "", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// CDF renders cumulative-distribution series against labeled buckets
+// (the Figure 1 shape): x positions are bucket indices.
+func CDF(title string, bucketLabels []string, series []Series, opts Options) string {
+	opts = opts.withDefaults()
+	body := Chart(title, series, opts)
+	var b strings.Builder
+	b.WriteString(body)
+	fmt.Fprintf(&b, "%10s  x buckets: %s\n", "", strings.Join(bucketLabels, " "))
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasicShape(t *testing.T) {
+	s := Chart("demo", []Series{
+		{Name: "up", Points: []float64{0, 1, 2, 3, 4}},
+		{Name: "down", Points: []float64{4, 3, 2, 1, 0}},
+	}, Options{Width: 20, Height: 5})
+	if !strings.Contains(s, "demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(s, "* = up") || !strings.Contains(s, "+ = down") {
+		t.Error("legend missing")
+	}
+	lines := strings.Split(s, "\n")
+	// Title + 5 plot rows + axis + xlabel + 2 legend rows (+ trailing).
+	if len(lines) < 9 {
+		t.Fatalf("only %d lines", len(lines))
+	}
+	// The rising series must put a '*' in the top row's right side and
+	// the bottom row's left side.
+	top, bottom := lines[1], lines[5]
+	if !strings.Contains(top, "*") || !strings.Contains(bottom, "*") {
+		t.Errorf("rising series not spanning rows:\n%s", s)
+	}
+	if strings.Index(top, "*") < strings.Index(bottom, "*") {
+		t.Errorf("rising series leans the wrong way:\n%s", s)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	s := Chart("t", nil, Options{})
+	if !strings.Contains(s, "no data") {
+		t.Fatalf("empty chart = %q", s)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	// A flat series must not divide by zero.
+	s := Chart("flat", []Series{{Name: "c", Points: []float64{5, 5, 5}}}, Options{})
+	if !strings.Contains(s, "c") {
+		t.Fatal("flat series unrendered")
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	s := Chart("", []Series{{Name: "p", Points: []float64{1}}}, Options{Width: 10, Height: 3})
+	if !strings.Contains(s, "*") {
+		t.Fatal("single point unrendered")
+	}
+}
+
+func TestCDFIncludesBuckets(t *testing.T) {
+	s := CDF("cdf", []string{"1", "2", "4"}, []Series{
+		{Name: "go", Points: []float64{0, 0.5, 1}},
+	}, Options{Width: 12, Height: 4})
+	if !strings.Contains(s, "x buckets: 1 2 4") {
+		t.Fatalf("bucket labels missing:\n%s", s)
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	mk := func() string {
+		return Chart("d", []Series{{Name: "a", Points: []float64{1, 3, 2}}}, Options{})
+	}
+	if mk() != mk() {
+		t.Fatal("non-deterministic rendering")
+	}
+}

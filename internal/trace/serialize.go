@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"gorace/internal/stack"
+	"gorace/internal/vclock"
+)
+
+// The paper's deployment analyzes executions post-facto: the detector
+// runs over captured executions, and reports reference the source
+// snapshot they came from. This file gives Recorder a durable form —
+// JSON Lines, one event per line — so a trace captured in one process
+// can be re-analyzed later (Recorder.Replay) by any detector.
+
+// wireEvent is the serialized form of Event.
+type wireEvent struct {
+	Seq   uint64        `json:"seq"`
+	G     int32         `json:"g"`
+	GName string        `json:"gname,omitempty"`
+	Op    uint8         `json:"op"`
+	Addr  uint64        `json:"addr,omitempty"`
+	Obj   uint64        `json:"obj,omitempty"`
+	Kind  uint8         `json:"kind,omitempty"`
+	Child int32         `json:"child,omitempty"`
+	Stack []stack.Frame `json:"stack,omitempty"`
+	Label string        `json:"label,omitempty"`
+}
+
+// Save writes the recorded trace as JSON Lines.
+func (r *Recorder) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range r.Events {
+		we := wireEvent{
+			Seq: ev.Seq, G: int32(ev.G), GName: ev.GName, Op: uint8(ev.Op),
+			Addr: uint64(ev.Addr), Obj: uint64(ev.Obj), Kind: uint8(ev.Kind),
+			Child: int32(ev.Child), Stack: ev.Stack.Frames(), Label: ev.Label,
+		}
+		if err := enc.Encode(we); err != nil {
+			return fmt.Errorf("trace: encode event %d: %w", ev.Seq, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a JSON Lines trace into a fresh Recorder.
+func Load(r io.Reader) (*Recorder, error) {
+	rec := &Recorder{}
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var we wireEvent
+		if err := dec.Decode(&we); err == io.EOF {
+			return rec, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decode: %w", err)
+		}
+		rec.Events = append(rec.Events, Event{
+			Seq: we.Seq, G: vclock.TID(we.G), GName: we.GName, Op: Op(we.Op),
+			Addr: Addr(we.Addr), Obj: ObjID(we.Obj), Kind: ObjKind(we.Kind),
+			Child: vclock.TID(we.Child), Stack: stack.NewContext(we.Stack...),
+			Label: we.Label,
+		})
+	}
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"gorace/internal/stack"
+	"gorace/internal/vclock"
+)
+
+func sampleTrace() *Recorder {
+	ctx := stack.NewContext(
+		stack.Frame{Func: "main", File: "m.go", Line: 1},
+		stack.Frame{Func: "worker", File: "w.go", Line: 9},
+	)
+	return &Recorder{Events: []Event{
+		{Seq: 1, G: 0, GName: "main", Op: OpFork, Child: 1},
+		{Seq: 2, G: 1, GName: "worker", Op: OpWrite, Addr: 7, Stack: ctx, Label: "x"},
+		{Seq: 3, G: 1, Op: OpAcquire, Obj: 3, Kind: KindMutex, Label: "mu"},
+		{Seq: 4, G: 1, Op: OpRelease, Obj: 3, Kind: KindMutex, Label: "mu"},
+		{Seq: 5, G: 1, Op: OpGoEnd},
+	}}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(orig.Events) {
+		t.Fatalf("event count %d, want %d", len(got.Events), len(orig.Events))
+	}
+	for i, ev := range got.Events {
+		want := orig.Events[i]
+		if ev.Seq != want.Seq || ev.G != want.G || ev.Op != want.Op ||
+			ev.Addr != want.Addr || ev.Obj != want.Obj || ev.Kind != want.Kind ||
+			ev.Child != want.Child || ev.Label != want.Label || ev.GName != want.GName {
+			t.Fatalf("event %d: got %+v, want %+v", i, ev, want)
+		}
+		if ev.Stack.Key() != want.Stack.Key() {
+			t.Fatalf("event %d: stack %q, want %q", i, ev.Stack.Key(), want.Stack.Key())
+		}
+		if ev.Stack.Leaf().Line != want.Stack.Leaf().Line {
+			t.Fatalf("event %d: line lost in round trip", i)
+		}
+	}
+}
+
+func TestLoadedTraceReplaysIdentically(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b []string
+	orig.Replay(ListenerFunc(func(ev Event) { a = append(a, ev.String()) }))
+	loaded.Replay(ListenerFunc(func(ev Event) { b = append(b, ev.String()) }))
+	if len(a) != len(b) {
+		t.Fatal("replay lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverges at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSaveEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Recorder{}).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 0 {
+		t.Fatal("phantom events")
+	}
+}
+
+func TestLoadGarbageFails(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSaveIsJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTrace().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("%d lines, want 5", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "{") || !strings.HasSuffix(l, "}") {
+			t.Fatalf("line is not a JSON object: %q", l)
+		}
+	}
+}
+
+// Property: arbitrary events survive the save/load round trip.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seq uint64, g int16, op uint8, addr, obj uint64, kind uint8, label string, fn string, line uint8) bool {
+		if g < 0 {
+			g = -g
+		}
+		ev := Event{
+			Seq: seq, G: vclock.TID(g), Op: Op(op % 11), Addr: Addr(addr),
+			Obj: ObjID(obj), Kind: ObjKind(kind % 8), Label: label,
+			Stack: stack.NewContext(stack.Frame{Func: fn, File: "f.go", Line: int(line)}),
+		}
+		var buf bytes.Buffer
+		if err := (&Recorder{Events: []Event{ev}}).Save(&buf); err != nil {
+			return false
+		}
+		got, err := Load(&buf)
+		if err != nil || len(got.Events) != 1 {
+			return false
+		}
+		e := got.Events[0]
+		return e.Seq == ev.Seq && e.G == ev.G && e.Op == ev.Op &&
+			e.Addr == ev.Addr && e.Obj == ev.Obj && e.Kind == ev.Kind &&
+			e.Label == ev.Label && e.Stack.Key() == ev.Stack.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,263 @@
+// Package vclock implements vector clocks and FastTrack-style epochs,
+// the timestamp machinery underlying happens-before race detection.
+//
+// A vector clock VC maps goroutine identifiers to logical times. The
+// happens-before relation between two events is decided by comparing the
+// clocks recorded at those events: event a happens before event b iff
+// VC(a) ≤ VC(b) pointwise and the two clocks differ.
+//
+// FastTrack (Flanagan & Freund, PLDI 2009) observes that most accesses
+// are totally ordered, so a single (goroutine, time) pair — an Epoch —
+// suffices for the common case. The detector in this repository uses
+// epochs for write histories and adaptively inflates read histories from
+// an epoch to a full vector clock only when reads become concurrent.
+package vclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TID identifies a modeled goroutine. TIDs are small dense integers
+// assigned in spawn order by the scheduler, which keeps vector clocks
+// compact (indexable by slice).
+type TID int32
+
+// None is the TID used by epochs that denote "no access yet".
+const None TID = -1
+
+// VC is a vector clock. The zero value is a usable clock with all
+// components zero. VCs grow on demand; a missing component is zero.
+type VC struct {
+	ts []uint32
+}
+
+// New returns an empty vector clock.
+func New() *VC { return &VC{} }
+
+// NewWithCapacity returns an empty vector clock pre-sized for n goroutines.
+func NewWithCapacity(n int) *VC { return &VC{ts: make([]uint32, 0, n)} }
+
+// grow ensures the clock has a component for tid.
+func (v *VC) grow(tid TID) {
+	for int(tid) >= len(v.ts) {
+		v.ts = append(v.ts, 0)
+	}
+}
+
+// Get returns the component for tid (zero if never set).
+func (v *VC) Get(tid TID) uint32 {
+	if v == nil || int(tid) >= len(v.ts) || tid < 0 {
+		return 0
+	}
+	return v.ts[tid]
+}
+
+// Set assigns the component for tid.
+func (v *VC) Set(tid TID, t uint32) {
+	v.grow(tid)
+	v.ts[tid] = t
+}
+
+// Tick increments the component for tid and returns the new value.
+func (v *VC) Tick(tid TID) uint32 {
+	v.grow(tid)
+	v.ts[tid]++
+	return v.ts[tid]
+}
+
+// Join sets v to the pointwise maximum of v and o.
+func (v *VC) Join(o *VC) {
+	if o == nil {
+		return
+	}
+	if len(o.ts) > len(v.ts) {
+		v.grow(TID(len(o.ts) - 1))
+	}
+	for i, t := range o.ts {
+		if t > v.ts[i] {
+			v.ts[i] = t
+		}
+	}
+}
+
+// Copy returns a deep copy of v.
+func (v *VC) Copy() *VC {
+	c := &VC{ts: make([]uint32, len(v.ts))}
+	copy(c.ts, v.ts)
+	return c
+}
+
+// Assign overwrites v with the contents of o.
+func (v *VC) Assign(o *VC) {
+	v.ts = v.ts[:0]
+	v.ts = append(v.ts, o.ts...)
+}
+
+// LeqAll reports whether v ≤ o pointwise (v happens before or equals o).
+func (v *VC) LeqAll(o *VC) bool {
+	for i, t := range v.ts {
+		if t > o.Get(TID(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether neither clock is pointwise ≤ the other.
+func (v *VC) Concurrent(o *VC) bool {
+	return !v.LeqAll(o) && !o.LeqAll(v)
+}
+
+// Len returns the number of allocated components.
+func (v *VC) Len() int { return len(v.ts) }
+
+// Reset zeroes the clock in place, retaining capacity.
+func (v *VC) Reset() {
+	for i := range v.ts {
+		v.ts[i] = 0
+	}
+}
+
+// String renders the clock as {g0:t0 g1:t1 ...} omitting zero entries.
+func (v *VC) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for i, t := range v.ts {
+		if t == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&b, "g%d:%d", i, t)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Epoch packs a (TID, time) pair into one word, FastTrack style.
+// The zero Epoch is "no access" (TID None, time 0).
+type Epoch uint64
+
+// NoEpoch denotes the absence of any prior access (TID None, time 0).
+const NoEpoch Epoch = Epoch(uint64(0xFFFFFFFF) << 32)
+
+// MakeEpoch builds an epoch from a goroutine id and a time.
+func MakeEpoch(tid TID, t uint32) Epoch {
+	return Epoch(uint64(uint32(tid))<<32 | uint64(t))
+}
+
+// TID extracts the goroutine id of the epoch.
+func (e Epoch) TID() TID { return TID(int32(uint32(e >> 32))) }
+
+// Time extracts the logical time of the epoch.
+func (e Epoch) Time() uint32 { return uint32(e) }
+
+// IsNone reports whether the epoch denotes "no access".
+func (e Epoch) IsNone() bool { return e.TID() == None }
+
+// LeqVC reports whether the epoch happens before or equals the clock o,
+// i.e. e.Time ≤ o[e.TID]. A None epoch vacuously happens before anything.
+func (e Epoch) LeqVC(o *VC) bool {
+	if e.IsNone() {
+		return true
+	}
+	return e.Time() <= o.Get(e.TID())
+}
+
+func (e Epoch) String() string {
+	if e.IsNone() {
+		return "⊥"
+	}
+	return fmt.Sprintf("g%d@%d", e.TID(), e.Time())
+}
+
+// ReadSet is FastTrack's adaptive read history: either a single epoch
+// (the common, totally-ordered case) or an inflated read vector clock
+// when concurrent readers exist.
+type ReadSet struct {
+	epoch    Epoch
+	inflated *VC
+}
+
+// NewReadSet returns an empty read history.
+func NewReadSet() ReadSet { return ReadSet{epoch: NoEpoch} }
+
+// IsInflated reports whether the history holds a full vector clock.
+func (r *ReadSet) IsInflated() bool { return r.inflated != nil }
+
+// Epoch returns the single-epoch form; only meaningful when not inflated.
+func (r *ReadSet) Epoch() Epoch { return r.epoch }
+
+// Note records a read at epoch e by goroutine e.TID() whose current
+// clock is cur. It inflates to a VC when the new read is concurrent
+// with the recorded one.
+func (r *ReadSet) Note(e Epoch, cur *VC) {
+	if r.inflated != nil {
+		r.inflated.Set(e.TID(), e.Time())
+		return
+	}
+	if r.epoch.IsNone() || r.epoch.TID() == e.TID() || r.epoch.LeqVC(cur) {
+		// Same reader, or previous read happens before this one:
+		// stay in the cheap epoch representation.
+		r.epoch = e
+		return
+	}
+	// Concurrent reads: inflate.
+	r.inflated = New()
+	r.inflated.Set(r.epoch.TID(), r.epoch.Time())
+	r.inflated.Set(e.TID(), e.Time())
+}
+
+// AllLeq reports whether every recorded read happens before or equals cur.
+func (r *ReadSet) AllLeq(cur *VC) bool {
+	if r.inflated != nil {
+		return r.inflated.LeqAll(cur)
+	}
+	return r.epoch.LeqVC(cur)
+}
+
+// FindConcurrent returns one recorded reader epoch that is concurrent
+// with cur (not ≤ cur), or NoEpoch if all reads are ordered before cur.
+func (r *ReadSet) FindConcurrent(cur *VC) Epoch {
+	if r.inflated != nil {
+		for i := 0; i < r.inflated.Len(); i++ {
+			t := r.inflated.Get(TID(i))
+			if t != 0 && t > cur.Get(TID(i)) {
+				return MakeEpoch(TID(i), t)
+			}
+		}
+		return NoEpoch
+	}
+	if !r.epoch.IsNone() && !r.epoch.LeqVC(cur) {
+		return r.epoch
+	}
+	return NoEpoch
+}
+
+// Reset clears the history back to "no reads".
+func (r *ReadSet) Reset() {
+	r.epoch = NoEpoch
+	r.inflated = nil
+}
+
+// Readers returns the recorded reader epochs, sorted by TID, mainly for
+// tests and diagnostics.
+func (r *ReadSet) Readers() []Epoch {
+	var out []Epoch
+	if r.inflated != nil {
+		for i := 0; i < r.inflated.Len(); i++ {
+			if t := r.inflated.Get(TID(i)); t != 0 {
+				out = append(out, MakeEpoch(TID(i), t))
+			}
+		}
+	} else if !r.epoch.IsNone() {
+		out = append(out, r.epoch)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TID() < out[j].TID() })
+	return out
+}

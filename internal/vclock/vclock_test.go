@@ -1,0 +1,408 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var v VC
+	if got := v.Get(3); got != 0 {
+		t.Fatalf("Get on zero VC = %d, want 0", got)
+	}
+	v.Tick(2)
+	if got := v.Get(2); got != 1 {
+		t.Fatalf("after Tick, Get = %d, want 1", got)
+	}
+}
+
+func TestTickMonotonic(t *testing.T) {
+	v := New()
+	for i := 1; i <= 100; i++ {
+		if got := v.Tick(0); got != uint32(i) {
+			t.Fatalf("Tick %d returned %d", i, got)
+		}
+	}
+}
+
+func TestJoinPointwiseMax(t *testing.T) {
+	a, b := New(), New()
+	a.Set(0, 5)
+	a.Set(1, 1)
+	b.Set(1, 7)
+	b.Set(2, 3)
+	a.Join(b)
+	want := []uint32{5, 7, 3}
+	for i, w := range want {
+		if got := a.Get(TID(i)); got != w {
+			t.Errorf("component %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestJoinNilIsNoop(t *testing.T) {
+	a := New()
+	a.Set(0, 2)
+	a.Join(nil)
+	if a.Get(0) != 2 {
+		t.Fatal("Join(nil) modified the clock")
+	}
+}
+
+func TestCopyIndependence(t *testing.T) {
+	a := New()
+	a.Set(0, 1)
+	c := a.Copy()
+	c.Set(0, 99)
+	if a.Get(0) != 1 {
+		t.Fatal("Copy aliases the original")
+	}
+}
+
+func TestAssignOverwrites(t *testing.T) {
+	a, b := New(), New()
+	a.Set(0, 1)
+	a.Set(5, 9)
+	b.Set(1, 2)
+	a.Assign(b)
+	if a.Get(0) != 0 || a.Get(5) != 0 || a.Get(1) != 2 {
+		t.Fatalf("Assign produced %v", a)
+	}
+}
+
+func TestHappensBeforeOrdering(t *testing.T) {
+	a, b := New(), New()
+	a.Set(0, 1)
+	b.Set(0, 2)
+	b.Set(1, 1)
+	if !a.LeqAll(b) {
+		t.Error("a should happen before b")
+	}
+	if b.LeqAll(a) {
+		t.Error("b must not happen before a")
+	}
+	if a.Concurrent(b) {
+		t.Error("ordered clocks reported concurrent")
+	}
+}
+
+func TestConcurrentClocks(t *testing.T) {
+	a, b := New(), New()
+	a.Set(0, 2)
+	b.Set(1, 2)
+	if !a.Concurrent(b) || !b.Concurrent(a) {
+		t.Error("disjoint nonzero clocks must be concurrent")
+	}
+}
+
+func TestResetRetainsZero(t *testing.T) {
+	a := New()
+	a.Set(4, 4)
+	a.Reset()
+	for i := 0; i < a.Len(); i++ {
+		if a.Get(TID(i)) != 0 {
+			t.Fatal("Reset left a nonzero component")
+		}
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	a := New()
+	if s := a.String(); s != "{}" {
+		t.Fatalf("empty VC String = %q", s)
+	}
+	a.Set(1, 3)
+	if s := a.String(); s != "{g1:3}" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEpochPackUnpack(t *testing.T) {
+	e := MakeEpoch(7, 42)
+	if e.TID() != 7 || e.Time() != 42 {
+		t.Fatalf("round trip got (%d,%d)", e.TID(), e.Time())
+	}
+	if !NoEpoch.IsNone() {
+		t.Fatal("NoEpoch not none")
+	}
+	if e.IsNone() {
+		t.Fatal("real epoch reported none")
+	}
+}
+
+func TestEpochLeqVC(t *testing.T) {
+	v := New()
+	v.Set(3, 10)
+	if !MakeEpoch(3, 10).LeqVC(v) {
+		t.Error("equal time should be Leq")
+	}
+	if MakeEpoch(3, 11).LeqVC(v) {
+		t.Error("later time should not be Leq")
+	}
+	if !NoEpoch.LeqVC(v) {
+		t.Error("NoEpoch should be Leq everything")
+	}
+}
+
+func TestReadSetSameThreadStaysEpoch(t *testing.T) {
+	r := NewReadSet()
+	cur := New()
+	cur.Set(0, 1)
+	r.Note(MakeEpoch(0, 1), cur)
+	cur.Set(0, 2)
+	r.Note(MakeEpoch(0, 2), cur)
+	if r.IsInflated() {
+		t.Fatal("same-thread reads must not inflate")
+	}
+	if r.Epoch() != MakeEpoch(0, 2) {
+		t.Fatalf("epoch = %v", r.Epoch())
+	}
+}
+
+func TestReadSetOrderedReadsStayEpoch(t *testing.T) {
+	r := NewReadSet()
+	// g0 reads at time 1; then g1, whose clock includes g0@1, reads.
+	c0 := New()
+	c0.Set(0, 1)
+	r.Note(MakeEpoch(0, 1), c0)
+	c1 := New()
+	c1.Set(0, 1) // g1 has synchronized with g0
+	c1.Set(1, 4)
+	r.Note(MakeEpoch(1, 4), c1)
+	if r.IsInflated() {
+		t.Fatal("ordered cross-thread reads must not inflate")
+	}
+	if r.Epoch() != MakeEpoch(1, 4) {
+		t.Fatalf("epoch = %v", r.Epoch())
+	}
+}
+
+func TestReadSetConcurrentReadsInflate(t *testing.T) {
+	r := NewReadSet()
+	c0 := New()
+	c0.Set(0, 1)
+	r.Note(MakeEpoch(0, 1), c0)
+	c1 := New()
+	c1.Set(1, 2) // no knowledge of g0
+	r.Note(MakeEpoch(1, 2), c1)
+	if !r.IsInflated() {
+		t.Fatal("concurrent reads must inflate")
+	}
+	got := r.Readers()
+	if len(got) != 2 || got[0] != MakeEpoch(0, 1) || got[1] != MakeEpoch(1, 2) {
+		t.Fatalf("Readers = %v", got)
+	}
+}
+
+func TestReadSetFindConcurrent(t *testing.T) {
+	r := NewReadSet()
+	c0 := New()
+	c0.Set(0, 5)
+	r.Note(MakeEpoch(0, 5), c0)
+	// A writer on g1 that never synchronized with g0.
+	w := New()
+	w.Set(1, 1)
+	if e := r.FindConcurrent(w); e != MakeEpoch(0, 5) {
+		t.Fatalf("FindConcurrent = %v", e)
+	}
+	// After synchronizing, no concurrent reader remains.
+	w.Set(0, 5)
+	if e := r.FindConcurrent(w); !e.IsNone() {
+		t.Fatalf("FindConcurrent after sync = %v", e)
+	}
+}
+
+func TestReadSetAllLeq(t *testing.T) {
+	r := NewReadSet()
+	c0 := New()
+	c0.Set(0, 1)
+	r.Note(MakeEpoch(0, 1), c0)
+	c1 := New()
+	c1.Set(1, 1)
+	r.Note(MakeEpoch(1, 1), c1) // inflates
+	cur := New()
+	cur.Set(0, 1)
+	cur.Set(1, 1)
+	if !r.AllLeq(cur) {
+		t.Error("all reads are covered, AllLeq should hold")
+	}
+	cur2 := New()
+	cur2.Set(0, 1)
+	if r.AllLeq(cur2) {
+		t.Error("g1 read is not covered, AllLeq must fail")
+	}
+}
+
+func TestReadSetReset(t *testing.T) {
+	r := NewReadSet()
+	c := New()
+	c.Set(0, 1)
+	r.Note(MakeEpoch(0, 1), c)
+	r.Reset()
+	if len(r.Readers()) != 0 || r.IsInflated() {
+		t.Fatal("Reset did not clear history")
+	}
+}
+
+// Property: Join is commutative, associative, idempotent (a semilattice),
+// and LeqAll(a, Join(a,b)) always holds.
+func TestJoinSemilatticeProperties(t *testing.T) {
+	mk := func(xs []uint8) *VC {
+		v := New()
+		for i, x := range xs {
+			v.Set(TID(i), uint32(x))
+		}
+		return v
+	}
+	eq := func(a, b *VC) bool { return a.LeqAll(b) && b.LeqAll(a) }
+
+	comm := func(xs, ys []uint8) bool {
+		a1, b1 := mk(xs), mk(ys)
+		a2, b2 := mk(xs), mk(ys)
+		a1.Join(b1)
+		b2.Join(a2)
+		return eq(a1, b2)
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Errorf("commutativity: %v", err)
+	}
+
+	assoc := func(xs, ys, zs []uint8) bool {
+		l := mk(xs)
+		l.Join(mk(ys))
+		l.Join(mk(zs))
+		r2 := mk(ys)
+		r2.Join(mk(zs))
+		r1 := mk(xs)
+		r1.Join(r2)
+		return eq(l, r1)
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Errorf("associativity: %v", err)
+	}
+
+	idem := func(xs []uint8) bool {
+		a := mk(xs)
+		b := mk(xs)
+		a.Join(b)
+		return eq(a, b)
+	}
+	if err := quick.Check(idem, nil); err != nil {
+		t.Errorf("idempotence: %v", err)
+	}
+
+	upper := func(xs, ys []uint8) bool {
+		a, b := mk(xs), mk(ys)
+		j := a.Copy()
+		j.Join(b)
+		return a.LeqAll(j) && b.LeqAll(j)
+	}
+	if err := quick.Check(upper, nil); err != nil {
+		t.Errorf("upper bound: %v", err)
+	}
+}
+
+// Property: epoch pack/unpack is lossless for arbitrary inputs.
+func TestEpochRoundTripProperty(t *testing.T) {
+	f := func(tid int16, tm uint32) bool {
+		if tid < 0 {
+			tid = -tid
+		}
+		e := MakeEpoch(TID(tid), tm)
+		return e.TID() == TID(tid) && e.Time() == tm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkVCJoin(b *testing.B) {
+	a, o := New(), New()
+	for i := 0; i < 64; i++ {
+		a.Set(TID(i), uint32(i))
+		o.Set(TID(i), uint32(64-i))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Join(o)
+	}
+}
+
+func BenchmarkEpochLeqVC(b *testing.B) {
+	v := New()
+	v.Set(63, 100)
+	e := MakeEpoch(63, 50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !e.LeqVC(v) {
+			b.Fatal("unexpected")
+		}
+	}
+}
+
+func TestNewWithCapacity(t *testing.T) {
+	v := NewWithCapacity(8)
+	if v.Len() != 0 {
+		t.Fatal("capacity leaked into length")
+	}
+	v.Set(3, 5)
+	if v.Get(3) != 5 {
+		t.Fatal("set after preallocation broken")
+	}
+}
+
+func TestEpochString(t *testing.T) {
+	if NoEpoch.String() != "⊥" {
+		t.Fatalf("NoEpoch = %q", NoEpoch.String())
+	}
+	if MakeEpoch(2, 7).String() != "g2@7" {
+		t.Fatalf("epoch = %q", MakeEpoch(2, 7).String())
+	}
+}
+
+func TestReadSetInflatedOperations(t *testing.T) {
+	r := NewReadSet()
+	// Build an inflated set with three concurrent readers.
+	for tid := TID(0); tid < 3; tid++ {
+		c := New()
+		c.Set(tid, uint32(tid)+1)
+		r.Note(MakeEpoch(tid, uint32(tid)+1), c)
+	}
+	if !r.IsInflated() {
+		t.Fatal("three concurrent readers should inflate")
+	}
+	// Note again on the inflated set (covers the inflated-note path).
+	c := New()
+	c.Set(1, 9)
+	r.Note(MakeEpoch(1, 9), c)
+	if got := r.Readers(); len(got) != 3 || got[1] != MakeEpoch(1, 9) {
+		t.Fatalf("readers = %v", got)
+	}
+	// AllLeq over the inflated form, both outcomes.
+	all := New()
+	all.Set(0, 1)
+	all.Set(1, 9)
+	all.Set(2, 3)
+	if !r.AllLeq(all) {
+		t.Fatal("covered inflated reads should be AllLeq")
+	}
+	all.Set(1, 8)
+	if r.AllLeq(all) {
+		t.Fatal("uncovered reader escaped AllLeq")
+	}
+	// FindConcurrent over the inflated form, both outcomes.
+	if e := r.FindConcurrent(all); e.TID() != 1 {
+		t.Fatalf("FindConcurrent = %v", e)
+	}
+	all.Set(1, 9)
+	if e := r.FindConcurrent(all); !e.IsNone() {
+		t.Fatalf("FindConcurrent after covering = %v", e)
+	}
+}
+
+func TestFindConcurrentEpochForm(t *testing.T) {
+	r := NewReadSet()
+	if e := r.FindConcurrent(New()); !e.IsNone() {
+		t.Fatal("empty read set reported a concurrent reader")
+	}
+}
