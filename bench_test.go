@@ -6,8 +6,10 @@ package gorace_test
 
 import (
 	"bytes"
+	"runtime"
 	"testing"
 
+	"gorace/internal/core"
 	"gorace/internal/corpusgen"
 	"gorace/internal/detector"
 	"gorace/internal/explore"
@@ -135,6 +137,17 @@ func BenchmarkTable3AgnosticCounts(b *testing.B) {
 
 // --- E8: §3.5 overhead — detector cost over the corpus ---
 
+// mustDetector builds a detector from the registry; benchmarks treat
+// lookup failure as a harness bug.
+func mustDetector(b *testing.B, name string) detector.Detector {
+	b.Helper()
+	d, err := detector.New(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
 // corpusWorkload runs every corpus racy variant once under one seed.
 func corpusWorkload(seed int64, ls ...trace.Listener) {
 	for _, p := range patterns.All() {
@@ -155,35 +168,35 @@ func BenchmarkDetectorOverheadNone(b *testing.B) {
 func BenchmarkDetectorOverheadEpoch(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		corpusWorkload(int64(i), detector.NewEpoch())
+		corpusWorkload(int64(i), mustDetector(b, "epoch"))
 	}
 }
 
 func BenchmarkDetectorOverheadFastTrack(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		corpusWorkload(int64(i), detector.NewFastTrack())
+		corpusWorkload(int64(i), mustDetector(b, "fasttrack"))
 	}
 }
 
 func BenchmarkDetectorOverheadDJIT(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		corpusWorkload(int64(i), detector.NewDJIT())
+		corpusWorkload(int64(i), mustDetector(b, "djit"))
 	}
 }
 
 func BenchmarkDetectorOverheadEraser(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		corpusWorkload(int64(i), detector.NewEraser())
+		corpusWorkload(int64(i), mustDetector(b, "eraser"))
 	}
 }
 
 func BenchmarkDetectorOverheadHybrid(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		corpusWorkload(int64(i), detector.NewHybrid())
+		corpusWorkload(int64(i), mustDetector(b, "hybrid"))
 	}
 }
 
@@ -193,7 +206,7 @@ func BenchmarkFlakinessRandom(b *testing.B) {
 	p, _ := patterns.ByID("waitgroup-add-inside")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		explore.Probe(p.Racy, func() sched.Strategy { return sched.NewRandom() }, 20, int64(i))
+		explore.Probe(p.Racy, "random", 20, int64(i), 1)
 	}
 }
 
@@ -201,7 +214,7 @@ func BenchmarkFlakinessPCT(b *testing.B) {
 	p, _ := patterns.ByID("waitgroup-add-inside")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		explore.Probe(p.Racy, func() sched.Strategy { return sched.NewPCT(3, 2000) }, 20, int64(i))
+		explore.Probe(p.Racy, "pct", 20, int64(i), 1)
 	}
 }
 
@@ -249,7 +262,7 @@ func BenchmarkReplayFastTrack(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rec.Replay(detector.NewFastTrack())
+		rec.Replay(mustDetector(b, "fasttrack"))
 	}
 }
 
@@ -258,7 +271,7 @@ func BenchmarkReplayEpoch(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rec.Replay(detector.NewEpoch())
+		rec.Replay(mustDetector(b, "epoch"))
 	}
 }
 
@@ -267,7 +280,7 @@ func BenchmarkReplayDJIT(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rec.Replay(detector.NewDJIT())
+		rec.Replay(mustDetector(b, "djit"))
 	}
 }
 
@@ -276,7 +289,7 @@ func BenchmarkReplayEraser(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rec.Replay(detector.NewEraser())
+		rec.Replay(mustDetector(b, "eraser"))
 	}
 }
 
@@ -315,7 +328,7 @@ func heavyProgram(g *sched.G) {
 func BenchmarkAblationEpochs(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		ep := detector.NewEpoch()
+		ep := mustDetector(b, "epoch")
 		sched.Run(heavyProgram, sched.Options{
 			Strategy: sched.NewRandom(), Seed: int64(i), MaxSteps: 1 << 18,
 			Listeners: []trace.Listener{ep},
@@ -326,7 +339,7 @@ func BenchmarkAblationEpochs(b *testing.B) {
 func BenchmarkAblationFullVC(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		dj := detector.NewDJIT()
+		dj := mustDetector(b, "djit")
 		sched.Run(heavyProgram, sched.Options{
 			Strategy: sched.NewRandom(), Seed: int64(i), MaxSteps: 1 << 18,
 			Listeners: []trace.Listener{dj},
@@ -337,11 +350,45 @@ func BenchmarkAblationFullVC(b *testing.B) {
 func BenchmarkAblationHybridVsHB(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		hy := detector.NewHybrid()
+		hy := mustDetector(b, "hybrid")
 		sched.Run(heavyProgram, sched.Options{
 			Strategy: sched.NewRandom(), Seed: int64(i), MaxSteps: 1 << 18,
 			Listeners: []trace.Listener{hy},
 		})
+	}
+}
+
+// --- Runner batch scaling: serial DetectionProbability vs parallel
+// RunBatch over a 64-seed sweep of the heavy program. The paper's
+// deployment lesson is that detection pays off at fleet scale; this
+// pair quantifies the parallel batch primitive's wall-clock win on
+// one machine.
+
+func BenchmarkRunBatchSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := core.DetectionProbability(heavyProgram, core.Config{
+			MaxSteps: 1 << 18, Seed: int64(i),
+		}, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = p
+	}
+}
+
+func BenchmarkRunBatchParallel(b *testing.B) {
+	runner := core.NewRunner(
+		core.WithMaxSteps(1<<18),
+		core.WithParallelism(runtime.NumCPU()),
+	)
+	for i := 0; i < b.N; i++ {
+		outs, err := runner.RunBatch(heavyProgram, core.Seeds(int64(i), 64))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(outs) != 64 {
+			b.Fatal("incomplete batch")
+		}
 	}
 }
 
@@ -406,19 +453,19 @@ func BenchmarkTraceSerialization(b *testing.B) {
 // manifestAllListings collects one report per listing-backed pattern.
 func manifestAllListings(b *testing.B) []report.Race {
 	b.Helper()
+	runner := core.NewRunner(core.WithMaxSteps(1 << 16))
 	var out []report.Race
 	for _, p := range patterns.All() {
 		if p.Listing == 0 {
 			continue
 		}
 		for seed := int64(0); seed < 60; seed++ {
-			ft := detector.NewFastTrack()
-			sched.Run(p.Racy, sched.Options{
-				Strategy: sched.NewRandom(), Seed: seed, MaxSteps: 1 << 16,
-				Listeners: []trace.Listener{ft},
-			})
-			if ft.RaceCount() > 0 {
-				out = append(out, ft.Races()[0])
+			res, err := runner.RunSeed(p.Racy, seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.HasRace() {
+				out = append(out, res.Races[0])
 				break
 			}
 		}

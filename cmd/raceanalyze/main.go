@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"gorace/internal/detector"
 	"gorace/internal/report"
@@ -17,7 +18,7 @@ import (
 func main() {
 	var (
 		in      = flag.String("trace", "", "trace file (JSON Lines) to analyze")
-		det     = flag.String("detector", "fasttrack", "fasttrack, eraser, hybrid")
+		det     = flag.String("detector", detector.DefaultName, "one of: "+strings.Join(detector.Names(), ", "))
 		jsonOut = flag.Bool("json", false, "emit reports as JSON Lines")
 	)
 	flag.Parse()
@@ -37,25 +38,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	var races []report.Race
-	var name string
-	switch *det {
-	case "fasttrack":
-		d := detector.NewFastTrack()
-		rec.Replay(d)
-		races, name = d.Races(), d.Name()
-	case "eraser":
-		d := detector.NewEraser()
-		rec.Replay(d)
-		races, name = d.Races(), d.Name()
-	case "hybrid":
-		d := detector.NewHybrid()
-		rec.Replay(d)
-		races, name = d.Races(), d.Name()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown detector %q\n", *det)
+	d, err := detector.New(*det)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	rec.Replay(d)
+	races, name := d.Races(), d.Name()
 	report.SortRaces(races)
 	races = report.UniqueByHash(races)
 
@@ -70,5 +59,8 @@ func main() {
 	for _, r := range races {
 		fmt.Println(r)
 		fmt.Printf("dedup hash: %s\n\n", r.Hash())
+	}
+	for _, c := range report.UniqueByHash(d.Candidates()) {
+		fmt.Printf("LOCKSET CANDIDATE (may not manifest):\n%s\n", c)
 	}
 }

@@ -14,10 +14,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"gorace/internal/core"
+	"gorace/internal/detector"
 	"gorace/internal/patterns"
 	"gorace/internal/report"
+	"gorace/internal/sched"
 )
 
 func main() {
@@ -25,8 +28,8 @@ func main() {
 		list      = flag.Bool("list", false, "list corpus patterns and exit")
 		pattern   = flag.String("pattern", "", "corpus pattern ID")
 		variant   = flag.String("variant", "racy", "racy or fixed")
-		det       = flag.String("detector", "fasttrack", "fasttrack, epoch, djit, eraser, hybrid, none")
-		strategy  = flag.String("strategy", "random", "random, roundrobin, pct, delay")
+		det       = flag.String("detector", detector.DefaultName, "one of: "+strings.Join(detector.Names(), ", "))
+		strategy  = flag.String("strategy", sched.DefaultStrategyName, "one of: "+strings.Join(sched.StrategyNames(), ", "))
 		seeds     = flag.Int("seeds", 20, "seeds to try until a race manifests")
 		jsonOut   = flag.Bool("json", false, "emit reports as JSON Lines")
 		saveTrace = flag.String("save-trace", "", "write the manifesting run's event trace to this file (JSON Lines)")
@@ -54,11 +57,13 @@ func main() {
 		prog = p.Fixed
 	}
 
+	runner := core.NewRunner(
+		core.WithDetector(*det),
+		core.WithStrategy(*strategy),
+		core.WithRecord(*saveTrace != ""),
+	)
 	for seed := int64(0); seed < int64(*seeds); seed++ {
-		out, err := core.Detect(prog, core.Config{
-			Detector: *det, Strategy: *strategy, Seed: seed,
-			Record: *saveTrace != "",
-		})
+		out, err := runner.RunSeed(prog, seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -87,12 +92,16 @@ func main() {
 			return
 		}
 		fmt.Printf("== %s/%s under %s, %s, seed %d ==\n", p.ID, *variant, out.Detector, out.Strategy, seed)
-		for _, r := range report.UniqueByHash(out.Races) {
-			fmt.Println(r)
-			fmt.Printf("dedup hash: %s\n\n", r.Hash())
-		}
 		if out.RaceCount > 0 {
-			fmt.Printf("race hits: %d (counting detector)\n", out.RaceCount)
+			// Counting detectors synthesize stackless one-per-address
+			// reports; the pair count and racy-address total say more.
+			fmt.Printf("race hits: %d across %d racy addresses (counting detector)\n",
+				out.RaceCount, len(out.Races))
+		} else {
+			for _, r := range report.UniqueByHash(out.Races) {
+				fmt.Println(r)
+				fmt.Printf("dedup hash: %s\n\n", r.Hash())
+			}
 		}
 		for _, c := range report.UniqueByHash(out.Candidates) {
 			fmt.Printf("LOCKSET CANDIDATE (may not manifest):\n%s\n", c)

@@ -23,9 +23,10 @@ func main() {
 	fmt.Println(p.Description)
 	fmt.Println()
 
+	runner := core.NewRunner(core.WithDetector("hybrid"))
 	var raceSeen, leakSeen bool
 	for seed := int64(0); seed < 200 && !(raceSeen && leakSeen); seed++ {
-		out, err := core.Detect(p.Racy, core.Config{Detector: "hybrid", Seed: seed})
+		out, err := runner.RunSeed(p.Racy, seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -47,13 +48,13 @@ func main() {
 	}
 
 	fmt.Println("-- fixed variant (buffered channel; Wait does not touch f.err) --")
-	for seed := int64(0); seed < 100; seed++ {
-		out, err := core.Detect(p.Fixed, core.Config{Detector: "hybrid", Seed: seed})
-		if err != nil {
-			log.Fatal(err)
-		}
+	outs, err := runner.RunBatch(p.Fixed, core.Seeds(0, 100))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, out := range outs {
 		if len(out.Races) > 0 || out.Result.Deadlocked() {
-			log.Fatalf("fixed variant misbehaved at seed %d", seed)
+			log.Fatalf("fixed variant misbehaved at seed %d", out.Seed)
 		}
 	}
 	fmt.Println("clean: no race, no leak, across 100 seeds")

@@ -1,0 +1,3 @@
+module gorace
+
+go 1.21

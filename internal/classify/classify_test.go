@@ -3,7 +3,7 @@ package classify
 import (
 	"testing"
 
-	"gorace/internal/detector"
+	"gorace/internal/core"
 	"gorace/internal/patterns"
 	"gorace/internal/report"
 	"gorace/internal/sched"
@@ -17,15 +17,14 @@ import (
 // returning the reports and trace hints of the manifesting run.
 func manifest(t *testing.T, prog func(*sched.G)) ([]report.Race, Hints) {
 	t.Helper()
+	runner := core.NewRunner(core.WithRecord(true), core.WithMaxSteps(1<<16))
 	for seed := int64(0); seed < 120; seed++ {
-		ft := detector.NewFastTrack()
-		rec := &trace.Recorder{}
-		sched.Run(prog, sched.Options{
-			Strategy: sched.NewRandom(), Seed: seed, MaxSteps: 1 << 16,
-			Listeners: []trace.Listener{ft, rec},
-		})
-		if ft.RaceCount() > 0 {
-			return ft.Races(), HintsFromTrace(rec.Events)
+		out, err := runner.RunSeed(prog, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.HasRace() {
+			return out.Races, HintsFromTrace(out.Trace.Events)
 		}
 	}
 	t.Fatal("race never manifested")

@@ -2,12 +2,13 @@
 // modeled program under a chosen scheduling strategy with a chosen
 // detector attached, and returns the run summary together with the
 // race reports. Command-line tools, examples, and the deployment
-// pipeline all drive detection through this package.
+// pipeline all drive detection through one entry point, the Runner;
+// detectors and strategies come from the registries in
+// internal/detector and internal/sched, so new algorithms plug in
+// without touching this package.
 package core
 
 import (
-	"fmt"
-
 	"gorace/internal/detector"
 	"gorace/internal/report"
 	"gorace/internal/sched"
@@ -15,13 +16,16 @@ import (
 )
 
 // Config selects the detector, strategy, and run limits.
+//
+// Deprecated: Config only exists for the Detect shim. New code should
+// use NewRunner with functional options.
 type Config struct {
-	// Detector is one of "fasttrack" (default), "epoch", "djit",
-	// "eraser", "hybrid", or "none" (run without detection, the
-	// overhead baseline).
+	// Detector is a registered detector name (see detector.Names);
+	// empty selects the default. "none" runs without detection, the
+	// overhead baseline.
 	Detector string
-	// Strategy is one of "random" (default), "roundrobin", "pct",
-	// "delay".
+	// Strategy is a registered strategy name (see
+	// sched.StrategyNames); empty selects the default.
 	Strategy string
 	// Seed drives the schedule; a fixed seed reproduces the run.
 	Seed int64
@@ -34,123 +38,55 @@ type Config struct {
 // Outcome is the result of one detection run.
 type Outcome struct {
 	Result     *sched.Result
-	Races      []report.Race   // precise (HB) reports, deterministic order
-	Candidates []report.Race   // lockset-only findings (hybrid detector)
-	RaceCount  int             // count for counting-only detectors
-	Trace      *trace.Recorder // non-nil iff Config.Record
-	Detector   string
-	Strategy   string
+	Races      []report.Race // race reports, deterministic order
+	Candidates []report.Race // lockset-only findings (hybrid detector)
+	// RaceCount is the conflicting-pair total of counting-only
+	// detectors (epoch, djit); their Races are synthesized one per
+	// racy address, so RaceCount may exceed len(Races).
+	RaceCount int
+	Trace     *trace.Recorder // non-nil iff recording was requested
+	Detector  string
+	Strategy  string
+	Seed      int64
+	Stats     detector.Stats // the detector's work counters
 }
 
 // HasRace reports whether any race (or counting hit) was detected.
 func (o *Outcome) HasRace() bool { return len(o.Races) > 0 || o.RaceCount > 0 }
 
 // NewStrategy builds a scheduling strategy by name.
+//
+// Deprecated: use sched.NewStrategy; this forwarder predates the
+// strategy registry.
 func NewStrategy(name string) (sched.Strategy, error) {
-	switch name {
-	case "", "random":
-		return sched.NewRandom(), nil
-	case "roundrobin":
-		return sched.NewRoundRobin(), nil
-	case "pct":
-		return sched.NewPCT(3, 2000), nil
-	case "delay":
-		return sched.NewDelay(0.05, 8), nil
-	default:
-		return nil, fmt.Errorf("unknown strategy %q", name)
-	}
+	return sched.NewStrategy(name)
 }
 
 // Detect runs prog under cfg and collects race reports.
+//
+// Deprecated: Detect is a thin shim over the Runner. Use
+// NewRunner(...).Run(prog).
 func Detect(prog func(*sched.G), cfg Config) (*Outcome, error) {
-	strat, err := NewStrategy(cfg.Strategy)
-	if err != nil {
-		return nil, err
-	}
-	out := &Outcome{Strategy: strat.Name()}
-
-	var listeners []trace.Listener
-	if cfg.Record {
-		out.Trace = &trace.Recorder{}
-		listeners = append(listeners, out.Trace)
-	}
-
-	var ft *detector.FastTrack
-	var ep *detector.Epoch
-	var dj *detector.DJIT
-	var er *detector.Eraser
-	var hy *detector.Hybrid
-	switch cfg.Detector {
-	case "", "fasttrack":
-		ft = detector.NewFastTrack()
-		listeners = append(listeners, ft)
-		out.Detector = ft.Name()
-	case "epoch":
-		ep = detector.NewEpoch()
-		listeners = append(listeners, ep)
-		out.Detector = ep.Name()
-	case "djit":
-		dj = detector.NewDJIT()
-		listeners = append(listeners, dj)
-		out.Detector = dj.Name()
-	case "eraser":
-		er = detector.NewEraser()
-		listeners = append(listeners, er)
-		out.Detector = er.Name()
-	case "hybrid":
-		hy = detector.NewHybrid()
-		listeners = append(listeners, hy)
-		out.Detector = hy.Name()
-	case "none":
-		out.Detector = "none"
-	default:
-		return nil, fmt.Errorf("unknown detector %q", cfg.Detector)
-	}
-
-	out.Result = sched.Run(prog, sched.Options{
-		Strategy:  strat,
-		Seed:      cfg.Seed,
-		MaxSteps:  cfg.MaxSteps,
-		Listeners: listeners,
-	})
-
-	switch {
-	case ft != nil:
-		out.Races = ft.Races()
-	case ep != nil:
-		out.RaceCount = ep.RaceCount()
-	case dj != nil:
-		out.RaceCount = dj.RaceCount()
-	case er != nil:
-		out.Races = er.Races()
-	case hy != nil:
-		out.Races = hy.Races()
-		out.Candidates = hy.Candidates()
-	}
-	report.SortRaces(out.Races)
-	report.SortRaces(out.Candidates)
-	return out, nil
+	return NewRunner(
+		WithDetector(cfg.Detector),
+		WithStrategy(cfg.Strategy),
+		WithSeed(cfg.Seed),
+		WithMaxSteps(cfg.MaxSteps),
+		WithRecord(cfg.Record),
+	).Run(prog)
 }
 
 // DetectionProbability runs prog under runs different seeds and
-// returns the fraction of runs in which at least one race manifested —
-// the flakiness measure behind the paper's §3.2.1 argument that
-// PR-time (CI) dynamic race detection is a misfit.
+// returns the fraction of runs in which at least one race manifested.
+//
+// Deprecated: use NewRunner(...).DetectionProbability, which also
+// sweeps the seeds in parallel under WithParallelism.
 func DetectionProbability(prog func(*sched.G), cfg Config, runs int) (float64, error) {
-	if runs <= 0 {
-		runs = 1
-	}
-	hits := 0
-	for i := 0; i < runs; i++ {
-		c := cfg
-		c.Seed = cfg.Seed + int64(i)
-		out, err := Detect(prog, c)
-		if err != nil {
-			return 0, err
-		}
-		if out.HasRace() {
-			hits++
-		}
-	}
-	return float64(hits) / float64(runs), nil
+	return NewRunner(
+		WithDetector(cfg.Detector),
+		WithStrategy(cfg.Strategy),
+		WithSeed(cfg.Seed),
+		WithMaxSteps(cfg.MaxSteps),
+		WithRecord(cfg.Record),
+	).DetectionProbability(prog, runs)
 }

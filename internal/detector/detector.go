@@ -23,11 +23,24 @@ import (
 	"gorace/internal/vclock"
 )
 
-// Detector is a race detector consuming runtime events.
+// Detector is a race detector consuming runtime events. All detectors
+// expose the same surface, so consumers (the core.Runner, the CLI
+// tools, post-facto replay) never special-case an algorithm: precise
+// detectors fill Races, lockset-based ones may additionally surface
+// Candidates, and counting-only detectors are wrapped by Counting so
+// their verdicts still appear as (minimal) reports.
 type Detector interface {
 	trace.Listener
 	// Races returns the reports accumulated so far.
 	Races() []report.Race
+	// Candidates returns findings that may not manifest under the
+	// analyzed schedule (lockset-only reports); nil for precise
+	// detectors.
+	Candidates() []report.Race
+	// Stats summarizes the work performed (events, shadow cells,
+	// reports); Stats().Reports is the race count for counting
+	// detectors.
+	Stats() Stats
 	// Name identifies the detector in reports and experiments.
 	Name() string
 }

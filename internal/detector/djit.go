@@ -18,6 +18,7 @@ type DJIT struct {
 	cells     map[trace.Addr]*djitCell
 	count     int
 	racyAddrs map[trace.Addr]bool
+	stats     statCounter
 }
 
 type djitCell struct {
@@ -36,11 +37,11 @@ func NewDJIT() *DJIT {
 	}
 }
 
-// Name implements Detector.
+// Name implements CountingSource.
 func (d *DJIT) Name() string { return "djit-vc" }
 
-// Races implements Detector; DJIT counts races without report
-// metadata, like the epoch detector.
+// Races returns nil; DJIT counts races without report metadata, like
+// the epoch detector. Wrap with NewCounting for the unified surface.
 func (d *DJIT) Races() []report.Race { return nil }
 
 // RaceCount returns the number of conflicting access pairs observed.
@@ -84,6 +85,7 @@ func (d *DJIT) cell(a trace.Addr) *djitCell {
 
 // HandleEvent implements trace.Listener.
 func (d *DJIT) HandleEvent(ev trace.Event) {
+	d.stats.note(ev)
 	switch ev.Op {
 	case trace.OpFork:
 		parent := d.clockOf(ev.G)

@@ -39,11 +39,12 @@ func NewEpoch() *Epoch {
 	}
 }
 
-// Name implements Detector.
+// Name implements CountingSource.
 func (e *Epoch) Name() string { return "fasttrack-epoch" }
 
-// Races implements Detector. The epoch detector does not keep report
-// metadata; it returns nil. Use RaceCount and RacyAddrs.
+// Races returns nil: the epoch detector keeps no report metadata. Use
+// RaceCount and RacyAddrs directly, or wrap with NewCounting for the
+// unified Detector surface.
 func (e *Epoch) Races() []report.Race { return nil }
 
 // RaceCount returns the number of conflicting access pairs observed.

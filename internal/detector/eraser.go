@@ -68,8 +68,13 @@ func NewEraser() *Eraser {
 // Name implements Detector.
 func (e *Eraser) Name() string { return "eraser-lockset" }
 
-// Races implements Detector.
+// Races implements Detector. Eraser reports are inherently lockset
+// findings; standalone use reports them as Races, while the Hybrid
+// detector demotes the unconfirmed ones to Candidates.
 func (e *Eraser) Races() []report.Race { return e.races }
+
+// Candidates implements Detector.
+func (e *Eraser) Candidates() []report.Race { return nil }
 
 // RaceCount returns the number of reports.
 func (e *Eraser) RaceCount() int { return len(e.races) }

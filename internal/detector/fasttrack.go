@@ -71,6 +71,10 @@ func (ft *FastTrack) Name() string { return "fasttrack-hb" }
 // Races implements Detector.
 func (ft *FastTrack) Races() []report.Race { return ft.races }
 
+// Candidates implements Detector; the HB detector is precise and has
+// no may-not-manifest findings.
+func (ft *FastTrack) Candidates() []report.Race { return nil }
+
 // RaceCount returns the number of reports.
 func (ft *FastTrack) RaceCount() int { return len(ft.races) }
 

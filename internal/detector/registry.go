@@ -1,0 +1,121 @@
+package detector
+
+import (
+	"sort"
+
+	"gorace/internal/registry"
+	"gorace/internal/report"
+	"gorace/internal/trace"
+)
+
+// DefaultName is the detector used when no name is given.
+const DefaultName = "fasttrack"
+
+var reg = registry.New[Detector]("detector")
+
+// Register adds a detector factory under name. It panics on an empty
+// name, a nil factory, or a duplicate registration.
+func Register(name string, factory func() Detector) { reg.Register(name, factory) }
+
+// New builds a fresh detector by registered name ("" selects
+// DefaultName). Unknown names error, listing the valid ones.
+func New(name string) (Detector, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	return reg.Build(name)
+}
+
+// Names returns the registered detector names, sorted.
+func Names() []string { return reg.Names() }
+
+func init() {
+	Register("fasttrack", func() Detector { return NewFastTrack() })
+	Register("epoch", func() Detector { return NewCounting(NewEpoch()) })
+	Register("djit", func() Detector { return NewCounting(NewDJIT()) })
+	Register("eraser", func() Detector { return NewEraser() })
+	Register("hybrid", func() Detector { return NewHybrid() })
+	Register("none", func() Detector { return Noop{} })
+}
+
+// CountingSource is the surface of the counting-only detectors (Epoch,
+// DJIT): they track race hits and racy addresses without report
+// metadata.
+type CountingSource interface {
+	trace.Listener
+	Name() string
+	RaceCount() int
+	RacyAddrs() map[trace.Addr]bool
+	Stats() Stats
+}
+
+// Counting adapts a counting-only detector to the unified Detector
+// interface by synthesizing one minimal report per racy address, so
+// consumers need no parallel race-count channel. The total number of
+// conflicting pairs stays available via Count (and Stats().Reports).
+type Counting struct {
+	Inner CountingSource
+}
+
+// NewCounting wraps a counting-only detector.
+func NewCounting(inner CountingSource) *Counting { return &Counting{Inner: inner} }
+
+// HandleEvent implements trace.Listener.
+func (c *Counting) HandleEvent(ev trace.Event) { c.Inner.HandleEvent(ev) }
+
+// Name implements Detector.
+func (c *Counting) Name() string { return c.Inner.Name() }
+
+// Count returns the number of conflicting access pairs observed.
+func (c *Counting) Count() int { return c.Inner.RaceCount() }
+
+// Races implements Detector: one synthesized report per racy address,
+// in address order. The reports carry no stacks — counting detectors
+// keep no metadata — but they make "did anything race, and where"
+// uniform across the detector family.
+func (c *Counting) Races() []report.Race {
+	racy := c.Inner.RacyAddrs()
+	if len(racy) == 0 {
+		return nil
+	}
+	addrs := make([]int, 0, len(racy))
+	for a := range racy {
+		addrs = append(addrs, int(a))
+	}
+	sort.Ints(addrs)
+	out := make([]report.Race, 0, len(addrs))
+	for _, a := range addrs {
+		out = append(out, report.Race{
+			First:    report.Access{Addr: trace.Addr(a), Op: trace.OpWrite},
+			Second:   report.Access{Addr: trace.Addr(a), Op: trace.OpWrite},
+			Detector: c.Inner.Name(),
+		})
+	}
+	return out
+}
+
+// Candidates implements Detector.
+func (c *Counting) Candidates() []report.Race { return nil }
+
+// Stats implements Detector.
+func (c *Counting) Stats() Stats { return c.Inner.Stats() }
+
+// Noop is the "none" detector: it observes nothing and reports
+// nothing, the overhead baseline. The Runner recognizes it and skips
+// attaching it as a listener, so a "none" run pays no per-event cost.
+type Noop struct{}
+
+// HandleEvent implements trace.Listener.
+func (Noop) HandleEvent(trace.Event) {}
+
+// Name implements Detector.
+func (Noop) Name() string { return "none" }
+
+// Races implements Detector.
+func (Noop) Races() []report.Race { return nil }
+
+// Candidates implements Detector.
+func (Noop) Candidates() []report.Race { return nil }
+
+// Stats implements Detector.
+func (Noop) Stats() Stats { return Stats{} }

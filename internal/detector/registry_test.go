@@ -1,0 +1,158 @@
+package detector
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"gorace/internal/sched"
+	"gorace/internal/trace"
+)
+
+func TestNewKnownDetectors(t *testing.T) {
+	for _, name := range Names() {
+		d, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if d == nil {
+			t.Fatalf("New(%q) returned nil", name)
+		}
+	}
+}
+
+func TestNewDefaultsToFastTrack(t *testing.T) {
+	d, err := New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.(*FastTrack); !ok {
+		t.Fatalf("default detector is %T, want *FastTrack", d)
+	}
+}
+
+func TestNewUnknownNameListsValid(t *testing.T) {
+	_, err := New("magic")
+	if err == nil {
+		t.Fatal("unknown detector accepted")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list valid name %q", err, name)
+		}
+	}
+}
+
+func TestNamesSortedAndStable(t *testing.T) {
+	a, b := Names(), Names()
+	if !sort.StringsAreSorted(a) {
+		t.Fatalf("Names not sorted: %v", a)
+	}
+	if len(a) != len(b) {
+		t.Fatal("Names changed between calls")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Names not stable between calls")
+		}
+	}
+	for _, want := range []string{"fasttrack", "epoch", "djit", "eraser", "hybrid", "none"} {
+		found := false
+		for _, got := range a {
+			if got == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("built-in detector %q not registered (have %v)", want, a)
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register("fasttrack", func() Detector { return NewFastTrack() })
+}
+
+func TestRegisterEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty-name Register did not panic")
+		}
+	}()
+	Register("", func() Detector { return NewFastTrack() })
+}
+
+func TestRegisterNilFactoryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil-factory Register did not panic")
+		}
+	}()
+	Register("nil-factory", nil)
+}
+
+func TestNewReturnsFreshInstances(t *testing.T) {
+	a, _ := New("fasttrack")
+	b, _ := New("fasttrack")
+	if a == b {
+		t.Fatal("registry returned a shared detector instance")
+	}
+}
+
+// TestCountingSynthesizesPerAddrReports checks the Counting adapter:
+// racy addresses become minimal reports, the pair count stays
+// available, and the unified surface agrees with the inner detector.
+func TestCountingSynthesizesPerAddrReports(t *testing.T) {
+	c := NewCounting(NewEpoch())
+	runWith(t, 3, sched.NewRandom(), racyCounter, c)
+	inner := c.Inner.(*Epoch)
+	if inner.RaceCount() == 0 {
+		// racyCounter manifests under most seeds; search a few.
+		for seed := int64(4); seed < 40 && inner.RaceCount() == 0; seed++ {
+			c = NewCounting(NewEpoch())
+			runWith(t, seed, sched.NewRandom(), racyCounter, c)
+			inner = c.Inner.(*Epoch)
+		}
+		if inner.RaceCount() == 0 {
+			t.Fatal("race never manifested")
+		}
+	}
+	races := c.Races()
+	if len(races) != len(inner.RacyAddrs()) {
+		t.Fatalf("%d synthesized reports, %d racy addrs", len(races), len(inner.RacyAddrs()))
+	}
+	for _, r := range races {
+		if r.Detector != c.Name() {
+			t.Fatalf("synthesized report names %q, want %q", r.Detector, c.Name())
+		}
+		if !inner.RacyAddrs()[r.First.Addr] {
+			t.Fatalf("report for addr %d not in RacyAddrs", r.First.Addr)
+		}
+	}
+	if c.Count() != inner.RaceCount() {
+		t.Fatal("Count disagrees with inner RaceCount")
+	}
+	if c.Stats().Reports != inner.RaceCount() {
+		t.Fatal("Stats().Reports disagrees with inner RaceCount")
+	}
+	if c.Candidates() != nil {
+		t.Fatal("counting detector has candidates")
+	}
+}
+
+func TestNoopDetectorReportsNothing(t *testing.T) {
+	var n Noop
+	n.HandleEvent(trace.Event{Op: trace.OpWrite, Addr: 1})
+	if n.Races() != nil || n.Candidates() != nil || n.Stats() != (Stats{}) {
+		t.Fatal("noop detector accumulated state")
+	}
+	if n.Name() != "none" {
+		t.Fatalf("noop name %q", n.Name())
+	}
+}

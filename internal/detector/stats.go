@@ -78,6 +78,41 @@ func (e *Epoch) Stats() Stats {
 	}
 }
 
+// Stats reports the DJIT detector's work counters.
+func (d *DJIT) Stats() Stats {
+	gor := 0
+	for _, c := range d.clocks {
+		if c != nil {
+			gor++
+		}
+	}
+	return Stats{
+		Events:     d.stats.events,
+		Accesses:   d.stats.accesses,
+		SyncOps:    d.stats.syncOps,
+		Cells:      len(d.cells),
+		SyncClocks: len(d.objClocks),
+		Goroutines: gor,
+		Reports:    d.count,
+	}
+}
+
+// Stats reports the Hybrid detector's combined work counters. Both
+// sides consume the same event stream, so the event-shape counters
+// come from the HB side; shadow state and reports are summed.
+func (h *Hybrid) Stats() Stats {
+	hb, ls := h.HB.Stats(), h.LS.Stats()
+	return Stats{
+		Events:     hb.Events,
+		Accesses:   hb.Accesses,
+		SyncOps:    hb.SyncOps,
+		Cells:      hb.Cells + ls.Cells,
+		SyncClocks: hb.SyncClocks,
+		Goroutines: hb.Goroutines,
+		Reports:    hb.Reports + ls.Reports,
+	}
+}
+
 // Stats reports the Eraser detector's work counters.
 func (e *Eraser) Stats() Stats {
 	return Stats{

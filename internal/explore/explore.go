@@ -14,11 +14,14 @@ import (
 	"sort"
 	"strings"
 
-	"gorace/internal/detector"
+	"gorace/internal/core"
 	"gorace/internal/sched"
-	"gorace/internal/trace"
 	"gorace/internal/vclock"
 )
+
+// maxSteps bounds every exploration run; racy corpus programs are
+// small, so a run that exceeds this is a model bug, not a workload.
+const maxSteps = 1 << 16
 
 // ProbeResult is the detection statistics of one strategy.
 type ProbeResult struct {
@@ -37,28 +40,47 @@ func (p ProbeResult) Probability() float64 {
 	return float64(p.Detected) / float64(p.Runs)
 }
 
-// Probe runs prog `runs` times under strategy-producing factory and
-// reports how often at least one race manifested. A fresh strategy and
-// detector are used per run; seeds are sequential from base.
-func Probe(prog func(*sched.G), factory func() sched.Strategy, runs int, base int64) ProbeResult {
+// Probe runs prog `runs` times under the named scheduling strategy
+// (see sched.StrategyNames) and reports how often at least one race
+// manifested. Seeds are sequential from base; the sweep is one
+// Runner.RunBatch with parallelism workers (≤1 = serial).
+func Probe(prog func(*sched.G), strategy string, runs int, base int64, parallelism int) ProbeResult {
+	return probe(prog, core.NewRunner(
+		core.WithStrategy(strategy),
+		core.WithMaxSteps(maxSteps),
+		core.WithParallelism(parallelism),
+	), runs, base)
+}
+
+// ProbeFactory is Probe for strategies a registry name cannot carry
+// (replayed prefixes, custom parameters). The factory is invoked once
+// per run.
+func ProbeFactory(prog func(*sched.G), factory func() sched.Strategy, runs int, base int64) ProbeResult {
+	return probe(prog, core.NewRunner(
+		core.WithStrategyFactory(factory),
+		core.WithMaxSteps(maxSteps),
+	), runs, base)
+}
+
+func probe(prog func(*sched.G), runner *core.Runner, runs int, base int64) ProbeResult {
 	res := ProbeResult{Runs: runs}
 	if runs <= 0 {
 		return res
 	}
 	totalRaces := 0
-	for i := 0; i < runs; i++ {
-		st := factory()
-		res.Strategy = st.Name()
-		ft := detector.NewFastTrack()
-		r := sched.Run(prog, sched.Options{
-			Strategy: st, Seed: base + int64(i), MaxSteps: 1 << 16,
-			Listeners: []trace.Listener{ft},
-		})
-		if ft.RaceCount() > 0 {
+	for br := range runner.StreamBatch(prog, core.Seeds(base, runs)) {
+		if br.Err != nil {
+			// Unknown strategy names and nil factories are programming
+			// errors here; surface them loudly rather than as P=0.
+			panic(br.Err)
+		}
+		out := br.Outcome
+		res.Strategy = out.Strategy
+		if out.HasRace() {
 			res.Detected++
 		}
-		totalRaces += ft.RaceCount()
-		if r.Deadlocked() {
+		totalRaces += len(out.Races)
+		if out.Result.Deadlocked() {
 			res.LeakedRuns++
 		}
 	}
@@ -66,17 +88,11 @@ func Probe(prog func(*sched.G), factory func() sched.Strategy, runs int, base in
 	return res
 }
 
-// CompareStrategies probes prog under the standard strategy family.
+// CompareStrategies probes prog under every registered strategy.
 func CompareStrategies(prog func(*sched.G), runs int, base int64) []ProbeResult {
-	factories := []func() sched.Strategy{
-		func() sched.Strategy { return sched.NewRoundRobin() },
-		func() sched.Strategy { return sched.NewRandom() },
-		func() sched.Strategy { return sched.NewPCT(3, 2000) },
-		func() sched.Strategy { return sched.NewDelay(0.1, 8) },
-	}
 	var out []ProbeResult
-	for _, f := range factories {
-		out = append(out, Probe(prog, f, runs, base))
+	for _, name := range sched.StrategyNames() {
+		out = append(out, Probe(prog, name, runs, base, 0))
 	}
 	return out
 }
@@ -142,13 +158,15 @@ func ExhaustiveBounded(prog func(*sched.G), maxRuns, maxPreemptions int) Exhaust
 		seen[key] = true
 
 		rec := sched.NewRecording(sched.NewReplay(it.prefix))
-		ft := detector.NewFastTrack()
-		sched.Run(prog, sched.Options{
-			Strategy: rec, Seed: 0, MaxSteps: 1 << 16,
-			Listeners: []trace.Listener{ft},
-		})
+		out, err := core.NewRunner(
+			core.WithStrategyFactory(func() sched.Strategy { return rec }),
+			core.WithMaxSteps(maxSteps),
+		).Run(prog)
+		if err != nil {
+			panic(err) // no registry lookups involved; cannot fail
+		}
 		res.Schedules++
-		if ft.RaceCount() > 0 {
+		if out.HasRace() {
 			res.Racy++
 			if res.FirstRacy == nil {
 				res.FirstRacy = append([]int(nil), it.prefix...)

@@ -22,7 +22,7 @@ func fixedProg() func(*sched.G) {
 }
 
 func TestProbeDetectsRacyProgram(t *testing.T) {
-	r := Probe(racyProg(), func() sched.Strategy { return sched.NewRandom() }, 30, 0)
+	r := Probe(racyProg(), "random", 30, 0, 1)
 	if r.Detected == 0 {
 		t.Fatal("random probing never detected the loop-capture race")
 	}
@@ -35,7 +35,7 @@ func TestProbeDetectsRacyProgram(t *testing.T) {
 }
 
 func TestProbeCleanOnFixedProgram(t *testing.T) {
-	r := Probe(fixedProg(), func() sched.Strategy { return sched.NewRandom() }, 30, 0)
+	r := Probe(fixedProg(), "random", 30, 0, 4)
 	if r.Detected != 0 {
 		t.Fatalf("fixed program detected %d times", r.Detected)
 	}
@@ -45,7 +45,7 @@ func TestProbeCleanOnFixedProgram(t *testing.T) {
 }
 
 func TestProbeZeroRuns(t *testing.T) {
-	r := Probe(racyProg(), func() sched.Strategy { return sched.NewRandom() }, 0, 0)
+	r := Probe(racyProg(), "random", 0, 0, 1)
 	if r.Probability() != 0 {
 		t.Fatal("zero runs should give zero probability")
 	}
@@ -76,7 +76,7 @@ func TestExhaustiveFindsRaceAndReproduces(t *testing.T) {
 		t.Fatalf("schedules = %d", res.Schedules)
 	}
 	// The first racy schedule must deterministically reproduce.
-	r2 := Probe(racyProg(), func() sched.Strategy { return sched.NewReplay(res.FirstRacy) }, 1, 0)
+	r2 := ProbeFactory(racyProg(), func() sched.Strategy { return sched.NewReplay(res.FirstRacy) }, 1, 0)
 	if r2.Detected != 1 {
 		t.Fatal("recorded racy schedule did not reproduce the race")
 	}
@@ -109,7 +109,7 @@ func TestRoundRobinVsRandomFlakiness(t *testing.T) {
 	// random should differ in detection probability; at minimum,
 	// random must detect it.
 	p, _ := patterns.ByID("waitgroup-add-inside")
-	rnd := Probe(p.Racy, func() sched.Strategy { return sched.NewRandom() }, 40, 0)
+	rnd := Probe(p.Racy, "random", 40, 0, 0)
 	if rnd.Detected == 0 {
 		t.Fatal("random never detected the WaitGroup race")
 	}

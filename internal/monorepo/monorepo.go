@@ -14,11 +14,10 @@ import (
 	"math/rand"
 	"sort"
 
-	"gorace/internal/detector"
+	"gorace/internal/core"
 	"gorace/internal/patterns"
 	"gorace/internal/report"
 	"gorace/internal/sched"
-	"gorace/internal/trace"
 )
 
 // UnitTest is one test in a service, wrapping a corpus pattern.
@@ -88,17 +87,15 @@ type Detection struct {
 // schedule (the source of run-to-run flakiness) and returns the
 // detections. Reports within one test are reduced to unique hashes.
 func (r *Repo) RunAllTests(seed int64) []Detection {
+	runner := core.NewRunner(core.WithMaxSteps(1 << 16))
 	var out []Detection
 	for si, svc := range r.Services {
 		for ti, t := range svc.Tests {
-			ft := detector.NewFastTrack()
-			sched.Run(t.Program(), sched.Options{
-				Strategy:  sched.NewRandom(),
-				Seed:      seed ^ int64(si*131+ti*17),
-				MaxSteps:  1 << 16,
-				Listeners: []trace.Listener{ft},
-			})
-			for _, race := range report.UniqueByHash(ft.Races()) {
+			res, err := runner.RunSeed(t.Program(), seed^int64(si*131+ti*17))
+			if err != nil {
+				panic(err) // default registry names; cannot fail
+			}
+			for _, race := range report.UniqueByHash(res.Races) {
 				out = append(out, Detection{
 					Service: svc.Name,
 					Test:    t.Name,

@@ -1,0 +1,16 @@
+// Command gen regenerates PATTERNS.md from the corpus registry:
+//
+//	go run gorace/internal/patterns/gen > PATTERNS.md
+//
+// TestCatalogInSyncWithFile keeps the committed file honest.
+package main
+
+import (
+	"fmt"
+
+	"gorace/internal/patterns"
+)
+
+func main() {
+	fmt.Print(patterns.Catalog())
+}

@@ -4,11 +4,13 @@ import (
 	"os"
 	"testing"
 
-	"gorace/internal/detector"
-	"gorace/internal/sched"
+	"gorace/internal/core"
 	"gorace/internal/taxonomy"
-	"gorace/internal/trace"
 )
+
+// runner drives every corpus execution in these tests: default
+// (fasttrack) detector, random schedules, bounded steps.
+var runner = core.NewRunner(core.WithMaxSteps(1 << 16))
 
 func TestRegistryValid(t *testing.T) {
 	if err := Validate(); err != nil {
@@ -65,15 +67,14 @@ func TestRacyVariantsManifest(t *testing.T) {
 		p := p
 		t.Run(p.ID+"/racy", func(t *testing.T) {
 			for seed := int64(0); seed < maxSeeds; seed++ {
-				ft := detector.NewFastTrack()
-				res := sched.Run(p.Racy, sched.Options{
-					Strategy: sched.NewRandom(), Seed: seed, MaxSteps: 1 << 16,
-					Listeners: []trace.Listener{ft},
-				})
-				if res.BudgetExceeded {
+				out, err := runner.RunSeed(p.Racy, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out.Result.BudgetExceeded {
 					t.Fatalf("seed %d: budget exceeded", seed)
 				}
-				if ft.RaceCount() > 0 {
+				if out.HasRace() {
 					return // manifested
 				}
 			}
@@ -87,23 +88,22 @@ func TestFixedVariantsClean(t *testing.T) {
 	for _, p := range All() {
 		p := p
 		t.Run(p.ID+"/fixed", func(t *testing.T) {
-			for seed := int64(0); seed < seeds; seed++ {
-				ft := detector.NewFastTrack()
-				res := sched.Run(p.Fixed, sched.Options{
-					Strategy: sched.NewRandom(), Seed: seed, MaxSteps: 1 << 16,
-					Listeners: []trace.Listener{ft},
-				})
-				if ft.RaceCount() > 0 {
-					t.Fatalf("seed %d: fixed variant raced:\n%s", seed, ft.Races()[0])
+			outs, err := runner.RunBatch(p.Fixed, core.Seeds(0, seeds))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, out := range outs {
+				if out.HasRace() {
+					t.Fatalf("seed %d: fixed variant raced:\n%s", out.Seed, out.Races[0])
 				}
-				if res.Deadlocked() {
-					t.Fatalf("seed %d: fixed variant leaked goroutines: %+v", seed, res.Leaked)
+				if out.Result.Deadlocked() {
+					t.Fatalf("seed %d: fixed variant leaked goroutines: %+v", out.Seed, out.Result.Leaked)
 				}
-				if len(res.Failures) > 0 {
-					t.Fatalf("seed %d: fixed variant failed: %v", seed, res.Failures)
+				if len(out.Result.Failures) > 0 {
+					t.Fatalf("seed %d: fixed variant failed: %v", out.Seed, out.Result.Failures)
 				}
-				if res.BudgetExceeded {
-					t.Fatalf("seed %d: budget exceeded", seed)
+				if out.Result.BudgetExceeded {
+					t.Fatalf("seed %d: budget exceeded", out.Seed)
 				}
 			}
 		})
@@ -114,12 +114,14 @@ func TestFutureRacyLeaksGoroutine(t *testing.T) {
 	// Listing 9's second defect: when the cancel arm wins, the future
 	// goroutine blocks forever on the unbuffered send.
 	p, _ := ByID("future-ctx-cancel")
+	leakRunner := core.NewRunner(core.WithDetector("none"), core.WithMaxSteps(1<<16))
 	leaked := false
 	for seed := int64(0); seed < 80 && !leaked; seed++ {
-		res := sched.Run(p.Racy, sched.Options{
-			Strategy: sched.NewRandom(), Seed: seed, MaxSteps: 1 << 16,
-		})
-		leaked = res.Deadlocked()
+		out, err := leakRunner.RunSeed(p.Racy, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaked = out.Result.Deadlocked()
 	}
 	if !leaked {
 		t.Fatal("future goroutine never leaked across 80 seeds")
@@ -131,12 +133,11 @@ func TestRacyReportsCarryListingFrames(t *testing.T) {
 	// source files of the paper's listings.
 	p, _ := ByID("capture-loop-index")
 	for seed := int64(0); seed < 40; seed++ {
-		ft := detector.NewFastTrack()
-		sched.Run(p.Racy, sched.Options{
-			Strategy: sched.NewRandom(), Seed: seed, MaxSteps: 1 << 16,
-			Listeners: []trace.Listener{ft},
-		})
-		for _, r := range ft.Races() {
+		out, err := runner.RunSeed(p.Racy, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range out.Races {
 			if r.Second.Stack.Leaf().File == "listing1.go" || r.First.Stack.Leaf().File == "listing1.go" {
 				return
 			}

@@ -4,11 +4,9 @@ import (
 	"strings"
 	"testing"
 
-	"gorace/internal/detector"
+	"gorace/internal/core"
 	"gorace/internal/patterns"
 	"gorace/internal/report"
-	"gorace/internal/sched"
-	"gorace/internal/trace"
 )
 
 func manifestOne(t *testing.T, id string) report.Race {
@@ -17,14 +15,14 @@ func manifestOne(t *testing.T, id string) report.Race {
 	if !ok {
 		t.Fatalf("pattern %s missing", id)
 	}
+	runner := core.NewRunner(core.WithMaxSteps(1 << 16))
 	for seed := int64(0); seed < 80; seed++ {
-		ft := detector.NewFastTrack()
-		sched.Run(p.Racy, sched.Options{
-			Strategy: sched.NewRandom(), Seed: seed, MaxSteps: 1 << 16,
-			Listeners: []trace.Listener{ft},
-		})
-		if ft.RaceCount() > 0 {
-			return ft.Races()[0]
+		out, err := runner.RunSeed(p.Racy, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.HasRace() {
+			return out.Races[0]
 		}
 	}
 	t.Fatal("race never manifested")

@@ -1,0 +1,68 @@
+// Package registry is the generic name→factory registry backing the
+// pluggable detector and scheduling-strategy families. Registration
+// happens at init time and panics loudly on misuse; lookup failures
+// return an error listing the valid names.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry maps names to factories for one kind of component.
+type Registry[T any] struct {
+	kind      string
+	mu        sync.RWMutex
+	factories map[string]func() T
+}
+
+// New returns an empty registry; kind ("detector", "strategy") names
+// the component family in panic and error messages.
+func New[T any](kind string) *Registry[T] {
+	return &Registry[T]{kind: kind, factories: map[string]func() T{}}
+}
+
+// Register adds a factory under name. It panics on an empty name, a
+// nil factory, or a duplicate registration — registries are assembled
+// at init time, where a loud failure beats a shadowed component.
+func (r *Registry[T]) Register(name string, factory func() T) {
+	if name == "" {
+		panic(fmt.Sprintf("%s registry: Register with empty name", r.kind))
+	}
+	if factory == nil {
+		panic(fmt.Sprintf("%s registry: Register(%q) with nil factory", r.kind, name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.factories[name]; dup {
+		panic(fmt.Sprintf("%s registry: Register(%q) called twice", r.kind, name))
+	}
+	r.factories[name] = factory
+}
+
+// Build constructs a fresh instance by registered name. Unknown names
+// error, listing the valid ones.
+func (r *Registry[T]) Build(name string) (T, error) {
+	r.mu.RLock()
+	factory, ok := r.factories[name]
+	r.mu.RUnlock()
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("unknown %s %q (valid: %s)", r.kind, name, strings.Join(r.Names(), ", "))
+	}
+	return factory(), nil
+}
+
+// Names returns the registered names, sorted.
+func (r *Registry[T]) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.factories))
+	for name := range r.factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -5,11 +5,8 @@ import (
 	"strings"
 
 	"gorace/internal/classify"
-	"gorace/internal/detector"
 	"gorace/internal/patterns"
-	"gorace/internal/sched"
 	"gorace/internal/taxonomy"
-	"gorace/internal/trace"
 )
 
 // MultiLabelResult quantifies §4.10's remark that the study's
@@ -71,19 +68,17 @@ func RunMultiLabel(seed int64) *MultiLabelResult {
 func classifyInstanceAll(p patterns.Pattern, base int64) ([]taxonomy.Category, bool) {
 	const maxSeeds = 60
 	for s := int64(0); s < maxSeeds; s++ {
-		ft := detector.NewFastTrack()
-		rec := &trace.Recorder{}
-		sched.Run(p.Racy, sched.Options{
-			Strategy: sched.NewRandom(), Seed: base + s, MaxSteps: 1 << 16,
-			Listeners: []trace.Listener{ft, rec},
-		})
-		if ft.RaceCount() == 0 {
+		res, err := instanceRunner.RunSeed(p.Racy, base+s)
+		if err != nil {
+			panic(err) // default registry names; cannot fail
+		}
+		if !res.HasRace() {
 			continue
 		}
-		hints := classify.HintsFromTrace(rec.Events)
+		hints := classify.HintsFromTrace(res.Trace.Events)
 		var out []taxonomy.Category
 		seen := make(map[taxonomy.Category]bool)
-		for _, r := range ft.Races() {
+		for _, r := range res.Races {
 			// The missing-lock label is the classifier's universal
 			// fallback; as a *secondary* label it only carries signal
 			// when the race shows partial locking (one side holds a

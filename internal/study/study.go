@@ -18,11 +18,16 @@ import (
 	"strings"
 
 	"gorace/internal/classify"
-	"gorace/internal/detector"
+	"gorace/internal/core"
 	"gorace/internal/patterns"
-	"gorace/internal/sched"
 	"gorace/internal/taxonomy"
-	"gorace/internal/trace"
+)
+
+// instanceRunner drives every study run: random schedules, recorded
+// traces (the classifier needs hints), bounded steps.
+var instanceRunner = core.NewRunner(
+	core.WithRecord(true),
+	core.WithMaxSteps(1<<16),
 )
 
 // Row is one table row: the paper's entry and the regenerated count.
@@ -109,19 +114,17 @@ func RunTable23(scale float64, seed int64) *Result {
 func classifyInstance(p patterns.Pattern, base int64) (taxonomy.Category, bool) {
 	const maxSeeds = 60
 	for s := int64(0); s < maxSeeds; s++ {
-		ft := detector.NewFastTrack()
-		rec := &trace.Recorder{}
-		sched.Run(p.Racy, sched.Options{
-			Strategy: sched.NewRandom(), Seed: base + s, MaxSteps: 1 << 16,
-			Listeners: []trace.Listener{ft, rec},
-		})
-		if ft.RaceCount() == 0 {
+		out, err := instanceRunner.RunSeed(p.Racy, base+s)
+		if err != nil {
+			panic(err) // default registry names; cannot fail
+		}
+		if !out.HasRace() {
 			continue
 		}
-		hints := classify.HintsFromTrace(rec.Events)
+		hints := classify.HintsFromTrace(out.Trace.Events)
 		// Classify every report and keep the most specific primary
 		// (the first report is usually the defining access pair).
-		return classify.Primary(ft.Races()[0], hints), true
+		return classify.Primary(out.Races[0], hints), true
 	}
 	return taxonomy.CatUnknown, false
 }
