@@ -293,6 +293,45 @@ func BenchmarkReplayEraser(b *testing.B) {
 	}
 }
 
+// --- Hot path: steady-state per-event cost of a recycled detector ---
+//
+// Each benchmark replays the same recorded heavy trace into ONE
+// detector instance that is Reset between iterations — the shape of a
+// fleet-scale sweep, where core.Runner recycles per-worker detector
+// state across seeds. ReportAllocs makes the allocation-free claim
+// measurable: steady-state allocs/op must stay far below the
+// construct-per-run Replay* benchmarks above (the pre-recycling
+// baseline: FastTrack replayed at 442 allocs/op before the dense
+// shadow slices and clock pooling landed).
+
+func benchHotPath(b *testing.B, name string) {
+	rec := recordHeavyTrace(b)
+	det := mustDetector(b, name)
+	rs, ok := det.(detector.Resetter)
+	if !ok {
+		b.Fatalf("detector %q is not resettable", name)
+	}
+	// Prime once so slice growth to the trace's high-water mark is not
+	// billed to the steady state.
+	rec.Replay(det)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs.Reset()
+		rec.Replay(det)
+	}
+}
+
+func BenchmarkFastTrackHotPath(b *testing.B) { benchHotPath(b, "fasttrack") }
+
+func BenchmarkEpochHotPath(b *testing.B) { benchHotPath(b, "epoch") }
+
+func BenchmarkDJITHotPath(b *testing.B) { benchHotPath(b, "djit") }
+
+func BenchmarkEraserHotPath(b *testing.B) { benchHotPath(b, "eraser") }
+
+func BenchmarkHybridHotPath(b *testing.B) { benchHotPath(b, "hybrid") }
+
 // --- Ablations (DESIGN.md) ---
 
 // heavyProgram stresses shadow-memory operations: many goroutines,

@@ -120,20 +120,88 @@ func (r *Runner) Run(prog func(*sched.G)) (*Outcome, error) {
 
 // RunSeed executes prog once under the given seed.
 func (r *Runner) RunSeed(prog func(*sched.G), seed int64) (*Outcome, error) {
-	strat, err := r.newStrategy()
+	st, err := r.newRunState()
 	if err != nil {
 		return nil, err
 	}
+	return r.runSeed(st, prog, seed)
+}
+
+// runState is the per-worker detection state a batch sweep recycles
+// across seeds: the detector instance (Reset in place between runs
+// when it supports it) and the reusable trace buffer for record mode.
+// Recycling this state is what keeps a 1000-seed RunBatch from
+// allocating a thousand detectors' worth of shadow memory.
+type runState struct {
+	det    detector.Detector
+	reset  detector.Resetter // nil when det must be rebuilt per run
+	buf    *trace.Recorder   // lazily created, record mode only
+	used   bool              // det has consumed a run since (re)build
+	shared bool              // state is recycled across runs (batch worker)
+}
+
+// newRunState builds a fresh detector and decides whether it can be
+// recycled. A Counting wrapper is only recyclable when its inner
+// counting detector is.
+func (r *Runner) newRunState() (*runState, error) {
 	det, err := detector.New(r.detectorName)
 	if err != nil {
 		return nil, err
 	}
+	st := &runState{det: det}
+	if rs, ok := det.(detector.Resetter); ok {
+		st.reset = rs
+	}
+	if c, ok := det.(*detector.Counting); ok && !c.CanReset() {
+		st.reset = nil
+	}
+	return st, nil
+}
+
+// recycle readies the state for another run, rebuilding the detector
+// if it cannot be reset in place.
+func (st *runState) recycle(r *Runner) error {
+	if !st.used {
+		return nil
+	}
+	if st.reset != nil {
+		st.reset.Reset()
+		return nil
+	}
+	det, err := detector.New(r.detectorName)
+	if err != nil {
+		return err
+	}
+	st.det = det
+	return nil
+}
+
+// runSeed executes prog once on st. Results never alias recycled
+// state: races and candidates are copied out of a reused detector, and
+// recorded traces are snapshotted out of the reused buffer.
+func (r *Runner) runSeed(st *runState, prog func(*sched.G), seed int64) (*Outcome, error) {
+	strat, err := r.newStrategy()
+	if err != nil {
+		return nil, err
+	}
+	if err := st.recycle(r); err != nil {
+		return nil, err
+	}
+	det := st.det
+	// A shared (batch-worker) detector is recycled after this run,
+	// which would rewind its result slices — so the outcome must own
+	// copies. One-shot states discard the detector; aliasing is fine.
+	recyclable := st.shared && st.reset != nil
+	st.used = true
 
 	out := &Outcome{Detector: det.Name(), Strategy: strat.Name(), Seed: seed}
 	var listeners []trace.Listener
 	if r.record {
-		out.Trace = &trace.Recorder{}
-		listeners = append(listeners, out.Trace)
+		if st.buf == nil {
+			st.buf = &trace.Recorder{}
+		}
+		st.buf.Reset()
+		listeners = append(listeners, st.buf)
 	}
 	if _, isNoop := det.(detector.Noop); !isNoop {
 		// The none detector observes nothing; not attaching it keeps
@@ -148,8 +216,22 @@ func (r *Runner) RunSeed(prog func(*sched.G), seed int64) (*Outcome, error) {
 		Listeners: listeners,
 	})
 
+	if r.record {
+		if st.shared {
+			out.Trace = st.buf.Snapshot()
+		} else {
+			// One-shot state: hand the recorder over instead of
+			// copying it; it will not be reused.
+			out.Trace = st.buf
+			st.buf = nil
+		}
+	}
 	out.Races = det.Races()
 	out.Candidates = det.Candidates()
+	if recyclable {
+		out.Races = append([]report.Race(nil), out.Races...)
+		out.Candidates = append([]report.Race(nil), out.Candidates...)
+	}
 	out.Stats = det.Stats()
 	if c, ok := det.(*detector.Counting); ok {
 		out.RaceCount = c.Count()
@@ -201,13 +283,32 @@ func (r *Runner) StreamBatch(prog func(*sched.G), seeds []int64) <-chan BatchRes
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// Each worker owns one recycled detection state: the
+			// detector is Reset in place between seeds (when it
+			// supports it), so the sweep's shadow memory, clocks, and
+			// trace buffer are allocated once per worker, not once
+			// per seed.
+			st, err := r.newRunState()
+			if err != nil {
+				// validate() ran before the workers started, so this
+				// is unreachable short of a racing re-registration.
+				st = nil
+			} else {
+				st.shared = true
+			}
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(seeds) {
 					return
 				}
-				out, err := r.RunSeed(prog, seeds[i])
-				ch <- BatchResult{Index: i, Seed: seeds[i], Outcome: out, Err: err}
+				var out *Outcome
+				var runErr error
+				if st != nil {
+					out, runErr = r.runSeed(st, prog, seeds[i])
+				} else {
+					out, runErr = r.RunSeed(prog, seeds[i])
+				}
+				ch <- BatchResult{Index: i, Seed: seeds[i], Outcome: out, Err: runErr}
 			}
 		}()
 	}

@@ -271,3 +271,38 @@ func TestDetectShimMatchesRunner(t *testing.T) {
 		}
 	}
 }
+
+func TestRunBatchRecycledStateMatchesFresh(t *testing.T) {
+	// A serial batch reuses one detector via Reset across all seeds;
+	// per-seed RunSeed builds a fresh detector each time. Both must
+	// produce identical reports — the recycled shadow state must not
+	// leak detection state (or alias report slices) between seeds.
+	for _, det := range []string{"fasttrack", "epoch", "djit", "eraser", "hybrid"} {
+		runner := NewRunner(WithDetector(det), WithRecord(true))
+		seeds := Seeds(0, 16)
+		batch, err := runner.RunBatch(racy(), seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range seeds {
+			fresh, err := runner.RunSeed(racy(), seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, want := batch[i], fresh
+			if len(got.Races) != len(want.Races) || got.RaceCount != want.RaceCount {
+				t.Fatalf("%s seed %d: recycled %d races (count %d), fresh %d (count %d)",
+					det, seed, len(got.Races), got.RaceCount, len(want.Races), want.RaceCount)
+			}
+			for j := range got.Races {
+				if got.Races[j].Hash() != want.Races[j].Hash() {
+					t.Fatalf("%s seed %d: report %d differs between recycled and fresh state", det, seed, j)
+				}
+			}
+			if len(got.Trace.Events) != len(want.Trace.Events) {
+				t.Fatalf("%s seed %d: recycled trace %d events, fresh %d",
+					det, seed, len(got.Trace.Events), len(want.Trace.Events))
+			}
+		}
+	}
+}

@@ -45,14 +45,48 @@ type Detector interface {
 	Name() string
 }
 
+// Resetter is implemented by detectors that can be rewound to their
+// initial state in place, retaining allocated buffers, so one instance
+// can analyze many runs without churning the garbage collector. After
+// Reset, slices previously returned by Races/Candidates are
+// invalidated; callers that keep results across runs must copy them
+// first (core.Runner does).
+type Resetter interface {
+	Reset()
+}
+
 // lockTracker maintains per-goroutine held-lock sets from
 // acquire/release events. Shared by the HB detector (for report
-// annotation) and the Eraser detector (as its core state).
+// annotation) and the Eraser detector (as its core state). Held sets
+// are dense slices keyed by TID, so the per-event bookkeeping is a
+// bounds check rather than a map probe.
 type lockTracker struct {
-	// held[g] lists lock object ids currently held, in acquisition
-	// order; reads-held are tracked separately from write-held.
-	write map[vclock.TID][]lockEntry
-	read  map[vclock.TID][]lockEntry
+	// write[g] / read[g] list lock object ids currently held, in
+	// acquisition order; reads-held are tracked separately from
+	// write-held.
+	write [][]lockEntry
+	read  [][]lockEntry
+	// cache[g] holds the derived views of g's current lock set
+	// (labels for reports, id sets for lockset refinement). Accesses
+	// are far more frequent than acquire/release, so deriving these
+	// once per lock-set change instead of once per access is what
+	// makes the annotated access path allocation-free. Each rebuild
+	// allocates fresh slices; consumers may keep the old ones, which
+	// stay immutable forever.
+	cache []lockView
+}
+
+// lockView caches the derived forms of one goroutine's lock set. Each
+// field is built lazily under its own valid bit, so a detector that
+// only wants labels (FastTrack) never pays for the id sets Eraser
+// needs, and vice versa.
+type lockView struct {
+	labelsOK bool
+	labels   []string
+	writeOK  bool
+	writeIDs []trace.ObjID
+	allOK    bool
+	allIDs   []trace.ObjID
 }
 
 type lockEntry struct {
@@ -61,29 +95,64 @@ type lockEntry struct {
 }
 
 func newLockTracker() *lockTracker {
-	return &lockTracker{
-		write: make(map[vclock.TID][]lockEntry),
-		read:  make(map[vclock.TID][]lockEntry),
+	return &lockTracker{}
+}
+
+// reset empties every held set in place, keeping per-goroutine buffers.
+func (lt *lockTracker) reset() {
+	for i := range lt.write {
+		lt.write[i] = lt.write[i][:0]
 	}
+	for i := range lt.read {
+		lt.read[i] = lt.read[i][:0]
+	}
+	for i := range lt.cache {
+		lt.cache[i] = lockView{}
+	}
+}
+
+// view returns g's cache slot, growing the table as needed.
+func (lt *lockTracker) view(g vclock.TID) *lockView {
+	for int(g) >= len(lt.cache) {
+		lt.cache = append(lt.cache, lockView{})
+	}
+	return &lt.cache[g]
+}
+
+// invalidate marks g's derived views stale after a lock-set mutation.
+func (lt *lockTracker) invalidate(g vclock.TID) {
+	if int(g) < len(lt.cache) {
+		lt.cache[g] = lockView{}
+	}
+}
+
+func growLocks(held [][]lockEntry, g vclock.TID) [][]lockEntry {
+	for int(g) >= len(held) {
+		held = append(held, nil)
+	}
+	return held
 }
 
 // handle updates lock state; returns true if the event was lock-related.
 func (lt *lockTracker) handle(ev trace.Event) bool {
 	switch {
 	case ev.Op == trace.OpAcquire && ev.Kind == trace.KindMutex:
+		lt.write = growLocks(lt.write, ev.G)
 		lt.write[ev.G] = append(lt.write[ev.G], lockEntry{ev.Obj, ev.Label})
-		return true
 	case ev.Op == trace.OpRelease && ev.Kind == trace.KindMutex:
+		lt.write = growLocks(lt.write, ev.G)
 		lt.write[ev.G] = removeLock(lt.write[ev.G], ev.Obj)
-		return true
 	case ev.Op == trace.OpAcquire && ev.Kind == trace.KindRWRead:
+		lt.read = growLocks(lt.read, ev.G)
 		lt.read[ev.G] = append(lt.read[ev.G], lockEntry{ev.Obj, ev.Label})
-		return true
 	case ev.Op == trace.OpRelease && ev.Kind == trace.KindRWRead:
+		lt.read = growLocks(lt.read, ev.G)
 		lt.read[ev.G] = removeLock(lt.read[ev.G], ev.Obj)
-		return true
+	default:
+		return false
 	}
-	return false
+	lt.invalidate(ev.G)
+	return true
 }
 
 func removeLock(ls []lockEntry, obj trace.ObjID) []lockEntry {
@@ -95,40 +164,85 @@ func removeLock(ls []lockEntry, obj trace.ObjID) []lockEntry {
 	return ls
 }
 
-// writeHeld returns the ids of write-held locks of g.
+func heldOf(held [][]lockEntry, g vclock.TID) []lockEntry {
+	if int(g) >= len(held) {
+		return nil
+	}
+	return held[g]
+}
+
+// writeHeld returns the ids of write-held locks of g. The slice is
+// shared and immutable; callers may retain but must not mutate it.
 func (lt *lockTracker) writeHeld(g vclock.TID) []trace.ObjID {
-	return ids(lt.write[g])
+	v := lt.view(g)
+	if !v.writeOK {
+		v.writeOK = true
+		v.writeIDs = nil
+		for _, e := range heldOf(lt.write, g) {
+			v.writeIDs = append(v.writeIDs, e.obj)
+		}
+	}
+	return v.writeIDs
 }
 
-// allHeld returns the ids of all locks (write- and read-held) of g.
+// allHeld returns the ids of all locks (write- and read-held) of g,
+// under the same sharing contract as writeHeld.
 func (lt *lockTracker) allHeld(g vclock.TID) []trace.ObjID {
-	return append(ids(lt.write[g]), ids(lt.read[g])...)
+	v := lt.view(g)
+	if !v.allOK {
+		v.allOK = true
+		v.allIDs = nil
+		for _, e := range heldOf(lt.write, g) {
+			v.allIDs = append(v.allIDs, e.obj)
+		}
+		for _, e := range heldOf(lt.read, g) {
+			v.allIDs = append(v.allIDs, e.obj)
+		}
+	}
+	return v.allIDs
 }
 
-// heldLabels returns human-readable names of all locks held by g.
+// heldLabels returns human-readable names of all locks held by g,
+// under the same sharing contract as writeHeld.
 func (lt *lockTracker) heldLabels(g vclock.TID) []string {
-	var out []string
-	for _, e := range lt.write[g] {
-		out = append(out, e.label)
+	v := lt.view(g)
+	if !v.labelsOK {
+		v.labelsOK = true
+		v.labels = nil
+		for _, e := range heldOf(lt.write, g) {
+			v.labels = append(v.labels, e.label)
+		}
+		for _, e := range heldOf(lt.read, g) {
+			v.labels = append(v.labels, e.label+"(r)")
+		}
 	}
-	for _, e := range lt.read[g] {
-		out = append(out, e.label+"(r)")
-	}
-	return out
+	return v.labels
 }
 
-func ids(ls []lockEntry) []trace.ObjID {
-	out := make([]trace.ObjID, 0, len(ls))
-	for _, e := range ls {
-		out = append(out, e.obj)
-	}
-	return out
-}
-
-// intersect keeps the members of a that are also in b.
+// intersect keeps the members of a that are also in b. When every
+// member of a survives — by far the common case for consistently
+// locked data — a is returned unchanged, so steady-state lockset
+// refinement allocates nothing.
 func intersect(a, b []trace.ObjID) []trace.ObjID {
-	var out []trace.ObjID
+	kept := 0
 	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			break
+		}
+		kept++
+	}
+	if kept == len(a) {
+		return a
+	}
+	out := append([]trace.ObjID(nil), a[:kept]...)
+	for _, x := range a[kept+1:] {
 		for _, y := range b {
 			if x == y {
 				out = append(out, x)

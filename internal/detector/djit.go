@@ -13,26 +13,32 @@ import (
 // match the epoch detector, but every access pays O(goroutines)
 // instead of O(1) in the common case.
 type DJIT struct {
+	pool      *vclock.Pool
 	clocks    []*vclock.VC
-	objClocks map[trace.ObjID]*vclock.VC
-	cells     map[trace.Addr]*djitCell
+	objClocks []*vclock.VC
+	objCount  int
+	cells     []djitCell
+	cellCount int
 	count     int
 	racyAddrs map[trace.Addr]bool
 	stats     statCounter
 }
 
+// djitCell holds the four per-cell history clocks by value, in a dense
+// slice indexed by Addr; the zero VC is a usable empty clock, so a
+// fresh cell needs no initialization and no allocation.
 type djitCell struct {
-	writes       *vclock.VC // per-goroutine last write time
-	reads        *vclock.VC // per-goroutine last plain-read time
-	atomicWrites *vclock.VC
-	atomicReads  *vclock.VC
+	seen         bool
+	writes       vclock.VC // per-goroutine last write time
+	reads        vclock.VC // per-goroutine last plain-read time
+	atomicWrites vclock.VC
+	atomicReads  vclock.VC
 }
 
 // NewDJIT returns a fresh DJIT+ detector.
 func NewDJIT() *DJIT {
 	return &DJIT{
-		objClocks: make(map[trace.ObjID]*vclock.VC),
-		cells:     make(map[trace.Addr]*djitCell),
+		pool:      vclock.NewPool(),
 		racyAddrs: make(map[trace.Addr]bool),
 	}
 }
@@ -50,12 +56,45 @@ func (d *DJIT) RaceCount() int { return d.count }
 // RacyAddrs returns the set of cells on which at least one race fired.
 func (d *DJIT) RacyAddrs() map[trace.Addr]bool { return d.racyAddrs }
 
+// Reset implements Resetter: shadow state is zeroed in place (history
+// clocks keep their backing arrays) and goroutine/object clocks return
+// to the pool.
+func (d *DJIT) Reset() {
+	for i, c := range d.clocks {
+		if c != nil {
+			d.pool.Release(c)
+			d.clocks[i] = nil
+		}
+	}
+	d.clocks = d.clocks[:0]
+	for i, c := range d.objClocks {
+		if c != nil {
+			d.pool.Release(c)
+			d.objClocks[i] = nil
+		}
+	}
+	d.objClocks = d.objClocks[:0]
+	d.objCount = 0
+	for i := range d.cells {
+		c := &d.cells[i]
+		c.seen = false
+		c.writes.Reset()
+		c.reads.Reset()
+		c.atomicWrites.Reset()
+		c.atomicReads.Reset()
+	}
+	d.cellCount = 0
+	d.count = 0
+	clear(d.racyAddrs)
+	d.stats = statCounter{}
+}
+
 func (d *DJIT) clockOf(g vclock.TID) *vclock.VC {
 	for int(g) >= len(d.clocks) {
 		d.clocks = append(d.clocks, nil)
 	}
 	if d.clocks[g] == nil {
-		c := vclock.New()
+		c := d.pool.Acquire()
 		c.Set(g, 1)
 		d.clocks[g] = c
 	}
@@ -63,22 +102,26 @@ func (d *DJIT) clockOf(g vclock.TID) *vclock.VC {
 }
 
 func (d *DJIT) objClock(o trace.ObjID) *vclock.VC {
-	c, ok := d.objClocks[o]
-	if !ok {
-		c = vclock.New()
-		d.objClocks[o] = c
+	for int(o) >= len(d.objClocks) {
+		d.objClocks = append(d.objClocks, nil)
 	}
-	return c
+	if d.objClocks[o] == nil {
+		d.objClocks[o] = d.pool.Acquire()
+		d.objCount++
+	}
+	return d.objClocks[o]
 }
 
+// cell returns the shadow cell for a. The pointer is only valid until
+// the next cell call.
 func (d *DJIT) cell(a trace.Addr) *djitCell {
-	c, ok := d.cells[a]
-	if !ok {
-		c = &djitCell{
-			writes: vclock.New(), reads: vclock.New(),
-			atomicWrites: vclock.New(), atomicReads: vclock.New(),
-		}
-		d.cells[a] = c
+	for int(a) >= len(d.cells) {
+		d.cells = append(d.cells, djitCell{})
+	}
+	c := &d.cells[a]
+	if !c.seen {
+		c.seen = true
+		d.cellCount++
 	}
 	return c
 }
@@ -89,7 +132,8 @@ func (d *DJIT) HandleEvent(ev trace.Event) {
 	switch ev.Op {
 	case trace.OpFork:
 		parent := d.clockOf(ev.G)
-		child := parent.Copy()
+		child := d.pool.Acquire()
+		parent.CopyInto(child)
 		child.Tick(ev.Child)
 		for int(ev.Child) >= len(d.clocks) {
 			d.clocks = append(d.clocks, nil)
@@ -98,22 +142,22 @@ func (d *DJIT) HandleEvent(ev trace.Event) {
 		parent.Tick(ev.G)
 
 	case trace.OpAcquire:
-		d.clockOf(ev.G).Join(d.objClock(ev.Obj))
+		d.objClock(ev.Obj).JoinInto(d.clockOf(ev.G))
 
 	case trace.OpRelease:
 		if ev.Kind == trace.KindRWRead {
 			return
 		}
-		d.objClock(ev.Obj).Join(d.clockOf(ev.G))
+		d.clockOf(ev.G).JoinInto(d.objClock(ev.Obj))
 		d.clockOf(ev.G).Tick(ev.G)
 
 	case trace.OpRead, trace.OpAtomicLoad:
 		c := d.cell(ev.Addr)
 		cur := d.clockOf(ev.G)
-		d.countConcurrent(c.writes, cur, ev)
+		d.countConcurrent(&c.writes, cur, ev)
 		if !ev.Op.IsAtomic() {
 			// A plain read also conflicts with concurrent atomic writes.
-			d.countConcurrent(c.atomicWrites, cur, ev)
+			d.countConcurrent(&c.atomicWrites, cur, ev)
 			c.reads.Set(ev.G, cur.Get(ev.G))
 		} else {
 			c.atomicReads.Set(ev.G, cur.Get(ev.G))
@@ -122,11 +166,11 @@ func (d *DJIT) HandleEvent(ev trace.Event) {
 	case trace.OpWrite, trace.OpAtomicStore, trace.OpAtomicRMW:
 		c := d.cell(ev.Addr)
 		cur := d.clockOf(ev.G)
-		d.countConcurrent(c.writes, cur, ev)
-		d.countConcurrent(c.reads, cur, ev)
+		d.countConcurrent(&c.writes, cur, ev)
+		d.countConcurrent(&c.reads, cur, ev)
 		if !ev.Op.IsAtomic() {
-			d.countConcurrent(c.atomicWrites, cur, ev)
-			d.countConcurrent(c.atomicReads, cur, ev)
+			d.countConcurrent(&c.atomicWrites, cur, ev)
+			d.countConcurrent(&c.atomicReads, cur, ev)
 			c.writes.Set(ev.G, cur.Get(ev.G))
 		} else {
 			c.atomicWrites.Set(ev.G, cur.Get(ev.G))

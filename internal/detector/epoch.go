@@ -13,15 +13,22 @@ import (
 // detection *verdicts* must match FastTrack exactly, at a fraction of
 // the per-access cost.
 type Epoch struct {
+	pool      *vclock.Pool
 	clocks    []*vclock.VC
-	objClocks map[trace.ObjID]*vclock.VC
-	cells     map[trace.Addr]*epochCell
+	objClocks []*vclock.VC
+	objCount  int
+	cells     []epochCell
+	cellCount int
 	count     int
 	racyAddrs map[trace.Addr]bool
 	stats     statCounter
 }
 
+// epochCell is one cell's shadow word, stored by value in a dense
+// slice indexed by Addr. A cell is lazily initialized on first touch
+// (seen=false) because the zero Epoch is not NoEpoch.
 type epochCell struct {
+	seen        bool
 	write       vclock.Epoch
 	writeAtomic bool
 	// Plain and atomic reads are kept in separate read sets so the
@@ -33,8 +40,7 @@ type epochCell struct {
 // NewEpoch returns a fresh epoch-based detector.
 func NewEpoch() *Epoch {
 	return &Epoch{
-		objClocks: make(map[trace.ObjID]*vclock.VC),
-		cells:     make(map[trace.Addr]*epochCell),
+		pool:      vclock.NewPool(),
 		racyAddrs: make(map[trace.Addr]bool),
 	}
 }
@@ -53,12 +59,46 @@ func (e *Epoch) RaceCount() int { return e.count }
 // RacyAddrs returns the set of cells on which at least one race fired.
 func (e *Epoch) RacyAddrs() map[trace.Addr]bool { return e.racyAddrs }
 
+// Reset implements Resetter: all shadow state is cleared in place and
+// clocks return to the pool, readying the detector for another run
+// without reallocation.
+func (e *Epoch) Reset() {
+	for i, c := range e.clocks {
+		if c != nil {
+			e.pool.Release(c)
+			e.clocks[i] = nil
+		}
+	}
+	e.clocks = e.clocks[:0]
+	for i, c := range e.objClocks {
+		if c != nil {
+			e.pool.Release(c)
+			e.objClocks[i] = nil
+		}
+	}
+	e.objClocks = e.objClocks[:0]
+	e.objCount = 0
+	for i := range e.cells {
+		c := &e.cells[i]
+		c.seen = false
+		// Inflated read clocks must come back to the pool now, not
+		// lazily on the cell's next touch — a run that never revisits
+		// this address would otherwise strand them.
+		c.reads.ReleaseTo(e.pool)
+		c.atomicReads.ReleaseTo(e.pool)
+	}
+	e.cellCount = 0
+	e.count = 0
+	clear(e.racyAddrs)
+	e.stats = statCounter{}
+}
+
 func (e *Epoch) clockOf(g vclock.TID) *vclock.VC {
 	for int(g) >= len(e.clocks) {
 		e.clocks = append(e.clocks, nil)
 	}
 	if e.clocks[g] == nil {
-		c := vclock.New()
+		c := e.pool.Acquire()
 		c.Set(g, 1)
 		e.clocks[g] = c
 	}
@@ -66,19 +106,30 @@ func (e *Epoch) clockOf(g vclock.TID) *vclock.VC {
 }
 
 func (e *Epoch) objClock(o trace.ObjID) *vclock.VC {
-	c, ok := e.objClocks[o]
-	if !ok {
-		c = vclock.New()
-		e.objClocks[o] = c
+	for int(o) >= len(e.objClocks) {
+		e.objClocks = append(e.objClocks, nil)
 	}
-	return c
+	if e.objClocks[o] == nil {
+		e.objClocks[o] = e.pool.Acquire()
+		e.objCount++
+	}
+	return e.objClocks[o]
 }
 
+// cell returns the shadow cell for a, initializing it on first touch.
+// The pointer is only valid until the next cell call.
 func (e *Epoch) cell(a trace.Addr) *epochCell {
-	c, ok := e.cells[a]
-	if !ok {
-		c = &epochCell{write: vclock.NoEpoch, reads: vclock.NewReadSet(), atomicReads: vclock.NewReadSet()}
-		e.cells[a] = c
+	for int(a) >= len(e.cells) {
+		e.cells = append(e.cells, epochCell{})
+	}
+	c := &e.cells[a]
+	if !c.seen {
+		c.seen = true
+		c.write = vclock.NoEpoch
+		c.writeAtomic = false
+		c.reads.ReleaseTo(e.pool)
+		c.atomicReads.ReleaseTo(e.pool)
+		e.cellCount++
 	}
 	return c
 }
@@ -89,7 +140,8 @@ func (e *Epoch) HandleEvent(ev trace.Event) {
 	switch ev.Op {
 	case trace.OpFork:
 		parent := e.clockOf(ev.G)
-		child := parent.Copy()
+		child := e.pool.Acquire()
+		parent.CopyInto(child)
 		child.Tick(ev.Child)
 		for int(ev.Child) >= len(e.clocks) {
 			e.clocks = append(e.clocks, nil)
@@ -98,13 +150,13 @@ func (e *Epoch) HandleEvent(ev trace.Event) {
 		parent.Tick(ev.G)
 
 	case trace.OpAcquire:
-		e.clockOf(ev.G).Join(e.objClock(ev.Obj))
+		e.objClock(ev.Obj).JoinInto(e.clockOf(ev.G))
 
 	case trace.OpRelease:
 		if ev.Kind == trace.KindRWRead {
 			return // lockset bookkeeping only; no HB edge
 		}
-		e.objClock(ev.Obj).Join(e.clockOf(ev.G))
+		e.clockOf(ev.G).JoinInto(e.objClock(ev.Obj))
 		e.clockOf(ev.G).Tick(ev.G)
 
 	case trace.OpRead, trace.OpAtomicLoad:
@@ -116,9 +168,9 @@ func (e *Epoch) HandleEvent(ev trace.Event) {
 			}
 		}
 		if ev.Op.IsAtomic() {
-			c.atomicReads.Note(vclock.MakeEpoch(ev.G, cur.Get(ev.G)), cur)
+			c.atomicReads.NotePooled(vclock.MakeEpoch(ev.G, cur.Get(ev.G)), cur, e.pool)
 		} else {
-			c.reads.Note(vclock.MakeEpoch(ev.G, cur.Get(ev.G)), cur)
+			c.reads.NotePooled(vclock.MakeEpoch(ev.G, cur.Get(ev.G)), cur, e.pool)
 		}
 
 	case trace.OpWrite, trace.OpAtomicStore, trace.OpAtomicRMW:
@@ -132,22 +184,22 @@ func (e *Epoch) HandleEvent(ev trace.Event) {
 		// Report every concurrent reader, matching FastTrack's
 		// per-reader reporting. Atomic readers race with this write
 		// only if the write is not atomic itself.
-		for _, r := range c.reads.Readers() {
+		c.reads.ForEach(func(r vclock.Epoch) {
 			if r.TID() != ev.G && !r.LeqVC(cur) {
 				e.hit(ev.Addr)
 			}
-		}
+		})
 		if !ev.Op.IsAtomic() {
-			for _, r := range c.atomicReads.Readers() {
+			c.atomicReads.ForEach(func(r vclock.Epoch) {
 				if r.TID() != ev.G && !r.LeqVC(cur) {
 					e.hit(ev.Addr)
 				}
-			}
+			})
 		}
 		c.write = vclock.MakeEpoch(ev.G, cur.Get(ev.G))
 		c.writeAtomic = ev.Op.IsAtomic()
-		c.reads.Reset()
-		c.atomicReads.Reset()
+		c.reads.ReleaseTo(e.pool)
+		c.atomicReads.ReleaseTo(e.pool)
 	}
 }
 

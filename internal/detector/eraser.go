@@ -32,7 +32,11 @@ func (s eraserState) String() string {
 	}
 }
 
+// eraserCell lives by value in a dense slice indexed by Addr; its zero
+// value (state stVirgin) is a valid fresh cell, so no per-cell
+// initialization or allocation happens on first touch.
 type eraserCell struct {
+	seen  bool
 	state eraserState
 	owner vclock.TID
 	// candidate is C(v): locks held at *every* access so far (write
@@ -51,18 +55,29 @@ type eraserCell struct {
 // on data synchronized by non-lock means (channels, WaitGroups), the
 // imprecision §3.1 notes ("may include races that may never manifest").
 type Eraser struct {
-	locks *lockTracker
-	cells map[trace.Addr]*eraserCell
-	races []report.Race
-	stats statCounter
+	locks     *lockTracker
+	cells     []eraserCell
+	cellCount int
+	races     []report.Race
+	stats     statCounter
 }
 
 // NewEraser returns a fresh lockset detector.
 func NewEraser() *Eraser {
-	return &Eraser{
-		locks: newLockTracker(),
-		cells: make(map[trace.Addr]*eraserCell),
+	return &Eraser{locks: newLockTracker()}
+}
+
+// Reset implements Resetter: the cell slice is zeroed in place and the
+// lock tracker emptied, keeping all buffers for the next run. Slices
+// previously returned by Races are invalidated.
+func (e *Eraser) Reset() {
+	for i := range e.cells {
+		e.cells[i] = eraserCell{}
 	}
+	e.cellCount = 0
+	e.locks.reset()
+	e.races = e.races[:0]
+	e.stats = statCounter{}
 }
 
 // Name implements Detector.
@@ -81,8 +96,8 @@ func (e *Eraser) RaceCount() int { return len(e.races) }
 
 // CellState exposes a cell's state machine position, for tests.
 func (e *Eraser) CellState(a trace.Addr) string {
-	if c, ok := e.cells[a]; ok {
-		return c.state.String()
+	if int(a) < len(e.cells) && e.cells[a].seen {
+		return e.cells[a].state.String()
 	}
 	return stVirgin.String()
 }
@@ -98,10 +113,13 @@ func (e *Eraser) HandleEvent(ev trace.Event) {
 		// accesses, by the lockset algorithm.
 		return
 	}
-	c, ok := e.cells[ev.Addr]
-	if !ok {
-		c = &eraserCell{state: stVirgin}
-		e.cells[ev.Addr] = c
+	for int(ev.Addr) >= len(e.cells) {
+		e.cells = append(e.cells, eraserCell{})
+	}
+	c := &e.cells[ev.Addr]
+	if !c.seen {
+		c.seen = true
+		e.cellCount++
 	}
 	isWrite := ev.Op.IsWrite()
 	held := e.locks.allHeld(ev.G)
@@ -179,6 +197,12 @@ type Hybrid struct {
 // NewHybrid returns a fresh hybrid detector.
 func NewHybrid() *Hybrid {
 	return &Hybrid{HB: NewFastTrack(), LS: NewEraser()}
+}
+
+// Reset implements Resetter by resetting both sides.
+func (h *Hybrid) Reset() {
+	h.HB.Reset()
+	h.LS.Reset()
 }
 
 // Name implements Detector.

@@ -28,13 +28,19 @@ func (a access) toReport(addr trace.Addr) report.Access {
 	}
 }
 
-// ftCell is the shadow state of one memory cell.
+// ftCell is the shadow state of one memory cell. Cells live by value
+// in a dense slice indexed by Addr, so looking one up is a bounds
+// check, not a map probe, and a fresh cell costs no allocation.
 type ftCell struct {
-	write    access
+	seen     bool
 	hasWrite bool
+	write    access
 	// reads holds the most recent read per goroutine since the last
 	// ordered write (FastTrack's read history, with report metadata).
-	reads   map[vclock.TID]access
+	// The list holds only live readers — a write clears it — so it
+	// stays small and is scanned linearly; truncation keeps its
+	// capacity, making steady-state maintenance allocation-free.
+	reads   []access
 	reports int
 }
 
@@ -43,10 +49,18 @@ type ftCell struct {
 // per-cell access histories; a race is two accesses to the same cell,
 // at least one a write, not both atomic, with neither ordered before
 // the other.
+//
+// All shadow state is held in dense slices keyed by the scheduler's
+// small dense TIDs, ObjIDs, and Addrs, and vector clocks come from a
+// Pool, so the per-event path performs no steady-state allocations.
+// Reset reuses all of it for the next run.
 type FastTrack struct {
+	pool      *vclock.Pool
 	clocks    []*vclock.VC
-	objClocks map[trace.ObjID]*vclock.VC
-	cells     map[trace.Addr]*ftCell
+	objClocks []*vclock.VC
+	objCount  int
+	cells     []ftCell
+	cellCount int
 	locks     *lockTracker
 	races     []report.Race
 	stats     statCounter
@@ -58,8 +72,7 @@ type FastTrack struct {
 // NewFastTrack returns a fresh happens-before detector.
 func NewFastTrack() *FastTrack {
 	return &FastTrack{
-		objClocks:         make(map[trace.ObjID]*vclock.VC),
-		cells:             make(map[trace.Addr]*ftCell),
+		pool:              vclock.NewPool(),
 		locks:             newLockTracker(),
 		MaxReportsPerCell: 8,
 	}
@@ -78,6 +91,38 @@ func (ft *FastTrack) Candidates() []report.Race { return nil }
 // RaceCount returns the number of reports.
 func (ft *FastTrack) RaceCount() int { return len(ft.races) }
 
+// Reset implements Resetter: it clears all detection state in place,
+// releasing clocks to the pool and retaining every buffer, so the
+// detector can consume another run without reallocating its shadow
+// state. Slices previously returned by Races are invalidated.
+func (ft *FastTrack) Reset() {
+	for i, c := range ft.clocks {
+		if c != nil {
+			ft.pool.Release(c)
+			ft.clocks[i] = nil
+		}
+	}
+	ft.clocks = ft.clocks[:0]
+	for i, c := range ft.objClocks {
+		if c != nil {
+			ft.pool.Release(c)
+			ft.objClocks[i] = nil
+		}
+	}
+	ft.objClocks = ft.objClocks[:0]
+	ft.objCount = 0
+	for i := range ft.cells {
+		c := &ft.cells[i]
+		c.seen, c.hasWrite, c.reports = false, false, 0
+		c.write = access{}
+		c.reads = c.reads[:0]
+	}
+	ft.cellCount = 0
+	ft.locks.reset()
+	ft.races = ft.races[:0]
+	ft.stats = statCounter{}
+}
+
 // clockOf returns g's clock, initializing it with its own component
 // at 1 (each goroutine begins in its own epoch).
 func (ft *FastTrack) clockOf(g vclock.TID) *vclock.VC {
@@ -85,7 +130,7 @@ func (ft *FastTrack) clockOf(g vclock.TID) *vclock.VC {
 		ft.clocks = append(ft.clocks, nil)
 	}
 	if ft.clocks[g] == nil {
-		c := vclock.New()
+		c := ft.pool.Acquire()
 		c.Set(g, 1)
 		ft.clocks[g] = c
 	}
@@ -93,19 +138,26 @@ func (ft *FastTrack) clockOf(g vclock.TID) *vclock.VC {
 }
 
 func (ft *FastTrack) objClock(o trace.ObjID) *vclock.VC {
-	c, ok := ft.objClocks[o]
-	if !ok {
-		c = vclock.New()
-		ft.objClocks[o] = c
+	for int(o) >= len(ft.objClocks) {
+		ft.objClocks = append(ft.objClocks, nil)
 	}
-	return c
+	if ft.objClocks[o] == nil {
+		ft.objClocks[o] = ft.pool.Acquire()
+		ft.objCount++
+	}
+	return ft.objClocks[o]
 }
 
+// cell returns the shadow cell for a. The returned pointer is only
+// valid until the next cell call (growth may move the backing array).
 func (ft *FastTrack) cell(a trace.Addr) *ftCell {
-	c, ok := ft.cells[a]
-	if !ok {
-		c = &ftCell{reads: make(map[vclock.TID]access)}
-		ft.cells[a] = c
+	for int(a) >= len(ft.cells) {
+		ft.cells = append(ft.cells, ftCell{})
+	}
+	c := &ft.cells[a]
+	if !c.seen {
+		c.seen = true
+		ft.cellCount++
 	}
 	return c
 }
@@ -116,7 +168,8 @@ func (ft *FastTrack) HandleEvent(ev trace.Event) {
 	switch ev.Op {
 	case trace.OpFork:
 		parent := ft.clockOf(ev.G)
-		child := parent.Copy()
+		child := ft.pool.Acquire()
+		parent.CopyInto(child)
 		child.Tick(ev.Child)
 		for int(ev.Child) >= len(ft.clocks) {
 			ft.clocks = append(ft.clocks, nil)
@@ -126,7 +179,7 @@ func (ft *FastTrack) HandleEvent(ev trace.Event) {
 
 	case trace.OpAcquire:
 		ft.locks.handle(ev)
-		ft.clockOf(ev.G).Join(ft.objClock(ev.Obj))
+		ft.objClock(ev.Obj).JoinInto(ft.clockOf(ev.G))
 
 	case trace.OpRelease:
 		if ft.locks.handle(ev) && ev.Kind == trace.KindRWRead {
@@ -135,7 +188,7 @@ func (ft *FastTrack) HandleEvent(ev trace.Event) {
 			// internal read-release object instead.
 			return
 		}
-		ft.objClock(ev.Obj).Join(ft.clockOf(ev.G))
+		ft.clockOf(ev.G).JoinInto(ft.objClock(ev.Obj))
 		ft.clockOf(ev.G).Tick(ev.G)
 
 	case trace.OpRead, trace.OpAtomicLoad:
@@ -162,7 +215,14 @@ func (ft *FastTrack) read(ev trace.Event) {
 			ft.report(ev, c, c.write)
 		}
 	}
-	c.reads[ev.G] = ft.newAccess(ev)
+	a := ft.newAccess(ev)
+	for i := range c.reads {
+		if c.reads[i].g == ev.G {
+			c.reads[i] = a
+			return
+		}
+	}
+	c.reads = append(c.reads, a)
 }
 
 func (ft *FastTrack) write(ev trace.Event) {
@@ -173,21 +233,20 @@ func (ft *FastTrack) write(ev trace.Event) {
 			ft.report(ev, c, c.write)
 		}
 	}
-	for g, r := range c.reads {
-		if g == ev.G {
+	for i := range c.reads {
+		r := &c.reads[i]
+		if r.g == ev.G {
 			continue
 		}
-		if r.time > cur.Get(g) && !(r.atomic && ev.Op.IsAtomic()) {
-			ft.report(ev, c, r)
+		if r.time > cur.Get(r.g) && !(r.atomic && ev.Op.IsAtomic()) {
+			ft.report(ev, c, *r)
 		}
 	}
 	c.write = ft.newAccess(ev)
 	c.hasWrite = true
 	// FastTrack: a write subsumes the ordered read history; concurrent
 	// reads were just reported. Clearing keeps the history bounded.
-	for g := range c.reads {
-		delete(c.reads, g)
-	}
+	c.reads = c.reads[:0]
 }
 
 func (ft *FastTrack) report(ev trace.Event, c *ftCell, prior access) {

@@ -100,6 +100,26 @@ func (c *Counting) Candidates() []report.Race { return nil }
 // Stats implements Detector.
 func (c *Counting) Stats() Stats { return c.Inner.Stats() }
 
+// Reset implements Resetter by delegating to the wrapped counting
+// detector. It panics on a non-resettable inner detector — silently
+// keeping accumulated shadow state would corrupt every later run —
+// so callers that may hold one must check CanReset first.
+func (c *Counting) Reset() {
+	r, ok := c.Inner.(Resetter)
+	if !ok {
+		panic("detector: Reset on Counting wrapper of non-resettable " + c.Inner.Name())
+	}
+	r.Reset()
+}
+
+// CanReset reports whether the wrapped detector supports in-place
+// reuse; core.Runner consults this before recycling a Counting
+// instance across runs.
+func (c *Counting) CanReset() bool {
+	_, ok := c.Inner.(Resetter)
+	return ok
+}
+
 // Noop is the "none" detector: it observes nothing and reports
 // nothing, the overhead baseline. The Runner recognizes it and skips
 // attaching it as a listener, so a "none" run pays no per-event cost.
@@ -119,3 +139,6 @@ func (Noop) Candidates() []report.Race { return nil }
 
 // Stats implements Detector.
 func (Noop) Stats() Stats { return Stats{} }
+
+// Reset implements Resetter; the none detector holds no state.
+func (Noop) Reset() {}

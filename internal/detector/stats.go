@@ -52,8 +52,8 @@ func (ft *FastTrack) Stats() Stats {
 		Events:     ft.stats.events,
 		Accesses:   ft.stats.accesses,
 		SyncOps:    ft.stats.syncOps,
-		Cells:      len(ft.cells),
-		SyncClocks: len(ft.objClocks),
+		Cells:      ft.cellCount,
+		SyncClocks: ft.objCount,
 		Goroutines: gor,
 		Reports:    len(ft.races),
 	}
@@ -71,8 +71,8 @@ func (e *Epoch) Stats() Stats {
 		Events:     e.stats.events,
 		Accesses:   e.stats.accesses,
 		SyncOps:    e.stats.syncOps,
-		Cells:      len(e.cells),
-		SyncClocks: len(e.objClocks),
+		Cells:      e.cellCount,
+		SyncClocks: e.objCount,
 		Goroutines: gor,
 		Reports:    e.count,
 	}
@@ -90,8 +90,8 @@ func (d *DJIT) Stats() Stats {
 		Events:     d.stats.events,
 		Accesses:   d.stats.accesses,
 		SyncOps:    d.stats.syncOps,
-		Cells:      len(d.cells),
-		SyncClocks: len(d.objClocks),
+		Cells:      d.cellCount,
+		SyncClocks: d.objCount,
 		Goroutines: gor,
 		Reports:    d.count,
 	}
@@ -119,7 +119,7 @@ func (e *Eraser) Stats() Stats {
 		Events:   e.stats.events,
 		Accesses: e.stats.accesses,
 		SyncOps:  e.stats.syncOps,
-		Cells:    len(e.cells),
+		Cells:    e.cellCount,
 		Reports:  len(e.races),
 	}
 }

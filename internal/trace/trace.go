@@ -189,6 +189,23 @@ type Recorder struct {
 // HandleEvent implements Listener.
 func (r *Recorder) HandleEvent(ev Event) { r.Events = append(r.Events, ev) }
 
+// Reset truncates the recording in place, retaining capacity, so one
+// recorder can capture many runs without reallocating its buffer —
+// core.Runner records each batch run into a per-worker recycled
+// Recorder, so a 1000-seed sweep reuses a single recording buffer
+// instead of growing a thousand. Slices of Events handed out earlier
+// are invalidated.
+func (r *Recorder) Reset() { r.Events = r.Events[:0] }
+
+// Snapshot copies the recording into a fresh, exactly-sized Recorder
+// the caller owns — the one allocation a recorded, recycled run
+// performs for its trace.
+func (r *Recorder) Snapshot() *Recorder {
+	out := &Recorder{Events: make([]Event, len(r.Events))}
+	copy(out.Events, r.Events)
+	return out
+}
+
 // Replay feeds the recorded stream to another listener in order.
 func (r *Recorder) Replay(l Listener) {
 	for _, ev := range r.Events {

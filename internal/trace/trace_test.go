@@ -103,3 +103,27 @@ func TestEventString(t *testing.T) {
 		}
 	}
 }
+
+func TestRecorderReuseAndSnapshot(t *testing.T) {
+	rec := &Recorder{}
+	for i := 0; i < 6; i++ {
+		rec.HandleEvent(Event{Seq: uint64(i + 1), Op: OpRead, Addr: Addr(i + 1)})
+	}
+	snap := rec.Snapshot()
+	if len(snap.Events) != 6 {
+		t.Fatalf("snapshot has %d events", len(snap.Events))
+	}
+	// The snapshot must own its storage: rewinding and refilling the
+	// recorder cannot disturb it.
+	rec.Reset()
+	if len(rec.Events) != 0 {
+		t.Fatalf("reset recorder holds %d events", len(rec.Events))
+	}
+	rec.HandleEvent(Event{Seq: 99, Op: OpWrite, Addr: 42})
+	if snap.Events[0].Seq != 1 || snap.Events[0].Addr != 1 {
+		t.Fatal("snapshot aliased the reused recorder")
+	}
+	if len(rec.Events) != 1 || rec.Events[0].Seq != 99 {
+		t.Fatalf("recorder after reuse = %v", rec.Events)
+	}
+}

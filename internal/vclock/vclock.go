@@ -95,6 +95,21 @@ func (v *VC) Assign(o *VC) {
 	v.ts = append(v.ts, o.ts...)
 }
 
+// CopyInto overwrites dst with the contents of v, reusing dst's backing
+// array. It is the pool-friendly form of Copy: a recycled destination
+// of sufficient capacity makes the copy allocation-free.
+func (v *VC) CopyInto(dst *VC) {
+	dst.ts = append(dst.ts[:0], v.ts...)
+}
+
+// JoinInto folds v into dst (dst becomes the pointwise maximum),
+// allocating only if dst must grow beyond its capacity. It is Join with
+// the data flowing out of the receiver, which reads naturally when v is
+// a source clock being merged into pooled, reused state.
+func (v *VC) JoinInto(dst *VC) {
+	dst.Join(v)
+}
+
 // LeqAll reports whether v ≤ o pointwise (v happens before or equals o).
 func (v *VC) LeqAll(o *VC) bool {
 	for i, t := range v.ts {
@@ -197,6 +212,17 @@ func (r *ReadSet) Epoch() Epoch { return r.epoch }
 // clock is cur. It inflates to a VC when the new read is concurrent
 // with the recorded one.
 func (r *ReadSet) Note(e Epoch, cur *VC) {
+	r.note(e, cur, nil)
+}
+
+// NotePooled is Note drawing the inflated clock from p, so a detector
+// that recycles its read histories (ReleaseTo) inflates without
+// allocating in the steady state.
+func (r *ReadSet) NotePooled(e Epoch, cur *VC, p *Pool) {
+	r.note(e, cur, p)
+}
+
+func (r *ReadSet) note(e Epoch, cur *VC, p *Pool) {
 	if r.inflated != nil {
 		r.inflated.Set(e.TID(), e.Time())
 		return
@@ -208,7 +234,11 @@ func (r *ReadSet) Note(e Epoch, cur *VC) {
 		return
 	}
 	// Concurrent reads: inflate.
-	r.inflated = New()
+	if p != nil {
+		r.inflated = p.Acquire()
+	} else {
+		r.inflated = New()
+	}
 	r.inflated.Set(r.epoch.TID(), r.epoch.Time())
 	r.inflated.Set(e.TID(), e.Time())
 }
@@ -243,6 +273,33 @@ func (r *ReadSet) FindConcurrent(cur *VC) Epoch {
 func (r *ReadSet) Reset() {
 	r.epoch = NoEpoch
 	r.inflated = nil
+}
+
+// ReleaseTo clears the history like Reset, returning any inflated
+// clock to p for reuse by the next inflation.
+func (r *ReadSet) ReleaseTo(p *Pool) {
+	if r.inflated != nil {
+		p.Release(r.inflated)
+		r.inflated = nil
+	}
+	r.epoch = NoEpoch
+}
+
+// ForEach calls fn for every recorded reader epoch, in TID order for
+// the inflated form. Unlike Readers it allocates nothing, so it is the
+// form the detection hot path uses to walk the read history on a write.
+func (r *ReadSet) ForEach(fn func(Epoch)) {
+	if r.inflated != nil {
+		for i := 0; i < r.inflated.Len(); i++ {
+			if t := r.inflated.Get(TID(i)); t != 0 {
+				fn(MakeEpoch(TID(i), t))
+			}
+		}
+		return
+	}
+	if !r.epoch.IsNone() {
+		fn(r.epoch)
+	}
 }
 
 // Readers returns the recorded reader epochs, sorted by TID, mainly for

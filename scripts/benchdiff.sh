@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# benchdiff.sh OLD NEW — compare two `go test -bench` outputs and fail
+# when any benchmark's allocs/op regressed by more than 20% (or went
+# from zero to nonzero). Benchmarks without a ReportAllocs column, or
+# present in only one file, are skipped.
+#
+# Usage:
+#   go test -bench . -benchtime 100x -run '^$' . > new.txt
+#   scripts/benchdiff.sh scripts/bench-baseline.txt new.txt
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+  echo "usage: $0 <old-bench-output> <new-bench-output>" >&2
+  exit 2
+fi
+
+awk -v threshold=1.20 '
+  FNR == 1 { file++ }
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    allocs = -1
+    for (i = 2; i <= NF; i++) {
+      if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (allocs < 0) next
+    if (file == 1) old[name] = allocs
+    else           new[name] = allocs
+  }
+  END {
+    status = 0
+    compared = 0
+    for (n in new) {
+      if (!(n in old)) continue
+      compared++
+      o = old[n] + 0
+      w = new[n] + 0
+      if ((o == 0 && w > 0) || (o > 0 && w > o * threshold)) {
+        printf "REGRESSION  %-40s allocs/op %8d -> %8d\n", n, o, w
+        status = 1
+      } else {
+        printf "ok          %-40s allocs/op %8d -> %8d\n", n, o, w
+      }
+    }
+    if (compared == 0) {
+      print "benchdiff: no comparable benchmarks (ReportAllocs missing?)" > "/dev/stderr"
+      exit 2
+    }
+    exit status
+  }
+' "$1" "$2"
