@@ -21,6 +21,7 @@ import (
 	"gorace/internal/staticcount"
 	"gorace/internal/staticrace"
 	"gorace/internal/study"
+	"gorace/internal/sweep"
 	"gorace/internal/trace"
 )
 
@@ -472,19 +473,78 @@ func BenchmarkStaticAnalyzer(b *testing.B) {
 }
 
 // --- Extension: post-facto trace persistence ---
+//
+// The codec pair measures the record-once/analyze-many hot path: one
+// full save+load round trip of the heavy trace per iteration, with
+// the encoded size reported as bytes/trace. The binary codec's
+// acceptance bar is ≥5× smaller and ≥10× faster than JSON Lines.
 
-func BenchmarkTraceSerialization(b *testing.B) {
+func benchCodecRoundTrip(b *testing.B, save func(*trace.Recorder, *bytes.Buffer) error) {
 	rec := recordHeavyTrace(b)
+	var size int
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var buf bytes.Buffer
-		if err := rec.Save(&buf); err != nil {
+		if err := save(rec, &buf); err != nil {
 			b.Fatal(err)
 		}
+		size = buf.Len()
 		got, err := trace.Load(&buf)
 		if err != nil || len(got.Events) != len(rec.Events) {
 			b.Fatalf("round trip broken: %v", err)
+		}
+	}
+	b.ReportMetric(float64(size), "bytes/trace")
+}
+
+func BenchmarkTraceCodecJSON(b *testing.B) {
+	benchCodecRoundTrip(b, func(r *trace.Recorder, buf *bytes.Buffer) error {
+		return r.SaveJSON(buf)
+	})
+}
+
+func BenchmarkTraceCodecBinary(b *testing.B) {
+	benchCodecRoundTrip(b, func(r *trace.Recorder, buf *bytes.Buffer) error {
+		return r.Save(buf)
+	})
+}
+
+// --- Extension: the streaming sweep campaign engine ---
+
+// BenchmarkSweepCampaign runs a small corpus-wide campaign (4 racy
+// patterns × 2 strategies × 16 seeds) through the engine with all
+// three standard aggregators attached, serially — the per-run engine
+// overhead, not parallel speedup, is the measurement.
+func BenchmarkSweepCampaign(b *testing.B) {
+	ids := []string{"capture-loop-index", "partial-locking", "map-concurrent-write", "capture-err"}
+	var units []sweep.Unit
+	for _, id := range ids {
+		p, ok := patterns.ByID(id)
+		if !ok {
+			b.Fatalf("pattern %s missing", id)
+		}
+		for _, s := range []string{"random", "pct"} {
+			units = append(units, sweep.Unit{
+				ID: id + "/" + s, Program: p.Racy, Strategy: s,
+				Runs: 16, MaxSteps: 1 << 16,
+			})
+		}
+	}
+	eng := sweep.New(sweep.WithParallelism(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aggs, stats, err := eng.Run(units,
+			func() sweep.Aggregator { return sweep.NewProb() },
+			func() sweep.Aggregator { return sweep.NewCorpus() },
+			func() sweep.Aggregator { return sweep.NewFirstRace() },
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Runs != len(units)*16 || len(aggs[1].(*sweep.Corpus).Detections()) == 0 {
+			b.Fatalf("campaign lost work: %+v", stats)
 		}
 	}
 }

@@ -2,6 +2,9 @@
 // event trace previously saved by `racedetect -save-trace` and replays
 // it into a fresh detector, proving that detection verdicts do not
 // depend on being attached to the live execution.
+//
+// The trace format is auto-detected: the versioned binary codec (the
+// default racedetect writes) and legacy JSON Lines traces both load.
 package main
 
 import (
@@ -17,13 +20,14 @@ import (
 
 func main() {
 	var (
-		in      = flag.String("trace", "", "trace file (JSON Lines) to analyze")
-		det     = flag.String("detector", detector.DefaultName, "one of: "+strings.Join(detector.Names(), ", "))
-		jsonOut = flag.Bool("json", false, "emit reports as JSON Lines")
+		in       = flag.String("trace", "", "trace file (binary codec or legacy JSON Lines) to analyze")
+		det      = flag.String("detector", detector.DefaultName, "one of: "+strings.Join(detector.Names(), ", "))
+		jsonOut  = flag.Bool("json", false, "emit reports as JSON Lines")
+		suppFile = flag.String("suppressions", "", "TSan-style suppression file; matching reports are dropped")
 	)
 	flag.Parse()
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "usage: raceanalyze -trace file [-detector d] [-json]")
+		fmt.Fprintln(os.Stderr, "usage: raceanalyze -trace file [-detector d] [-suppressions file] [-json]")
 		os.Exit(2)
 	}
 	f, err := os.Open(*in)
@@ -48,6 +52,21 @@ func main() {
 	report.SortRaces(races)
 	races = report.UniqueByHash(races)
 
+	suppressed := 0
+	if *suppFile != "" {
+		text, err := os.ReadFile(*suppFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		sl, err := report.ParseSuppressions(string(text))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		races, suppressed = sl.Apply(races)
+	}
+
 	if *jsonOut {
 		if err := report.WriteJSON(os.Stdout, races); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -55,7 +74,11 @@ func main() {
 		}
 		return
 	}
-	fmt.Printf("analyzed %d events with %s: %d unique race(s)\n\n", len(rec.Events), name, len(races))
+	fmt.Printf("analyzed %d events with %s: %d unique race(s)", len(rec.Events), name, len(races))
+	if suppressed > 0 {
+		fmt.Printf(" (%d suppressed)", suppressed)
+	}
+	fmt.Printf("\n\n")
 	for _, r := range races {
 		fmt.Println(r)
 		fmt.Printf("dedup hash: %s\n\n", r.Hash())

@@ -1,5 +1,5 @@
-// Command racedetect runs one corpus pattern under a chosen detector
-// and scheduling strategy and prints the resulting race reports in
+// Command racedetect runs corpus patterns under a chosen detector and
+// scheduling strategy and prints the resulting race reports in
 // Go-race-detector style.
 //
 // Usage:
@@ -7,13 +7,29 @@
 //	racedetect -list
 //	racedetect -pattern capture-loop-index [-variant racy|fixed]
 //	           [-detector fasttrack|eraser|hybrid] [-strategy random|pct|...]
-//	           [-seeds 20]
+//	           [-seeds 20] [-suppressions file] [-save-trace file]
+//	racedetect -campaign [-seeds 20] [-parallel 8] [-strategies random,pct]
+//
+// Campaign mode sweeps the whole corpus — every pattern × every
+// scheduling strategy × N seeds — through the internal/sweep engine
+// and prints per-pattern detection probabilities, the deduplicated
+// defect corpus (one defect per pattern × race, however many
+// strategies found it), and root-cause classification tallies: the
+// paper's fleet-scale deployment loop in one command. -suppressions
+// drops matching defects from the corpus and the tallies; the
+// probability columns keep reporting raw manifestation, since
+// suppression is a reporting valve, not a schedule property.
+//
+// -save-trace writes the manifesting run's event trace in the
+// versioned binary codec; raceanalyze auto-detects it (and still
+// reads legacy JSON Lines traces).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"gorace/internal/core"
@@ -21,18 +37,47 @@ import (
 	"gorace/internal/patterns"
 	"gorace/internal/report"
 	"gorace/internal/sched"
+	"gorace/internal/sweep"
+	"gorace/internal/taxonomy"
 )
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
+// loadSuppressions reads a TSan-style suppression file, or returns an
+// empty list for "".
+func loadSuppressions(path string) *report.SuppressionList {
+	if path == "" {
+		sl, _ := report.ParseSuppressions("")
+		return sl
+	}
+	text, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	sl, err := report.ParseSuppressions(string(text))
+	if err != nil {
+		fatal(err)
+	}
+	return sl
+}
 
 func main() {
 	var (
-		list      = flag.Bool("list", false, "list corpus patterns and exit")
-		pattern   = flag.String("pattern", "", "corpus pattern ID")
-		variant   = flag.String("variant", "racy", "racy or fixed")
-		det       = flag.String("detector", detector.DefaultName, "one of: "+strings.Join(detector.Names(), ", "))
-		strategy  = flag.String("strategy", sched.DefaultStrategyName, "one of: "+strings.Join(sched.StrategyNames(), ", "))
-		seeds     = flag.Int("seeds", 20, "seeds to try until a race manifests")
-		jsonOut   = flag.Bool("json", false, "emit reports as JSON Lines")
-		saveTrace = flag.String("save-trace", "", "write the manifesting run's event trace to this file (JSON Lines)")
+		list       = flag.Bool("list", false, "list corpus patterns and exit")
+		pattern    = flag.String("pattern", "", "corpus pattern ID")
+		variant    = flag.String("variant", "racy", "racy or fixed")
+		det        = flag.String("detector", detector.DefaultName, "one of: "+strings.Join(detector.Names(), ", "))
+		strategy   = flag.String("strategy", sched.DefaultStrategyName, "one of: "+strings.Join(sched.StrategyNames(), ", "))
+		seeds      = flag.Int("seeds", 20, "seeds to try until a race manifests (per unit in campaign mode)")
+		jsonOut    = flag.Bool("json", false, "emit reports as JSON Lines")
+		saveTrace  = flag.String("save-trace", "", "write the manifesting run's event trace to this file (binary codec)")
+		suppFile   = flag.String("suppressions", "", "TSan-style suppression file; matching reports are dropped")
+		campaign   = flag.Bool("campaign", false, "sweep the whole corpus: every pattern × strategy × seed")
+		strategies = flag.String("strategies", "", "comma-separated strategies for -campaign (default: all registered)")
+		parallel   = flag.Int("parallel", 0, "campaign worker count (default GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -44,6 +89,13 @@ func main() {
 			}
 			fmt.Printf("%-28s %-22s %s%s\n", p.ID, p.Cat, p.Description, listing)
 		}
+		return
+	}
+
+	supp := loadSuppressions(*suppFile)
+
+	if *campaign {
+		runCampaign(*det, *strategies, *variant, *seeds, *parallel, supp)
 		return
 	}
 
@@ -62,32 +114,33 @@ func main() {
 		core.WithStrategy(*strategy),
 		core.WithRecord(*saveTrace != ""),
 	)
+	totalSuppressed := 0
 	for seed := int64(0); seed < int64(*seeds); seed++ {
 		out, err := runner.RunSeed(prog, seed)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fatal(err)
 		}
-		if !out.HasRace() && len(out.Result.Leaked) == 0 {
+		races, suppressed := supp.Apply(out.Races)
+		candidates, suppressedCand := supp.Apply(out.Candidates)
+		suppressed += suppressedCand
+		totalSuppressed += suppressed
+		if len(races) == 0 && out.RaceCount == 0 && len(out.Result.Leaked) == 0 {
 			continue
 		}
 		if *saveTrace != "" && out.Trace != nil {
 			f, err := os.Create(*saveTrace)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				fatal(err)
 			}
 			if err := out.Trace.Save(f); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				fatal(err)
 			}
 			f.Close()
 			fmt.Fprintf(os.Stderr, "trace (%d events) written to %s\n", len(out.Trace.Events), *saveTrace)
 		}
 		if *jsonOut {
-			if err := report.WriteJSON(os.Stdout, report.UniqueByHash(out.Races)); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+			if err := report.WriteJSON(os.Stdout, report.UniqueByHash(races)); err != nil {
+				fatal(err)
 			}
 			return
 		}
@@ -96,20 +149,144 @@ func main() {
 			// Counting detectors synthesize stackless one-per-address
 			// reports; the pair count and racy-address total say more.
 			fmt.Printf("race hits: %d across %d racy addresses (counting detector)\n",
-				out.RaceCount, len(out.Races))
+				out.RaceCount, len(races))
 		} else {
-			for _, r := range report.UniqueByHash(out.Races) {
+			for _, r := range report.UniqueByHash(races) {
 				fmt.Println(r)
 				fmt.Printf("dedup hash: %s\n\n", r.Hash())
 			}
 		}
-		for _, c := range report.UniqueByHash(out.Candidates) {
+		for _, c := range report.UniqueByHash(candidates) {
 			fmt.Printf("LOCKSET CANDIDATE (may not manifest):\n%s\n", c)
 		}
 		for _, l := range out.Result.Leaked {
 			fmt.Printf("LEAKED GOROUTINE g%d (%s) blocked on %s\n", l.G, l.Name, l.BlockedOn)
 		}
+		if suppressed > 0 {
+			fmt.Printf("suppressed %d report(s) via %s\n", suppressed, *suppFile)
+		}
 		return
 	}
-	fmt.Printf("no race manifested for %s/%s across %d seeds\n", p.ID, *variant, *seeds)
+	fmt.Printf("no race manifested for %s/%s across %d seeds", p.ID, *variant, *seeds)
+	if totalSuppressed > 0 {
+		fmt.Printf(" (%d report(s) suppressed via %s)", totalSuppressed, *suppFile)
+	}
+	fmt.Println()
+}
+
+// runCampaign sweeps every corpus pattern under every requested
+// strategy for the given number of seeds, as one sweep campaign.
+func runCampaign(det, strategies, variant string, seeds, parallel int, supp *report.SuppressionList) {
+	stratNames := sched.StrategyNames()
+	if strategies != "" {
+		stratNames = stratNames[:0:0]
+		for _, s := range strings.Split(strategies, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				fatal(fmt.Errorf("-strategies %q contains an empty name", strategies))
+			}
+			stratNames = append(stratNames, s)
+		}
+	}
+	pats := patterns.All()
+
+	var units []sweep.Unit
+	for _, p := range pats {
+		prog := p.Racy
+		if variant == "fixed" {
+			prog = p.Fixed
+		}
+		for _, s := range stratNames {
+			units = append(units, sweep.Unit{
+				ID:       p.ID + "/" + s,
+				Program:  prog,
+				Detector: det,
+				Strategy: s,
+				Runs:     seeds,
+				MaxSteps: 1 << 16,
+				// Recording buys hint-quality root-cause tallies at
+				// the cost of one trace snapshot per run; corpus
+				// programs are small, and Tally classifies in Observe,
+				// so nothing is retained past the run.
+				Record: true,
+			})
+		}
+	}
+
+	opts := []sweep.Option{}
+	if parallel > 0 {
+		opts = append(opts, sweep.WithParallelism(parallel))
+	}
+	aggs, stats, err := sweep.New(opts...).Run(units,
+		func() sweep.Aggregator { return sweep.NewProb() },
+		func() sweep.Aggregator { return sweep.NewCorpus() },
+		func() sweep.Aggregator { return sweep.NewTally() },
+	)
+	if err != nil {
+		fatal(err)
+	}
+	prob := aggs[0].(*sweep.Prob)
+	corpus := aggs[1].(*sweep.Corpus)
+	tally := aggs[2].(*sweep.Tally)
+
+	fmt.Printf("== campaign: %d patterns × %d strategies × %d seeds, detector %s ==\n",
+		len(pats), len(stratNames), seeds, det)
+
+	// Per-pattern manifestation probability, one column per strategy.
+	byUnit := make(map[string]sweep.UnitStat)
+	for _, s := range prob.Stats() {
+		byUnit[s.Unit] = s
+	}
+	// The corpus deduplicates per unit (pattern × strategy); the
+	// defects column re-deduplicates across strategies, so one race
+	// found under every strategy is still one defect.
+	defects := make(map[string]int) // pattern -> unique defects across strategies
+	filed := make(map[string]bool)  // pattern + race hash
+	var suppressed, unique int
+	for _, d := range corpus.Detections() {
+		if supp.Matches(d.Race) {
+			suppressed++
+			continue
+		}
+		pattern := strings.SplitN(d.Unit, "/", 2)[0]
+		key := pattern + "/" + d.Race.Hash()
+		if filed[key] {
+			continue
+		}
+		filed[key] = true
+		defects[pattern]++
+		unique++
+	}
+	fmt.Printf("%-28s", "pattern")
+	for _, s := range stratNames {
+		fmt.Printf("%12s", s)
+	}
+	fmt.Printf("%10s\n", "defects")
+	for _, p := range pats {
+		fmt.Printf("%-28s", p.ID)
+		for _, s := range stratNames {
+			fmt.Printf("%12.2f", byUnit[p.ID+"/"+s].Probability())
+		}
+		fmt.Printf("%10d\n", defects[p.ID])
+	}
+
+	fmt.Printf("\nruns: %d (%d racy); reports: %d -> %d unique defects",
+		stats.Runs, stats.Racy, corpus.Seen(), unique)
+	if suppressed > 0 {
+		fmt.Printf(" (%d suppressed)", suppressed)
+	}
+	fmt.Println()
+
+	counts := tally.Counts(func(r report.Race) bool { return !supp.Matches(r) })
+	if len(counts) > 0 {
+		fmt.Println("\nroot-cause tallies (first manifesting run per unit):")
+		keys := make([]string, 0, len(counts))
+		for c := range counts {
+			keys = append(keys, string(c))
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-40s %4d\n", k, counts[taxonomy.Category(k)])
+		}
+	}
 }

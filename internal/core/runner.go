@@ -241,6 +241,39 @@ func (r *Runner) runSeed(st *runState, prog func(*sched.G), seed int64) (*Outcom
 	return out, nil
 }
 
+// Worker owns one recycled detection state bound to a Runner: the
+// detector instance (Reset in place between runs when it supports it)
+// and the reusable trace buffer for record mode. A sweep that pushes
+// many seeds through one Worker allocates one detector's worth of
+// shadow memory, not one per seed. Workers are not safe for concurrent
+// use; create one per goroutine. StreamBatch and the campaign engine
+// in internal/sweep are both built on Workers.
+type Worker struct {
+	r  *Runner
+	st *runState
+}
+
+// NewWorker validates the Runner's configuration and builds a recycled
+// run state for one worker goroutine.
+func (r *Runner) NewWorker() (*Worker, error) {
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	st, err := r.newRunState()
+	if err != nil {
+		return nil, err
+	}
+	st.shared = true
+	return &Worker{r: r, st: st}, nil
+}
+
+// RunSeed executes prog once under the given seed on the recycled
+// state. The returned Outcome owns its races, candidates, and trace —
+// nothing aliases state a later RunSeed will rewind.
+func (w *Worker) RunSeed(prog func(*sched.G), seed int64) (*Outcome, error) {
+	return w.r.runSeed(w.st, prog, seed)
+}
+
 // BatchResult is one seed's result in a batch sweep, delivered in
 // completion order by StreamBatch.
 type BatchResult struct {
@@ -288,13 +321,11 @@ func (r *Runner) StreamBatch(prog func(*sched.G), seeds []int64) <-chan BatchRes
 			// supports it), so the sweep's shadow memory, clocks, and
 			// trace buffer are allocated once per worker, not once
 			// per seed.
-			st, err := r.newRunState()
+			wk, err := r.NewWorker()
 			if err != nil {
 				// validate() ran before the workers started, so this
 				// is unreachable short of a racing re-registration.
-				st = nil
-			} else {
-				st.shared = true
+				wk = nil
 			}
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
@@ -303,8 +334,8 @@ func (r *Runner) StreamBatch(prog func(*sched.G), seeds []int64) <-chan BatchRes
 				}
 				var out *Outcome
 				var runErr error
-				if st != nil {
-					out, runErr = r.runSeed(st, prog, seeds[i])
+				if wk != nil {
+					out, runErr = wk.RunSeed(prog, seeds[i])
 				} else {
 					out, runErr = r.RunSeed(prog, seeds[i])
 				}

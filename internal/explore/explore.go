@@ -16,6 +16,7 @@ import (
 
 	"gorace/internal/core"
 	"gorace/internal/sched"
+	"gorace/internal/sweep"
 	"gorace/internal/vclock"
 )
 
@@ -43,58 +44,74 @@ func (p ProbeResult) Probability() float64 {
 // Probe runs prog `runs` times under the named scheduling strategy
 // (see sched.StrategyNames) and reports how often at least one race
 // manifested. Seeds are sequential from base; the sweep is one
-// Runner.RunBatch with parallelism workers (≤1 = serial).
+// internal/sweep campaign with parallelism workers (≤1 = serial).
 func Probe(prog func(*sched.G), strategy string, runs int, base int64, parallelism int) ProbeResult {
-	return probe(prog, core.NewRunner(
-		core.WithStrategy(strategy),
-		core.WithMaxSteps(maxSteps),
-		core.WithParallelism(parallelism),
-	), runs, base)
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	res := probe([]sweep.Unit{{
+		ID: strategy, Program: prog, Strategy: strategy,
+		BaseSeed: base, Runs: runs, MaxSteps: maxSteps,
+	}}, parallelism)
+	if len(res) == 0 {
+		return ProbeResult{Runs: runs}
+	}
+	return res[0]
 }
 
 // ProbeFactory is Probe for strategies a registry name cannot carry
 // (replayed prefixes, custom parameters). The factory is invoked once
-// per run.
+// per run, always from a single worker goroutine.
 func ProbeFactory(prog func(*sched.G), factory func() sched.Strategy, runs int, base int64) ProbeResult {
-	return probe(prog, core.NewRunner(
-		core.WithStrategyFactory(factory),
-		core.WithMaxSteps(maxSteps),
-	), runs, base)
+	res := probe([]sweep.Unit{{
+		ID: "factory", Program: prog, StrategyFactory: factory,
+		BaseSeed: base, Runs: runs, MaxSteps: maxSteps,
+	}}, 1)
+	if len(res) == 0 {
+		return ProbeResult{Runs: runs}
+	}
+	return res[0]
 }
 
-func probe(prog func(*sched.G), runner *core.Runner, runs int, base int64) ProbeResult {
-	res := ProbeResult{Runs: runs}
-	if runs <= 0 {
-		return res
+// probe runs one campaign and projects its Prob aggregate into
+// per-unit ProbeResults, in unit order.
+func probe(units []sweep.Unit, parallelism int) []ProbeResult {
+	opts := []sweep.Option{}
+	if parallelism > 0 {
+		opts = append(opts, sweep.WithParallelism(parallelism))
 	}
-	totalRaces := 0
-	for br := range runner.StreamBatch(prog, core.Seeds(base, runs)) {
-		if br.Err != nil {
-			// Unknown strategy names and nil factories are programming
-			// errors here; surface them loudly rather than as P=0.
-			panic(br.Err)
-		}
-		out := br.Outcome
-		res.Strategy = out.Strategy
-		if out.HasRace() {
-			res.Detected++
-		}
-		totalRaces += len(out.Races)
-		if out.Result.Deadlocked() {
-			res.LeakedRuns++
-		}
+	aggs, _, err := sweep.New(opts...).Run(units,
+		func() sweep.Aggregator { return sweep.NewProb() })
+	if err != nil {
+		// Unknown strategy names and nil factories are programming
+		// errors here; surface them loudly rather than as P=0.
+		panic(err)
 	}
-	res.AvgRaces = float64(totalRaces) / float64(runs)
-	return res
-}
-
-// CompareStrategies probes prog under every registered strategy.
-func CompareStrategies(prog func(*sched.G), runs int, base int64) []ProbeResult {
 	var out []ProbeResult
-	for _, name := range sched.StrategyNames() {
-		out = append(out, Probe(prog, name, runs, base, 0))
+	for _, s := range aggs[0].(*sweep.Prob).Stats() {
+		out = append(out, ProbeResult{
+			Strategy:   s.Strategy,
+			Runs:       s.Runs,
+			Detected:   s.Detected,
+			AvgRaces:   float64(s.Races) / float64(s.Runs),
+			LeakedRuns: s.LeakedRuns,
+		})
 	}
 	return out
+}
+
+// CompareStrategies probes prog under every registered strategy, as
+// one campaign (a unit per strategy over the shared seed range).
+func CompareStrategies(prog func(*sched.G), runs int, base int64) []ProbeResult {
+	names := sched.StrategyNames()
+	units := make([]sweep.Unit, 0, len(names))
+	for _, name := range names {
+		units = append(units, sweep.Unit{
+			ID: name, Program: prog, Strategy: name,
+			BaseSeed: base, Runs: runs, MaxSteps: maxSteps,
+		})
+	}
+	return probe(units, 0)
 }
 
 // FormatProbes renders strategy-comparison results as a table.
@@ -122,6 +139,12 @@ type ExhaustiveResult struct {
 // decisions actually taken, and then enqueues every one-decision
 // deviation from the recorded schedule, depth-first, until the budget
 // is exhausted or the schedule space is covered.
+//
+// Unlike the seed sweeps in this package — which run as
+// internal/sweep campaigns — exploration is an *adaptive search*:
+// each run's schedule prefix comes from a previous run's recording,
+// so runs cannot be pre-enumerated as campaign units and the explorer
+// drives core.Runner one run at a time.
 //
 // The state space of even small programs is huge, so maxRuns bounds
 // the exploration; coverage is systematic-in-prefix rather than

@@ -14,10 +14,10 @@ import (
 	"math/rand"
 	"sort"
 
-	"gorace/internal/core"
 	"gorace/internal/patterns"
 	"gorace/internal/report"
 	"gorace/internal/sched"
+	"gorace/internal/sweep"
 )
 
 // UnitTest is one test in a service, wrapping a corpus pattern.
@@ -85,28 +85,42 @@ type Detection struct {
 
 // RunAllTests executes every unit test once under a fresh random
 // schedule (the source of run-to-run flakiness) and returns the
-// detections. Reports within one test are reduced to unique hashes.
+// detections. The nightly run is one sweep campaign — a unit per
+// test, the Corpus aggregator deduplicating reports within each test
+// — so the whole monorepo's tests execute over the engine's recycled
+// worker pool, in parallel, with deterministic output.
 func (r *Repo) RunAllTests(seed int64) []Detection {
-	runner := core.NewRunner(core.WithMaxSteps(1 << 16))
-	var out []Detection
+	type site struct{ service, test string }
+	var units []sweep.Unit
+	var sites []site // parallel to units
 	for si, svc := range r.Services {
 		for ti, t := range svc.Tests {
-			res, err := runner.RunSeed(t.Program(), seed^int64(si*131+ti*17))
-			if err != nil {
-				panic(err) // default registry names; cannot fail
-			}
-			for _, race := range report.UniqueByHash(res.Races) {
-				out = append(out, Detection{
-					Service: svc.Name,
-					Test:    t.Name,
-					// Scope the hash by service+test: the same corpus
-					// pattern embedded in two services is two distinct
-					// defects, as two real code sites would be.
-					Hash: svc.Name + "/" + t.Name + "/" + race.Hash(),
-					Race: race,
-				})
-			}
+			units = append(units, sweep.Unit{
+				// Unit IDs scope the dedup hash by service+test: the
+				// same corpus pattern embedded in two services is two
+				// distinct defects, as two real code sites would be.
+				ID:       svc.Name + "/" + t.Name,
+				Program:  t.Program(),
+				BaseSeed: seed ^ int64(si*131+ti*17),
+				Runs:     1,
+				MaxSteps: 1 << 16,
+			})
+			sites = append(sites, site{svc.Name, t.Name})
 		}
+	}
+	aggs, _, err := sweep.New().Run(units,
+		func() sweep.Aggregator { return sweep.NewCorpus() })
+	if err != nil {
+		panic(err) // default registry names; cannot fail
+	}
+	var out []Detection
+	for _, det := range aggs[0].(*sweep.Corpus).Detections() {
+		out = append(out, Detection{
+			Service: sites[det.UnitIdx].service,
+			Test:    sites[det.UnitIdx].test,
+			Hash:    det.Unit + "/" + det.Race.Hash(),
+			Race:    det.Race,
+		})
 	}
 	return out
 }

@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"gorace/internal/classify"
 	"gorace/internal/patterns"
-	"gorace/internal/taxonomy"
+	"gorace/internal/sweep"
 )
 
 // MultiLabelResult quantifies §4.10's remark that the study's
@@ -23,14 +22,30 @@ type MultiLabelResult struct {
 
 // RunMultiLabel classifies one manifesting run of every corpus pattern
 // (excluding the fix-strategy entries) and tallies label multiplicity.
+// Like RunTable23, the whole sweep is one campaign: a halt-on-race
+// unit per pattern, labeled by the streaming classifier aggregator.
 func RunMultiLabel(seed int64) *MultiLabelResult {
 	res := &MultiLabelResult{PairCounts: make(map[string]int)}
-	totalLabels := 0
+
+	var units []sweep.Unit
+	var pats []patterns.Pattern // parallel to units
 	for _, p := range patterns.All() {
 		if fixCats[p.Cat] {
 			continue
 		}
-		cats, ok := classifyInstanceAll(p, seed)
+		units = append(units, instanceUnit(p.ID, p.Racy, seed))
+		pats = append(pats, p)
+	}
+	aggs, _, err := sweep.New().Run(units,
+		func() sweep.Aggregator { return &classifyAgg{} })
+	if err != nil {
+		panic(err) // default registry names; cannot fail
+	}
+	labels := aggs[0].(*classifyAgg)
+
+	totalLabels := 0
+	for i, p := range pats {
+		cats, ok := labels.labels(i)
 		if !ok {
 			continue
 		}
@@ -61,43 +76,6 @@ func RunMultiLabel(seed int64) *MultiLabelResult {
 		res.AvgLabels = float64(totalLabels) / float64(res.Instances)
 	}
 	return res
-}
-
-// classifyInstanceAll returns the full ordered label list of the first
-// manifesting report union, across reports of the manifesting run.
-func classifyInstanceAll(p patterns.Pattern, base int64) ([]taxonomy.Category, bool) {
-	const maxSeeds = 60
-	for s := int64(0); s < maxSeeds; s++ {
-		res, err := instanceRunner.RunSeed(p.Racy, base+s)
-		if err != nil {
-			panic(err) // default registry names; cannot fail
-		}
-		if !res.HasRace() {
-			continue
-		}
-		hints := classify.HintsFromTrace(res.Trace.Events)
-		var out []taxonomy.Category
-		seen := make(map[taxonomy.Category]bool)
-		for _, r := range res.Races {
-			// The missing-lock label is the classifier's universal
-			// fallback; as a *secondary* label it only carries signal
-			// when the race shows partial locking (one side holds a
-			// lock the other does not).
-			partialLocking := (len(r.First.Locks) > 0) != (len(r.Second.Locks) > 0) ||
-				(len(r.First.Locks) > 0 && len(r.Second.Locks) > 0)
-			for _, c := range classify.Classify(r, hints) {
-				if c == taxonomy.CatMissingLock && len(out) > 0 && !partialLocking {
-					continue
-				}
-				if !seen[c] {
-					seen[c] = true
-					out = append(out, c)
-				}
-			}
-		}
-		return out, true
-	}
-	return nil, false
 }
 
 // Format renders the multi-label summary.

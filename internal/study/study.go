@@ -20,15 +20,29 @@ import (
 	"gorace/internal/classify"
 	"gorace/internal/core"
 	"gorace/internal/patterns"
+	"gorace/internal/sched"
+	"gorace/internal/sweep"
 	"gorace/internal/taxonomy"
 )
 
-// instanceRunner drives every study run: random schedules, recorded
-// traces (the classifier needs hints), bounded steps.
-var instanceRunner = core.NewRunner(
-	core.WithRecord(true),
-	core.WithMaxSteps(1<<16),
+// Every study run uses random schedules, recorded traces (the
+// classifier needs hints), bounded steps, and a bounded seed search
+// per instance: instanceUnit expresses that as a sweep work unit, and
+// one campaign executes the whole population.
+const (
+	instanceMaxSeeds = 60
+	instanceMaxSteps = 1 << 16
 )
+
+// instanceUnit is the work unit of one population instance: hunt the
+// instance's race across its seed range, stopping at the first
+// manifestation.
+func instanceUnit(id string, prog func(*sched.G), base int64) sweep.Unit {
+	return sweep.Unit{
+		ID: id, Program: prog, BaseSeed: base, Runs: instanceMaxSeeds,
+		MaxSteps: instanceMaxSteps, Record: true, HaltOnRace: true,
+	}
+}
 
 // Row is one table row: the paper's entry and the regenerated count.
 type Row struct {
@@ -57,6 +71,9 @@ var fixCats = map[taxonomy.Category]bool{
 
 // RunTable23 regenerates the tables at the given population scale
 // (1.0 = the paper's 1011 fixed races; smaller scales run faster).
+// The whole population executes as one sweep campaign: each cause
+// instance is a halt-on-race unit, and a streaming classifier
+// aggregator labels every instance's first manifesting run.
 func RunTable23(scale float64, seed int64) *Result {
 	if scale <= 0 {
 		scale = 1
@@ -65,6 +82,8 @@ func RunTable23(scale float64, seed int64) *Result {
 	correct, causeTotal := 0, 0
 	population, manifested := 0, 0
 
+	var units []sweep.Unit
+	var expected []taxonomy.Category // expected label, parallel to units
 	for _, entry := range taxonomy.Entries {
 		n := int(float64(entry.PaperCount)*scale + 0.5)
 		pats := patterns.ByCategory(entry.Cat)
@@ -81,16 +100,29 @@ func RunTable23(scale float64, seed int64) *Result {
 				manifested++
 				continue
 			}
-			cat, ok := classifyInstance(p, seed+int64(population)*101)
-			if !ok {
-				continue
-			}
-			manifested++
-			counts[cat]++
-			causeTotal++
-			if cat == entry.Cat {
-				correct++
-			}
+			units = append(units, instanceUnit(
+				fmt.Sprintf("%s#%d", entry.Cat, i), p.Racy,
+				seed+int64(population)*101))
+			expected = append(expected, entry.Cat)
+		}
+	}
+
+	aggs, _, err := sweep.New().Run(units,
+		func() sweep.Aggregator { return &classifyAgg{} })
+	if err != nil {
+		panic(err) // default registry names; cannot fail
+	}
+	labels := aggs[0].(*classifyAgg)
+	for i := range units {
+		cats, ok := labels.labels(i)
+		if !ok {
+			continue
+		}
+		manifested++
+		counts[cats[0]]++
+		causeTotal++
+		if cats[0] == expected[i] {
+			correct++
 		}
 	}
 
@@ -109,24 +141,65 @@ func RunTable23(scale float64, seed int64) *Result {
 	return res
 }
 
-// classifyInstance runs one pattern instance until its race manifests
-// (bounded seed search) and returns the classified primary category.
-func classifyInstance(p patterns.Pattern, base int64) (taxonomy.Category, bool) {
-	const maxSeeds = 60
-	for s := int64(0); s < maxSeeds; s++ {
-		out, err := instanceRunner.RunSeed(p.Racy, base+s)
-		if err != nil {
-			panic(err) // default registry names; cannot fail
-		}
-		if !out.HasRace() {
-			continue
-		}
-		hints := classify.HintsFromTrace(out.Trace.Events)
-		// Classify every report and keep the most specific primary
-		// (the first report is usually the defining access pair).
-		return classify.Primary(out.Races[0], hints), true
+// classifyAgg is a study-specific sweep.Aggregator: it classifies
+// each unit's first manifesting run *as the campaign streams* and
+// keeps only the ordered label list — the outcome and its trace are
+// classified on a worker and dropped, so a full-scale population
+// never holds more than a shard's worth of traces in memory. The
+// per-unit earliest-wins bookkeeping (shared with sweep.FirstRace and
+// sweep.Tally) lives in sweep.Earliest; classification is
+// deterministic given an outcome, so the aggregate is reproducible at
+// any parallelism.
+type classifyAgg struct {
+	first sweep.Earliest[[]taxonomy.Category]
+}
+
+// Observe implements sweep.Aggregator.
+func (c *classifyAgg) Observe(r sweep.Run) {
+	if !r.Outcome.HasRace() || !c.first.Wants(r.UnitIdx, r.SeedIdx) {
+		return
 	}
-	return taxonomy.CatUnknown, false
+	c.first.Take(r.UnitIdx, r.SeedIdx, labelOutcome(r.Outcome))
+}
+
+// Merge implements sweep.Aggregator.
+func (c *classifyAgg) Merge(next sweep.Aggregator) {
+	c.first.MergeFrom(&next.(*classifyAgg).first)
+}
+
+// labels returns the ordered label list of the unit's first
+// manifesting run; ok is false if the instance's race never
+// manifested within its seed budget. The first label is the primary
+// (the first report is usually the defining access pair).
+func (c *classifyAgg) labels(unitIdx int) ([]taxonomy.Category, bool) {
+	return c.first.Get(unitIdx)
+}
+
+// labelOutcome computes the ordered label union across the
+// manifesting run's reports (§4.10: labelings are not mutually
+// exclusive).
+func labelOutcome(out *core.Outcome) []taxonomy.Category {
+	hints := classify.HintsFromTrace(out.Trace.Events)
+	var cats []taxonomy.Category
+	seen := make(map[taxonomy.Category]bool)
+	for _, r := range out.Races {
+		// The missing-lock label is the classifier's universal
+		// fallback; as a *secondary* label it only carries signal
+		// when the race shows partial locking (one side holds a
+		// lock the other does not).
+		partialLocking := (len(r.First.Locks) > 0) != (len(r.Second.Locks) > 0) ||
+			(len(r.First.Locks) > 0 && len(r.Second.Locks) > 0)
+		for _, cat := range classify.Classify(r, hints) {
+			if cat == taxonomy.CatMissingLock && len(cats) > 0 && !partialLocking {
+				continue
+			}
+			if !seen[cat] {
+				seen[cat] = true
+				cats = append(cats, cat)
+			}
+		}
+	}
+	return cats
 }
 
 // Format renders the regenerated tables beside the paper's counts.

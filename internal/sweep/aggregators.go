@@ -1,0 +1,274 @@
+package sweep
+
+import (
+	"gorace/internal/classify"
+	"gorace/internal/core"
+	"gorace/internal/report"
+	"gorace/internal/taxonomy"
+	"gorace/internal/trace"
+)
+
+// This file holds the standard streaming aggregators. All of them key
+// their state by unit index, so Merge — always called in shard order,
+// with later shards on the right — reduces to an order-preserving
+// per-unit fold.
+
+// UnitStat is one unit's detection-probability estimate, the
+// aggregate behind explore.Probe and the §3.2 flakiness argument.
+type UnitStat struct {
+	Unit       string // Unit.ID
+	Detector   string // resolved detector name, from the first outcome
+	Strategy   string // resolved strategy name, from the first outcome
+	Runs       int    // executions observed
+	Detected   int    // executions with at least one race
+	Races      int    // total race reports
+	LeakedRuns int    // executions that ended with blocked goroutines
+}
+
+// Probability returns the manifestation-probability estimate.
+func (s UnitStat) Probability() float64 {
+	if s.Runs == 0 {
+		return 0
+	}
+	return float64(s.Detected) / float64(s.Runs)
+}
+
+// Prob estimates per-unit detection probability.
+type Prob struct {
+	stats []*UnitStat // indexed by UnitIdx
+}
+
+// NewProb returns an empty Prob aggregator (use as a Factory:
+// func() Aggregator { return NewProb() }).
+func NewProb() *Prob { return &Prob{} }
+
+func (p *Prob) unit(idx int) *UnitStat {
+	for len(p.stats) <= idx {
+		p.stats = append(p.stats, nil)
+	}
+	if p.stats[idx] == nil {
+		p.stats[idx] = &UnitStat{}
+	}
+	return p.stats[idx]
+}
+
+// Observe implements Aggregator.
+func (p *Prob) Observe(r Run) {
+	s := p.unit(r.UnitIdx)
+	s.Unit = r.Unit.ID
+	s.Detector = r.Outcome.Detector
+	s.Strategy = r.Outcome.Strategy
+	s.Runs++
+	if r.Outcome.HasRace() {
+		s.Detected++
+	}
+	s.Races += len(r.Outcome.Races)
+	if r.Outcome.Result.Deadlocked() {
+		s.LeakedRuns++
+	}
+}
+
+// Merge implements Aggregator.
+func (p *Prob) Merge(next Aggregator) {
+	for idx, o := range next.(*Prob).stats {
+		if o == nil {
+			continue
+		}
+		s := p.unit(idx)
+		s.Unit, s.Detector, s.Strategy = o.Unit, o.Detector, o.Strategy
+		s.Runs += o.Runs
+		s.Detected += o.Detected
+		s.Races += o.Races
+		s.LeakedRuns += o.LeakedRuns
+	}
+}
+
+// Stats returns the per-unit estimates in unit order (units that
+// executed no runs are skipped).
+func (p *Prob) Stats() []UnitStat {
+	out := make([]UnitStat, 0, len(p.stats))
+	for _, s := range p.stats {
+		if s != nil {
+			out = append(out, *s)
+		}
+	}
+	return out
+}
+
+// Detection is one deduplicated race in a campaign corpus.
+type Detection struct {
+	Unit    string // Unit.ID
+	UnitIdx int
+	Seed    int64 // seed of the run that first produced the report
+	Race    report.Race
+}
+
+// Hash returns the unit-scoped dedup hash: the same corpus pattern
+// embedded at two sites is two distinct defects, as two real code
+// sites would be.
+func (d Detection) Hash() string { return d.Unit + "/" + d.Race.Hash() }
+
+// Corpus accumulates the campaign-wide race corpus, deduplicated per
+// unit with the §3.3.1 hash via report.Deduper — the fleet-scale
+// "file each defect once" pipeline.
+type Corpus struct {
+	units []*unitCorpus // indexed by UnitIdx
+	seen  int           // race reports observed before dedup
+}
+
+type unitCorpus struct {
+	dedup *report.Deduper
+	dets  []Detection
+}
+
+// NewCorpus returns an empty Corpus aggregator.
+func NewCorpus() *Corpus { return &Corpus{} }
+
+func (c *Corpus) unit(idx int) *unitCorpus {
+	for len(c.units) <= idx {
+		c.units = append(c.units, nil)
+	}
+	if c.units[idx] == nil {
+		c.units[idx] = &unitCorpus{dedup: report.NewDeduper()}
+	}
+	return c.units[idx]
+}
+
+func (uc *unitCorpus) add(d Detection) {
+	if uc.dedup.Add(d.Race) {
+		uc.dets = append(uc.dets, d)
+	}
+}
+
+// Observe implements Aggregator.
+func (c *Corpus) Observe(r Run) {
+	races := r.Outcome.Races
+	c.seen += len(races)
+	if len(races) == 0 {
+		return
+	}
+	uc := c.unit(r.UnitIdx)
+	for _, race := range report.UniqueByHash(races) {
+		uc.add(Detection{Unit: r.Unit.ID, UnitIdx: r.UnitIdx, Seed: r.Seed, Race: race})
+	}
+}
+
+// Merge implements Aggregator.
+func (c *Corpus) Merge(next Aggregator) {
+	o := next.(*Corpus)
+	c.seen += o.seen
+	for idx, ouc := range o.units {
+		if ouc == nil {
+			continue
+		}
+		uc := c.unit(idx)
+		for _, d := range ouc.dets {
+			uc.add(d)
+		}
+	}
+}
+
+// Detections returns the deduplicated corpus in canonical order: by
+// unit, then by first manifestation within the unit.
+func (c *Corpus) Detections() []Detection {
+	var out []Detection
+	for _, uc := range c.units {
+		if uc != nil {
+			out = append(out, uc.dets...)
+		}
+	}
+	return out
+}
+
+// Seen returns the number of race reports observed before
+// deduplication.
+func (c *Corpus) Seen() int { return c.seen }
+
+// FirstRace keeps, per unit, the outcome of the earliest run (in seed
+// order) that detected a race — the primitive behind "run until the
+// race manifests" seed searches. Pair with Unit.HaltOnRace to stop a
+// unit as soon as its hit is found. Retained outcomes keep their
+// traces (when the unit records); campaigns that only need a derived
+// value should compute it in Observe instead, like Tally does.
+type FirstRace struct {
+	first Earliest[*core.Outcome]
+}
+
+// NewFirstRace returns an empty FirstRace aggregator.
+func NewFirstRace() *FirstRace { return &FirstRace{} }
+
+// Observe implements Aggregator.
+func (f *FirstRace) Observe(r Run) {
+	if r.Outcome.HasRace() {
+		f.first.Take(r.UnitIdx, r.SeedIdx, r.Outcome)
+	}
+}
+
+// Merge implements Aggregator.
+func (f *FirstRace) Merge(next Aggregator) {
+	f.first.MergeFrom(&next.(*FirstRace).first)
+}
+
+// Outcome returns the first racy outcome of the given unit, or
+// (nil, false) if the unit's race never manifested.
+func (f *FirstRace) Outcome(unitIdx int) (*core.Outcome, bool) {
+	return f.first.Get(unitIdx)
+}
+
+// Tally classifies each unit's first manifesting race with
+// internal/classify and tallies primary categories — the streaming
+// form of the study's root-cause breakdown. Classification happens in
+// Observe, while the run's trace (the classifier's hint source, when
+// the unit records) is still on the worker; only the label and the
+// defining report survive, so a campaign never retains outcomes.
+type Tally struct {
+	first Earliest[tallied]
+}
+
+type tallied struct {
+	cat  taxonomy.Category
+	race report.Race // the classified (defining) report
+}
+
+// NewTally returns an empty Tally aggregator.
+func NewTally() *Tally { return &Tally{} }
+
+// Observe implements Aggregator.
+func (t *Tally) Observe(r Run) {
+	out := r.Outcome
+	if len(out.Races) == 0 {
+		// Includes counting-only detectors, which synthesize no
+		// access pair to classify.
+		return
+	}
+	if !t.first.Wants(r.UnitIdx, r.SeedIdx) {
+		return
+	}
+	var events []trace.Event
+	if out.Trace != nil {
+		events = out.Trace.Events
+	}
+	hints := classify.HintsFromTrace(events)
+	t.first.Take(r.UnitIdx, r.SeedIdx, tallied{
+		cat:  classify.Primary(out.Races[0], hints),
+		race: out.Races[0],
+	})
+}
+
+// Merge implements Aggregator.
+func (t *Tally) Merge(next Aggregator) {
+	t.first.MergeFrom(&next.(*Tally).first)
+}
+
+// Counts returns the per-category tallies over units whose defining
+// report passes keep (nil keeps everything — pass a suppression
+// filter to keep tallies consistent with a suppressed corpus).
+func (t *Tally) Counts(keep func(report.Race) bool) map[taxonomy.Category]int {
+	counts := make(map[taxonomy.Category]int)
+	t.first.Each(func(_ int, u tallied) {
+		if keep == nil || keep(u.race) {
+			counts[u.cat]++
+		}
+	})
+	return counts
+}

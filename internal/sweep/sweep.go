@@ -1,0 +1,328 @@
+// Package sweep is the campaign engine behind every multi-run driver
+// in the repo: it executes a set of work units (program × detector ×
+// strategy × seed range) over a pool of recycled core.Runner workers
+// and streams each completed run into pluggable aggregators.
+//
+// The paper's deployment story (§3.3) is fleet-scale, offline, and
+// aggregate: record executions by the thousands, replay them into
+// detectors post-facto, and deduplicate reports across the fleet.
+// Every driver that used to hand-roll that loop — detection-
+// probability probing (internal/explore), the root-cause study
+// (internal/study), the monorepo nightly pipeline (internal/monorepo),
+// and the corpus-wide campaigns in cmd/racedetect — now expresses its
+// sweep as units plus aggregators and lets one engine own scheduling,
+// state recycling, and result plumbing.
+//
+// # Determinism
+//
+// Campaigns are sharded: each unit's seed range is split into
+// contiguous shards, shards execute on any worker in any order, and
+// each shard feeds its own aggregator instances in seed order. When a
+// shard completes, the engine folds it into the campaign's root
+// aggregators in *shard index* order (holding briefly completed
+// shards that arrive early). Per-seed outcomes are deterministic, so
+// the fold sees an identical observation sequence no matter how
+// workers interleave — sharded results are reproducible at any
+// parallelism. Memory stays bounded by the out-of-order shard window,
+// not by the campaign size: that is the "streaming" in streaming
+// campaign engine.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gorace/internal/core"
+	"gorace/internal/sched"
+)
+
+// Unit is one work unit of a campaign: a program swept over a seed
+// range under one detector/strategy configuration.
+type Unit struct {
+	// ID names the unit in aggregates (e.g. "capture-loop-index/pct").
+	ID string
+	// Program is the modeled program to execute.
+	Program func(*sched.G)
+	// Detector and Strategy are registry names; empty selects the
+	// defaults. StrategyFactory overrides Strategy for strategies a
+	// name cannot carry (replay prefixes, recorders); it is invoked
+	// once per run, possibly from concurrent workers.
+	Detector        string
+	Strategy        string
+	StrategyFactory func() sched.Strategy
+	// BaseSeed and Runs define the seed range BaseSeed, BaseSeed+1,
+	// ..., BaseSeed+Runs-1.
+	BaseSeed int64
+	Runs     int
+	// MaxSteps bounds each execution (0 = scheduler default).
+	MaxSteps int
+	// Record keeps each run's event trace on its Outcome.
+	Record bool
+	// HaltOnRace stops the unit's sweep at the first run that
+	// detects a race (a bounded seed *search* rather than a full
+	// sweep). Halting units are never split across shards, so the
+	// early exit — and therefore the whole campaign — stays
+	// deterministic.
+	HaltOnRace bool
+}
+
+// Run is one completed execution, delivered to aggregators in
+// canonical order (unit index, then seed index).
+type Run struct {
+	Unit    *Unit
+	UnitIdx int
+	SeedIdx int // index within the unit's seed range
+	Seed    int64
+	Outcome *core.Outcome
+}
+
+// Aggregator consumes a stream of runs. The engine creates one
+// instance per shard (via a Factory), feeds it that shard's runs in
+// seed order, and folds completed shards into the campaign root with
+// Merge, always in shard order. Aggregators never see concurrent
+// calls.
+type Aggregator interface {
+	// Observe folds one run into the aggregate.
+	Observe(r Run)
+	// Merge folds next — an aggregate of the same concrete type
+	// covering strictly later runs — into this one.
+	Merge(next Aggregator)
+}
+
+// Factory builds one aggregator instance; the engine calls it once
+// per shard plus once for the campaign root.
+type Factory func() Aggregator
+
+// Stats summarizes an executed campaign.
+type Stats struct {
+	Units  int // units submitted
+	Shards int // shards executed
+	Runs   int // program executions performed
+	Racy   int // executions that detected at least one race
+}
+
+// Engine executes campaigns. The zero value is not useful; use New.
+type Engine struct {
+	parallelism int
+	shardRuns   int
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithParallelism sets the worker-goroutine count (default
+// GOMAXPROCS; values < 1 mean serial).
+func WithParallelism(n int) Option {
+	return func(e *Engine) { e.parallelism = n }
+}
+
+// WithShardRuns sets the target runs per shard when splitting a
+// unit's seed range (default 16). Smaller shards spread one big unit
+// across more workers; larger shards amortize more state recycling.
+func WithShardRuns(n int) Option {
+	return func(e *Engine) { e.shardRuns = n }
+}
+
+// New builds an Engine.
+func New(opts ...Option) *Engine {
+	e := &Engine{parallelism: runtime.GOMAXPROCS(0), shardRuns: 16}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.parallelism < 1 {
+		e.parallelism = 1
+	}
+	if e.shardRuns < 1 {
+		e.shardRuns = 1
+	}
+	return e
+}
+
+// shard is a contiguous slice of one unit's seed range.
+type shard struct {
+	unitIdx int
+	lo, n   int // seed indices [lo, lo+n)
+}
+
+// shardResult is what one executed shard hands to the merger.
+type shardResult struct {
+	idx  int
+	aggs []Aggregator
+	runs int
+	racy int
+	err  error
+}
+
+// Run executes the campaign and returns one merged root aggregator
+// per factory, in factory order. An error (unknown detector or
+// strategy name, nil factory strategy, model failure) aborts the
+// campaign; the first error in shard order is returned.
+func (e *Engine) Run(units []Unit, factories ...Factory) ([]Aggregator, Stats, error) {
+	stats := Stats{Units: len(units)}
+	roots := make([]Aggregator, len(factories))
+	for i, f := range factories {
+		roots[i] = f()
+	}
+
+	var shards []shard
+	for ui := range units {
+		runs := units[ui].Runs
+		if runs <= 0 {
+			continue
+		}
+		if units[ui].HaltOnRace {
+			shards = append(shards, shard{unitIdx: ui, lo: 0, n: runs})
+			continue
+		}
+		for lo := 0; lo < runs; lo += e.shardRuns {
+			n := e.shardRuns
+			if lo+n > runs {
+				n = runs - lo
+			}
+			shards = append(shards, shard{unitIdx: ui, lo: lo, n: n})
+		}
+	}
+	stats.Shards = len(shards)
+	if len(shards) == 0 {
+		return roots, stats, nil
+	}
+
+	workers := e.parallelism
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	results := make(chan shardResult, len(shards))
+	var next int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			// Each worker goroutine keeps one recycled core.Worker
+			// per distinct unit configuration, so a campaign over
+			// thousands of seeds allocates detector shadow memory
+			// once per (worker, config), not once per run.
+			pool := make(map[string]*core.Worker)
+			for {
+				// A failed shard dooms the campaign, so don't burn
+				// the remaining shards; in-flight ones still finish.
+				if failed.Load() {
+					return
+				}
+				si := int(atomic.AddInt64(&next, 1)) - 1
+				if si >= len(shards) {
+					return
+				}
+				res := e.runShard(units, shards[si], si, pool, factories)
+				if res.err != nil {
+					failed.Store(true)
+				}
+				results <- res
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Deterministic streaming merge: fold shards into the roots in
+	// shard-index order, buffering only shards that complete ahead of
+	// their turn.
+	pending := make(map[int]shardResult)
+	nextMerge := 0
+	var firstErr error
+	firstErrShard := len(shards)
+	for res := range results {
+		pending[res.idx] = res
+		for {
+			r, ok := pending[nextMerge]
+			if !ok {
+				break
+			}
+			delete(pending, nextMerge)
+			nextMerge++
+			if r.err != nil {
+				if r.idx < firstErrShard {
+					firstErr, firstErrShard = r.err, r.idx
+				}
+				continue
+			}
+			stats.Runs += r.runs
+			stats.Racy += r.racy
+			for i := range roots {
+				roots[i].Merge(r.aggs[i])
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, stats, firstErr
+	}
+	return roots, stats, nil
+}
+
+// configKey identifies the recycled-state compatibility class of a
+// unit. Units sharing a key reuse one core.Worker per engine worker;
+// factory-driven units get a per-unit key so a stateful factory is
+// never shared across units.
+func configKey(u *Unit, unitIdx int) string {
+	if u.StrategyFactory != nil {
+		return fmt.Sprintf("factory/%d", unitIdx)
+	}
+	return fmt.Sprintf("%s\x00%s\x00%d\x00%t", u.Detector, u.Strategy, u.MaxSteps, u.Record)
+}
+
+// runShard executes one shard on the calling worker goroutine,
+// feeding fresh aggregator instances in seed order.
+func (e *Engine) runShard(units []Unit, sh shard, idx int, pool map[string]*core.Worker, factories []Factory) shardResult {
+	res := shardResult{idx: idx, aggs: make([]Aggregator, len(factories))}
+	for i, f := range factories {
+		res.aggs[i] = f()
+	}
+	u := &units[sh.unitIdx]
+	key := configKey(u, sh.unitIdx)
+	wk, ok := pool[key]
+	if !ok {
+		opts := []core.Option{
+			core.WithDetector(u.Detector),
+			core.WithMaxSteps(u.MaxSteps),
+			core.WithRecord(u.Record),
+		}
+		if u.StrategyFactory != nil {
+			opts = append(opts, core.WithStrategyFactory(u.StrategyFactory))
+		} else if u.Strategy != "" {
+			opts = append(opts, core.WithStrategy(u.Strategy))
+		}
+		var err error
+		wk, err = core.NewRunner(opts...).NewWorker()
+		if err != nil {
+			res.err = fmt.Errorf("sweep: unit %q: %w", u.ID, err)
+			return res
+		}
+		pool[key] = wk
+	}
+	for si := sh.lo; si < sh.lo+sh.n; si++ {
+		seed := u.BaseSeed + int64(si)
+		out, err := wk.RunSeed(u.Program, seed)
+		if err != nil {
+			res.err = fmt.Errorf("sweep: unit %q seed %d: %w", u.ID, seed, err)
+			return res
+		}
+		res.runs++
+		racy := out.HasRace()
+		if racy {
+			res.racy++
+		}
+		r := Run{Unit: u, UnitIdx: sh.unitIdx, SeedIdx: si, Seed: seed, Outcome: out}
+		for _, a := range res.aggs {
+			a.Observe(r)
+		}
+		if racy && u.HaltOnRace {
+			break
+		}
+	}
+	return res
+}

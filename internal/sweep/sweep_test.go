@@ -1,0 +1,220 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"gorace/internal/patterns"
+	"gorace/internal/sched"
+)
+
+func pat(t testing.TB, id string) patterns.Pattern {
+	t.Helper()
+	p, ok := patterns.ByID(id)
+	if !ok {
+		t.Fatalf("pattern %s missing", id)
+	}
+	return p
+}
+
+func campaignUnits(t testing.TB) []Unit {
+	racy := pat(t, "capture-loop-index")
+	fixed := pat(t, "capture-loop-index")
+	return []Unit{
+		{ID: "racy/random", Program: racy.Racy, Strategy: "random", Runs: 40, MaxSteps: 1 << 16},
+		{ID: "fixed/random", Program: fixed.Fixed, Strategy: "random", Runs: 40, MaxSteps: 1 << 16},
+		{ID: "racy/pct", Program: racy.Racy, Strategy: "pct", Runs: 40, BaseSeed: 7, MaxSteps: 1 << 16},
+	}
+}
+
+// fingerprint renders every aggregate detail that must be reproducible.
+func fingerprint(t testing.TB, aggs []Aggregator, stats Stats) string {
+	t.Helper()
+	var b strings.Builder
+	// Shards is how the campaign was cut, not a result; everything
+	// else must be identical at any parallelism and shard size.
+	fmt.Fprintf(&b, "units=%d runs=%d racy=%d\n", stats.Units, stats.Runs, stats.Racy)
+	for _, s := range aggs[0].(*Prob).Stats() {
+		fmt.Fprintf(&b, "prob %s %s %s %d %d %d %d\n",
+			s.Unit, s.Detector, s.Strategy, s.Runs, s.Detected, s.Races, s.LeakedRuns)
+	}
+	c := aggs[1].(*Corpus)
+	fmt.Fprintf(&b, "corpus seen=%d\n", c.Seen())
+	for _, d := range c.Detections() {
+		fmt.Fprintf(&b, "det %s seed=%d %s\n", d.Unit, d.Seed, d.Hash())
+	}
+	return b.String()
+}
+
+func runCampaign(t testing.TB, opts ...Option) string {
+	t.Helper()
+	aggs, stats, err := New(opts...).Run(campaignUnits(t),
+		func() Aggregator { return NewProb() },
+		func() Aggregator { return NewCorpus() },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fingerprint(t, aggs, stats)
+}
+
+// TestDeterministicAcrossParallelismAndSharding is the engine's core
+// contract: identical campaign results no matter how shards are cut
+// or how many workers interleave.
+func TestDeterministicAcrossParallelismAndSharding(t *testing.T) {
+	want := runCampaign(t, WithParallelism(1), WithShardRuns(1000))
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"serial-tiny-shards", []Option{WithParallelism(1), WithShardRuns(1)}},
+		{"parallel-4", []Option{WithParallelism(4)}},
+		{"parallel-8-tiny-shards", []Option{WithParallelism(8), WithShardRuns(2)}},
+		{"parallel-3-odd-shards", []Option{WithParallelism(3), WithShardRuns(7)}},
+	} {
+		if got := runCampaign(t, tc.opts...); got != want {
+			t.Errorf("%s: campaign diverged:\n--- want\n%s--- got\n%s", tc.name, want, got)
+		}
+	}
+}
+
+func TestProbEstimates(t *testing.T) {
+	aggs, stats, err := New(WithParallelism(4)).Run(campaignUnits(t),
+		func() Aggregator { return NewProb() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := aggs[0].(*Prob).Stats()
+	if len(ps) != 3 {
+		t.Fatalf("%d unit stats, want 3", len(ps))
+	}
+	if ps[0].Unit != "racy/random" || ps[0].Strategy != "random" || ps[0].Detector == "" {
+		t.Fatalf("unit 0 misattributed: %+v", ps[0])
+	}
+	if ps[0].Detected == 0 || ps[0].Probability() <= 0 {
+		t.Fatal("racy unit never detected")
+	}
+	if ps[1].Detected != 0 || ps[1].Races != 0 {
+		t.Fatalf("fixed unit detected races: %+v", ps[1])
+	}
+	if stats.Runs != 120 {
+		t.Fatalf("runs = %d, want 120", stats.Runs)
+	}
+}
+
+func TestCorpusDeduplicates(t *testing.T) {
+	// The same racy program in two units must file one defect per
+	// unit (unit-scoped hashes), however many runs manifest it.
+	racy := pat(t, "capture-loop-index")
+	units := []Unit{
+		{ID: "svc-a/test", Program: racy.Racy, Runs: 30, MaxSteps: 1 << 16},
+		{ID: "svc-b/test", Program: racy.Racy, Runs: 30, MaxSteps: 1 << 16},
+	}
+	aggs, _, err := New(WithParallelism(4), WithShardRuns(5)).Run(units,
+		func() Aggregator { return NewCorpus() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := aggs[0].(*Corpus)
+	dets := c.Detections()
+	if len(dets) != 2 {
+		t.Fatalf("%d detections, want 2 (one per unit): %+v", len(dets), dets)
+	}
+	if dets[0].Unit != "svc-a/test" || dets[1].Unit != "svc-b/test" {
+		t.Fatalf("detections out of unit order: %+v", dets)
+	}
+	if dets[0].Hash() == dets[1].Hash() {
+		t.Fatal("unit scoping lost: identical hashes across units")
+	}
+	if c.Seen() <= 2 {
+		t.Fatalf("seen = %d; expected many raw reports before dedup", c.Seen())
+	}
+}
+
+func TestFirstRaceAndHaltOnRace(t *testing.T) {
+	racy := pat(t, "capture-loop-index")
+	units := []Unit{{
+		ID: "hunt", Program: racy.Racy, Runs: 60, MaxSteps: 1 << 16,
+		Record: true, HaltOnRace: true,
+	}}
+	aggs, stats, err := New(WithParallelism(4)).Run(units,
+		func() Aggregator { return NewFirstRace() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := aggs[0].(*FirstRace)
+	out, ok := fr.Outcome(0)
+	if !ok {
+		t.Fatal("race never manifested across 60 seeds")
+	}
+	if !out.HasRace() || out.Trace == nil {
+		t.Fatalf("first racy outcome incomplete: races=%d trace=%v", len(out.Races), out.Trace != nil)
+	}
+	// HaltOnRace must have stopped the unit at its first hit: the
+	// number of runs equals the winning seed's index + 1.
+	wantRuns := int(out.Seed) + 1
+	if stats.Runs != wantRuns {
+		t.Fatalf("halt-on-race ran %d seeds; first hit at seed %d", stats.Runs, out.Seed)
+	}
+	if _, ok := fr.Outcome(1); ok {
+		t.Fatal("phantom unit outcome")
+	}
+}
+
+func TestStrategyFactoryUnits(t *testing.T) {
+	racy := pat(t, "capture-loop-index")
+	invocations := 0
+	units := []Unit{{
+		ID:              "factory",
+		Program:         racy.Racy,
+		StrategyFactory: func() sched.Strategy { invocations++; return sched.NewRandom() },
+		Runs:            10, MaxSteps: 1 << 16,
+	}}
+	_, stats, err := New(WithParallelism(1)).Run(units,
+		func() Aggregator { return NewProb() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runs != 10 || invocations != 10 {
+		t.Fatalf("runs=%d factory invocations=%d, want 10/10", stats.Runs, invocations)
+	}
+}
+
+func TestUnknownDetectorFailsCampaign(t *testing.T) {
+	racy := pat(t, "capture-loop-index")
+	units := []Unit{{ID: "bad", Program: racy.Racy, Detector: "no-such", Runs: 5}}
+	_, _, err := New().Run(units, func() Aggregator { return NewProb() })
+	if err == nil || !strings.Contains(err.Error(), "no-such") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptyCampaign(t *testing.T) {
+	aggs, stats, err := New().Run(nil, func() Aggregator { return NewProb() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runs != 0 || len(aggs[0].(*Prob).Stats()) != 0 {
+		t.Fatal("phantom results from empty campaign")
+	}
+}
+
+func TestTallyClassifies(t *testing.T) {
+	units := []Unit{
+		{ID: "a", Program: pat(t, "capture-loop-index").Racy, Runs: 40, Record: true, HaltOnRace: true, MaxSteps: 1 << 16},
+		{ID: "b", Program: pat(t, "partial-locking").Racy, Runs: 40, Record: true, HaltOnRace: true, MaxSteps: 1 << 16},
+	}
+	aggs, _, err := New(WithParallelism(2)).Run(units, func() Aggregator { return NewTally() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := aggs[0].(*Tally).Counts(nil)
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 2 {
+		t.Fatalf("classified %d units, want 2 (%v)", total, counts)
+	}
+}

@@ -1,0 +1,381 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"gorace/internal/stack"
+	"gorace/internal/vclock"
+)
+
+// Binary trace codec (format version 1).
+//
+// The paper's deployment mode is record-once/analyze-many: a trace is
+// captured on one machine and replayed into detectors long after the
+// execution is gone, across thousands of runs a night. At that scale
+// the JSON Lines form (SaveJSON) is the bottleneck — every event
+// repeats its goroutine name, its label, and its whole call stack as
+// text. The binary codec exploits the stream's actual redundancy:
+//
+//   - all integers are varints (addresses, objects, and sequence
+//     numbers are small or slowly drifting);
+//   - Seq is delta-encoded against the previous event (the scheduler
+//     hands out nearly consecutive numbers);
+//   - Addr and Obj are zigzag-delta-encoded against the *same
+//     goroutine's* previous access — goroutines revisit nearby cells,
+//     so per-goroutine deltas are far smaller than absolute values;
+//   - GName, Label, and stack frame strings are interned in one
+//     string table, written once on first use;
+//   - a call stack identical to the same goroutine's previous stack
+//     (the overwhelmingly common case: many events per frame) is a
+//     single 0 byte.
+//
+// Layout:
+//
+//	"GRTB" magic | uvarint version | uvarint event count | events...
+//
+// Each event:
+//
+//	op byte | uvarint G | uvarint ΔSeq
+//	| access ops:     zigzag ΔAddr (vs G's last Addr)
+//	| acquire/release: zigzag ΔObj (vs G's last Obj) | kind byte
+//	| fork:           uvarint Child
+//	| stringRef GName | stringRef Label
+//	| stack: 0 (same as G's previous stack)
+//	|        or uvarint depth+1, then per frame:
+//	|          stringRef Func | stringRef File | zigzag Line
+//
+// A stringRef is uvarint index into the table; index == len(table)
+// introduces a new entry (uvarint byte length + bytes) that is
+// appended. Entry 0 is pre-seeded with "".
+
+// codecMagic identifies a binary trace. The first byte ('G') can never
+// open a JSON Lines trace (which starts with '{'), so Load can
+// dispatch on a 4-byte peek.
+var codecMagic = [4]byte{'G', 'R', 'T', 'B'}
+
+// codecVersion is written after the magic; readers reject versions
+// they do not know.
+const codecVersion = 1
+
+// gCodecState is the per-goroutine prediction context shared (in
+// shape) by the encoder and decoder.
+type gCodecState struct {
+	lastAddr  uint64
+	lastObj   uint64
+	lastStack []stack.Frame
+}
+
+type encoder struct {
+	w       *bufio.Writer
+	scratch [binary.MaxVarintLen64]byte
+	strings map[string]uint64
+	gs      map[vclock.TID]*gCodecState
+	lastSeq uint64
+}
+
+func (e *encoder) uvarint(v uint64) {
+	n := binary.PutUvarint(e.scratch[:], v)
+	e.w.Write(e.scratch[:n])
+}
+
+func (e *encoder) zigzag(v int64) {
+	n := binary.PutVarint(e.scratch[:], v)
+	e.w.Write(e.scratch[:n])
+}
+
+// stringRef writes an interned reference, defining the string on first
+// use.
+func (e *encoder) stringRef(s string) {
+	if idx, ok := e.strings[s]; ok {
+		e.uvarint(idx)
+		return
+	}
+	idx := uint64(len(e.strings))
+	e.strings[s] = idx
+	e.uvarint(idx)
+	e.uvarint(uint64(len(s)))
+	e.w.WriteString(s)
+}
+
+func (e *encoder) gstate(g vclock.TID) *gCodecState {
+	st, ok := e.gs[g]
+	if !ok {
+		st = &gCodecState{}
+		e.gs[g] = st
+	}
+	return st
+}
+
+func sameFrames(a, b []stack.Frame) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *encoder) event(ev Event) {
+	gs := e.gstate(ev.G)
+	e.w.WriteByte(byte(ev.Op))
+	e.uvarint(uint64(ev.G))
+	e.zigzag(int64(ev.Seq) - int64(e.lastSeq))
+	e.lastSeq = ev.Seq
+	switch {
+	case ev.Op.IsAccess():
+		e.zigzag(int64(ev.Addr) - int64(gs.lastAddr))
+		gs.lastAddr = uint64(ev.Addr)
+	case ev.Op == OpAcquire || ev.Op == OpRelease:
+		e.zigzag(int64(ev.Obj) - int64(gs.lastObj))
+		gs.lastObj = uint64(ev.Obj)
+		e.w.WriteByte(byte(ev.Kind))
+	case ev.Op == OpFork:
+		e.uvarint(uint64(ev.Child))
+	}
+	e.stringRef(ev.GName)
+	e.stringRef(ev.Label)
+	frames := ev.Stack.Frames()
+	if sameFrames(frames, gs.lastStack) {
+		e.uvarint(0)
+		return
+	}
+	e.uvarint(uint64(len(frames)) + 1)
+	for _, f := range frames {
+		e.stringRef(f.Func)
+		e.stringRef(f.File)
+		e.zigzag(int64(f.Line))
+	}
+	gs.lastStack = frames
+}
+
+// Save writes the recorded trace in the binary format. This is the
+// default durable form; SaveJSON remains for the legacy JSON Lines
+// format.
+func (r *Recorder) Save(w io.Writer) error {
+	e := &encoder{
+		w:       bufio.NewWriter(w),
+		strings: map[string]uint64{"": 0},
+		gs:      make(map[vclock.TID]*gCodecState),
+	}
+	e.w.Write(codecMagic[:])
+	e.uvarint(codecVersion)
+	e.uvarint(uint64(len(r.Events)))
+	for _, ev := range r.Events {
+		e.event(ev)
+	}
+	if err := e.w.Flush(); err != nil {
+		return fmt.Errorf("trace: save binary: %w", err)
+	}
+	return nil
+}
+
+// decoder decodes from an in-memory buffer: traces shrink ~10× under
+// the codec, so reading the whole stream first costs little memory and
+// lets the varint hot path run over a slice instead of paying an
+// interface call per byte.
+type decoder struct {
+	buf     []byte
+	off     int
+	strings []string
+	gs      map[vclock.TID]*gCodecState
+	// stacks caches the Context built for each goroutine's current
+	// frame list, so the "same stack" marker reuses one allocation.
+	stacks  map[vclock.TID]stack.Context
+	lastSeq uint64
+}
+
+var errTruncated = fmt.Errorf("unexpected end of trace")
+
+func (d *decoder) byte() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, errTruncated
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) zigzag() (int64, error) {
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) stringRef() (string, error) {
+	idx, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if idx < uint64(len(d.strings)) {
+		return d.strings[idx], nil
+	}
+	if idx != uint64(len(d.strings)) {
+		return "", fmt.Errorf("string ref %d out of range (table has %d)", idx, len(d.strings))
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 || uint64(len(d.buf)-d.off) < n {
+		return "", fmt.Errorf("string length %d implausible", n)
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	d.strings = append(d.strings, s)
+	return s, nil
+}
+
+func (d *decoder) gstate(g vclock.TID) *gCodecState {
+	st, ok := d.gs[g]
+	if !ok {
+		st = &gCodecState{}
+		d.gs[g] = st
+	}
+	return st
+}
+
+func (d *decoder) event() (Event, error) {
+	var ev Event
+	opb, err := d.byte()
+	if err != nil {
+		return ev, err
+	}
+	ev.Op = Op(opb)
+	g, err := d.uvarint()
+	if err != nil {
+		return ev, err
+	}
+	ev.G = vclock.TID(g)
+	gs := d.gstate(ev.G)
+	dseq, err := d.zigzag()
+	if err != nil {
+		return ev, err
+	}
+	ev.Seq = uint64(int64(d.lastSeq) + dseq)
+	d.lastSeq = ev.Seq
+	switch {
+	case ev.Op.IsAccess():
+		da, err := d.zigzag()
+		if err != nil {
+			return ev, err
+		}
+		gs.lastAddr = uint64(int64(gs.lastAddr) + da)
+		ev.Addr = Addr(gs.lastAddr)
+	case ev.Op == OpAcquire || ev.Op == OpRelease:
+		do, err := d.zigzag()
+		if err != nil {
+			return ev, err
+		}
+		gs.lastObj = uint64(int64(gs.lastObj) + do)
+		ev.Obj = ObjID(gs.lastObj)
+		kb, err := d.byte()
+		if err != nil {
+			return ev, err
+		}
+		ev.Kind = ObjKind(kb)
+	case ev.Op == OpFork:
+		c, err := d.uvarint()
+		if err != nil {
+			return ev, err
+		}
+		ev.Child = vclock.TID(c)
+	}
+	if ev.GName, err = d.stringRef(); err != nil {
+		return ev, err
+	}
+	if ev.Label, err = d.stringRef(); err != nil {
+		return ev, err
+	}
+	depth, err := d.uvarint()
+	if err != nil {
+		return ev, err
+	}
+	if depth == 0 {
+		ev.Stack = d.stacks[ev.G]
+		return ev, nil
+	}
+	depth--
+	if depth > 1<<16 {
+		return ev, fmt.Errorf("stack depth %d implausible", depth)
+	}
+	frames := make([]stack.Frame, depth)
+	for i := range frames {
+		if frames[i].Func, err = d.stringRef(); err != nil {
+			return ev, err
+		}
+		if frames[i].File, err = d.stringRef(); err != nil {
+			return ev, err
+		}
+		line, err := d.zigzag()
+		if err != nil {
+			return ev, err
+		}
+		frames[i].Line = int(line)
+	}
+	ctx := stack.NewContext(frames...)
+	d.stacks[ev.G] = ctx
+	ev.Stack = ctx
+	return ev, nil
+}
+
+// loadBinary decodes a binary trace whose magic has already been
+// verified by Load.
+func loadBinary(br *bufio.Reader) (*Recorder, error) {
+	if _, err := br.Discard(len(codecMagic)); err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read binary: %w", err)
+	}
+	d := &decoder{
+		buf:     data,
+		strings: []string{""},
+		gs:      make(map[vclock.TID]*gCodecState),
+		stacks:  make(map[vclock.TID]stack.Context),
+	}
+	version, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("trace: binary header: %w", err)
+	}
+	if version != codecVersion {
+		return nil, fmt.Errorf("trace: unsupported binary trace version %d (want %d)", version, codecVersion)
+	}
+	count, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("trace: binary header: %w", err)
+	}
+	// Every event costs at least six bytes (op, G, ΔSeq, two string
+	// refs, stack marker), so a count beyond remaining/6 is
+	// corruption — reject before preallocating count Events.
+	if count > uint64(len(data)-d.off)/6 {
+		return nil, fmt.Errorf("trace: event count %d implausible for %d-byte body", count, len(data)-d.off)
+	}
+	rec := &Recorder{Events: make([]Event, 0, count)}
+	for i := uint64(0); i < count; i++ {
+		ev, err := d.event()
+		if err != nil {
+			return nil, fmt.Errorf("trace: decode binary event %d: %w", i, err)
+		}
+		rec.Events = append(rec.Events, ev)
+	}
+	return rec, nil
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,11 +13,13 @@ import (
 
 // The paper's deployment analyzes executions post-facto: the detector
 // runs over captured executions, and reports reference the source
-// snapshot they came from. This file gives Recorder a durable form —
-// JSON Lines, one event per line — so a trace captured in one process
-// can be re-analyzed later (Recorder.Replay) by any detector.
+// snapshot they came from. Recorder has two durable forms: the binary
+// codec (codec.go, the default written by Save) and the legacy JSON
+// Lines format below, one event per line. Load auto-detects which one
+// it is reading, so traces saved before the binary codec existed keep
+// loading.
 
-// wireEvent is the serialized form of Event.
+// wireEvent is the serialized form of Event in the JSON Lines format.
 type wireEvent struct {
 	Seq   uint64        `json:"seq"`
 	G     int32         `json:"g"`
@@ -30,8 +33,10 @@ type wireEvent struct {
 	Label string        `json:"label,omitempty"`
 }
 
-// Save writes the recorded trace as JSON Lines.
-func (r *Recorder) Save(w io.Writer) error {
+// SaveJSON writes the recorded trace as JSON Lines, the legacy
+// interchange format. New traces should use Save (binary): it is both
+// far smaller and far faster, and Load reads either.
+func (r *Recorder) SaveJSON(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for _, ev := range r.Events {
@@ -47,10 +52,22 @@ func (r *Recorder) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load reads a JSON Lines trace into a fresh Recorder.
+// Load reads a trace into a fresh Recorder, auto-detecting the format:
+// a binary-codec magic header selects the binary decoder, anything
+// else falls back to the legacy JSON Lines reader.
 func Load(r io.Reader) (*Recorder, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(codecMagic))
+	if err == nil && bytes.Equal(head, codecMagic[:]) {
+		return loadBinary(br)
+	}
+	return loadJSON(br)
+}
+
+// loadJSON reads the legacy JSON Lines format.
+func loadJSON(br *bufio.Reader) (*Recorder, error) {
 	rec := &Recorder{}
-	dec := json.NewDecoder(bufio.NewReader(r))
+	dec := json.NewDecoder(br)
 	for {
 		var we wireEvent
 		if err := dec.Decode(&we); err == io.EOF {

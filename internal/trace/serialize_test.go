@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -24,6 +25,29 @@ func sampleTrace() *Recorder {
 	}}
 }
 
+// requireSameEvents asserts got replays the same operations as want,
+// field for field (on the fields each op carries).
+func requireSameEvents(t *testing.T, got, want []Event) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("event count %d, want %d", len(got), len(want))
+	}
+	for i, ev := range got {
+		w := want[i]
+		if ev.Seq != w.Seq || ev.G != w.G || ev.Op != w.Op ||
+			ev.Addr != w.Addr || ev.Obj != w.Obj || ev.Kind != w.Kind ||
+			ev.Child != w.Child || ev.Label != w.Label || ev.GName != w.GName {
+			t.Fatalf("event %d: got %+v, want %+v", i, ev, w)
+		}
+		if ev.Stack.Key() != w.Stack.Key() {
+			t.Fatalf("event %d: stack %q, want %q", i, ev.Stack.Key(), w.Stack.Key())
+		}
+		if ev.Stack.Leaf().Line != w.Stack.Leaf().Line {
+			t.Fatalf("event %d: line lost in round trip", i)
+		}
+	}
+}
+
 func TestSaveLoadRoundTrip(t *testing.T) {
 	orig := sampleTrace()
 	var buf bytes.Buffer
@@ -34,23 +58,20 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Events) != len(orig.Events) {
-		t.Fatalf("event count %d, want %d", len(got.Events), len(orig.Events))
+	requireSameEvents(t, got.Events, orig.Events)
+}
+
+func TestSaveJSONLoadRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := orig.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
 	}
-	for i, ev := range got.Events {
-		want := orig.Events[i]
-		if ev.Seq != want.Seq || ev.G != want.G || ev.Op != want.Op ||
-			ev.Addr != want.Addr || ev.Obj != want.Obj || ev.Kind != want.Kind ||
-			ev.Child != want.Child || ev.Label != want.Label || ev.GName != want.GName {
-			t.Fatalf("event %d: got %+v, want %+v", i, ev, want)
-		}
-		if ev.Stack.Key() != want.Stack.Key() {
-			t.Fatalf("event %d: stack %q, want %q", i, ev.Stack.Key(), want.Stack.Key())
-		}
-		if ev.Stack.Leaf().Line != want.Stack.Leaf().Line {
-			t.Fatalf("event %d: line lost in round trip", i)
-		}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
 	}
+	requireSameEvents(t, got.Events, orig.Events)
 }
 
 func TestLoadedTraceReplaysIdentically(t *testing.T) {
@@ -94,11 +115,28 @@ func TestLoadGarbageFails(t *testing.T) {
 	if _, err := Load(strings.NewReader("not json\n")); err == nil {
 		t.Fatal("garbage accepted")
 	}
+	// Valid magic, truncated body.
+	if _, err := Load(strings.NewReader("GRTB")); err == nil {
+		t.Fatal("truncated binary header accepted")
+	}
 }
 
-func TestSaveIsJSONLines(t *testing.T) {
+func TestLoadRejectsUnknownBinaryVersion(t *testing.T) {
 	var buf bytes.Buffer
 	if err := sampleTrace().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // version byte follows the 4-byte magic
+	if _, err := Load(bytes.NewReader(b)); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version accepted: %v", err)
+	}
+}
+
+func TestSaveJSONIsJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTrace().SaveJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -112,29 +150,54 @@ func TestSaveIsJSONLines(t *testing.T) {
 	}
 }
 
-// Property: arbitrary events survive the save/load round trip.
+func TestSaveIsBinary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTrace().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), codecMagic[:]) {
+		t.Fatalf("binary trace does not start with magic: % x", buf.Bytes()[:8])
+	}
+}
+
+// Property: arbitrary events survive the save/load round trip in both
+// formats. Fields an op does not carry (e.g. Addr on a fork) are
+// normalized away by the codec, so the generated event only populates
+// the fields its op defines — exactly what the runtime emits.
 func TestRoundTripProperty(t *testing.T) {
 	f := func(seq uint64, g int16, op uint8, addr, obj uint64, kind uint8, label string, fn string, line uint8) bool {
 		if g < 0 {
 			g = -g
 		}
 		ev := Event{
-			Seq: seq, G: vclock.TID(g), Op: Op(op % 11), Addr: Addr(addr),
-			Obj: ObjID(obj), Kind: ObjKind(kind % 8), Label: label,
+			Seq: seq, G: vclock.TID(g), Op: Op(op % 11), Label: label,
 			Stack: stack.NewContext(stack.Frame{Func: fn, File: "f.go", Line: int(line)}),
 		}
-		var buf bytes.Buffer
-		if err := (&Recorder{Events: []Event{ev}}).Save(&buf); err != nil {
-			return false
+		switch {
+		case ev.Op.IsAccess():
+			ev.Addr = Addr(addr)
+		case ev.Op == OpAcquire || ev.Op == OpRelease:
+			ev.Obj = ObjID(obj)
+			ev.Kind = ObjKind(kind % 8)
+		case ev.Op == OpFork:
+			ev.Child = vclock.TID(g) + 1
 		}
-		got, err := Load(&buf)
-		if err != nil || len(got.Events) != 1 {
-			return false
+		check := func(save func(*Recorder, io.Writer) error) bool {
+			var buf bytes.Buffer
+			if err := save(&Recorder{Events: []Event{ev}}, &buf); err != nil {
+				return false
+			}
+			got, err := Load(&buf)
+			if err != nil || len(got.Events) != 1 {
+				return false
+			}
+			e := got.Events[0]
+			return e.Seq == ev.Seq && e.G == ev.G && e.Op == ev.Op &&
+				e.Addr == ev.Addr && e.Obj == ev.Obj && e.Kind == ev.Kind &&
+				e.Child == ev.Child && e.Label == ev.Label && e.Stack.Key() == ev.Stack.Key()
 		}
-		e := got.Events[0]
-		return e.Seq == ev.Seq && e.G == ev.G && e.Op == ev.Op &&
-			e.Addr == ev.Addr && e.Obj == ev.Obj && e.Kind == ev.Kind &&
-			e.Label == ev.Label && e.Stack.Key() == ev.Stack.Key()
+		return check((*Recorder).Save) &&
+			check((*Recorder).SaveJSON)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
