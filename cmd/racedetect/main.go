@@ -9,6 +9,7 @@
 //	           [-detector fasttrack|eraser|hybrid] [-strategy random|pct|...]
 //	           [-seeds 20] [-suppressions file] [-save-trace file]
 //	racedetect -campaign [-seeds 20] [-parallel 8] [-strategies random,pct]
+//	           [-corpus store.db] [-run-id id] [-corpus-traces dir]
 //
 // Campaign mode sweeps the whole corpus — every pattern × every
 // scheduling strategy × N seeds — through the internal/sweep engine
@@ -19,6 +20,12 @@
 // drops matching defects from the corpus and the tallies; the
 // probability columns keep reporting raw manifestation, since
 // suppression is a reporting valve, not a schedule property.
+//
+// -corpus persists the campaign into a race-corpus store
+// (internal/corpus) under -run-id (default: a UTC timestamp) and
+// prints the cross-run delta against the store's previous run;
+// -corpus-traces additionally saves each defect's defining binary
+// trace for `racedb replay`. Inspect the store with cmd/racedb.
 //
 // -save-trace writes the manifesting run's event trace in the
 // versioned binary codec; raceanalyze auto-detects it (and still
@@ -31,8 +38,10 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"gorace/internal/core"
+	"gorace/internal/corpus"
 	"gorace/internal/detector"
 	"gorace/internal/patterns"
 	"gorace/internal/report"
@@ -78,6 +87,9 @@ func main() {
 		campaign   = flag.Bool("campaign", false, "sweep the whole corpus: every pattern × strategy × seed")
 		strategies = flag.String("strategies", "", "comma-separated strategies for -campaign (default: all registered)")
 		parallel   = flag.Int("parallel", 0, "campaign worker count (default GOMAXPROCS)")
+		corpusPath = flag.String("corpus", "", "persist -campaign results into this race-corpus store (see cmd/racedb)")
+		runID      = flag.String("run-id", "", "run id for -corpus (default: UTC timestamp; ids must sort chronologically)")
+		corpusTr   = flag.String("corpus-traces", "", "with -corpus, save each defect's defining trace into this directory")
 	)
 	flag.Parse()
 
@@ -95,7 +107,8 @@ func main() {
 	supp := loadSuppressions(*suppFile)
 
 	if *campaign {
-		runCampaign(*det, *strategies, *variant, *seeds, *parallel, supp)
+		runCampaign(*det, *strategies, *variant, *seeds, *parallel, supp,
+			*corpusPath, *runID, *corpusTr)
 		return
 	}
 
@@ -176,7 +189,10 @@ func main() {
 
 // runCampaign sweeps every corpus pattern under every requested
 // strategy for the given number of seeds, as one sweep campaign.
-func runCampaign(det, strategies, variant string, seeds, parallel int, supp *report.SuppressionList) {
+// With corpusPath, the campaign additionally streams into a
+// corpus.Collector and persists the deduplicated defects.
+func runCampaign(det, strategies, variant string, seeds, parallel int, supp *report.SuppressionList,
+	corpusPath, runID, traceDir string) {
 	stratNames := sched.StrategyNames()
 	if strategies != "" {
 		stratNames = stratNames[:0:0]
@@ -217,16 +233,42 @@ func runCampaign(det, strategies, variant string, seeds, parallel int, supp *rep
 	if parallel > 0 {
 		opts = append(opts, sweep.WithParallelism(parallel))
 	}
-	aggs, stats, err := sweep.New(opts...).Run(units,
+	factories := []sweep.Factory{
 		func() sweep.Aggregator { return sweep.NewProb() },
 		func() sweep.Aggregator { return sweep.NewCorpus() },
 		func() sweep.Aggregator { return sweep.NewTally() },
-	)
+	}
+	// Open the store (and trace dir) before burning any compute, so a
+	// typo'd path fails fast instead of after the whole sweep.
+	var store *corpus.Store
+	if corpusPath != "" {
+		if runID == "" {
+			runID = time.Now().UTC().Format("20060102-150405")
+		}
+		var err error
+		if store, err = corpus.Open(corpusPath); err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+		collOpts := []corpus.CollectorOption{corpus.WithRunLabel("campaign")}
+		if traceDir != "" {
+			if err := os.MkdirAll(traceDir, 0o755); err != nil {
+				fatal(err)
+			}
+			collOpts = append(collOpts, corpus.WithTraceDir(traceDir))
+		}
+		factories = append(factories, func() sweep.Aggregator {
+			return corpus.NewCollector(runID, collOpts...)
+		})
+	} else if traceDir != "" {
+		fatal(fmt.Errorf("-corpus-traces requires -corpus"))
+	}
+	aggs, stats, err := sweep.New(opts...).Run(units, factories...)
 	if err != nil {
 		fatal(err)
 	}
 	prob := aggs[0].(*sweep.Prob)
-	corpus := aggs[1].(*sweep.Corpus)
+	campCorpus := aggs[1].(*sweep.Corpus)
 	tally := aggs[2].(*sweep.Tally)
 
 	fmt.Printf("== campaign: %d patterns × %d strategies × %d seeds, detector %s ==\n",
@@ -243,7 +285,7 @@ func runCampaign(det, strategies, variant string, seeds, parallel int, supp *rep
 	defects := make(map[string]int) // pattern -> unique defects across strategies
 	filed := make(map[string]bool)  // pattern + race hash
 	var suppressed, unique int
-	for _, d := range corpus.Detections() {
+	for _, d := range campCorpus.Detections() {
 		if supp.Matches(d.Race) {
 			suppressed++
 			continue
@@ -271,7 +313,7 @@ func runCampaign(det, strategies, variant string, seeds, parallel int, supp *rep
 	}
 
 	fmt.Printf("\nruns: %d (%d racy); reports: %d -> %d unique defects",
-		stats.Runs, stats.Racy, corpus.Seen(), unique)
+		stats.Runs, stats.Racy, campCorpus.Seen(), unique)
 	if suppressed > 0 {
 		fmt.Printf(" (%d suppressed)", suppressed)
 	}
@@ -288,5 +330,36 @@ func runCampaign(det, strategies, variant string, seeds, parallel int, supp *rep
 		for _, k := range keys {
 			fmt.Printf("  %-40s %4d\n", k, counts[taxonomy.Category(k)])
 		}
+	}
+
+	if store != nil {
+		persistCampaign(aggs[3].(*corpus.Collector), store, runID)
+	}
+}
+
+// persistCampaign appends the collected corpus to the already-open
+// store and prints the cross-run delta against its previous run.
+func persistCampaign(coll *corpus.Collector, store *corpus.Store, runID string) {
+	prev := store.LastRun()
+	if err := coll.AppendTo(store); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\ncorpus: appended run %s to %s (%d defects now on record)\n",
+		runID, store.Path(), store.Len())
+	if prev == "" {
+		fmt.Println("corpus: first recorded run; every defect is new (see racedb stats)")
+		return
+	}
+	delta, err := store.Diff(prev, runID)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("corpus: delta vs %s: %d new, %d recurring, %d resolved\n",
+		prev, len(delta.New), len(delta.Recurring), len(delta.Resolved))
+	for _, rec := range delta.New {
+		fmt.Printf("  NEW      %s\n", rec.Key)
+	}
+	for _, rec := range delta.Resolved {
+		fmt.Printf("  RESOLVED %s\n", rec.Key)
 	}
 }

@@ -1,0 +1,397 @@
+package corpus
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"gorace/internal/report"
+	"gorace/internal/stack"
+	"gorace/internal/taxonomy"
+	"gorace/internal/trace"
+	"gorace/internal/vclock"
+)
+
+// On-disk corpus store format (version 1), following the binary trace
+// codec conventions: a magic header, varint integers, and interned
+// strings.
+//
+// Layout:
+//
+//	"GRCS" magic | uvarint version | frames...
+//
+// Each frame:
+//
+//	uvarint payload length | uint32 LE CRC-32 (IEEE) of payload | payload
+//
+// A frame is written with a single Write call, so a crash tears at
+// most the final frame; Open detects the torn tail by length/CRC and
+// truncates it away. Payloads are self-contained — every frame carries
+// its own string table — so dropping the tail never corrupts earlier
+// frames.
+//
+// Payload:
+//
+//	kind byte (1 = race record, 2 = run marker) | kind-specific body
+//
+// Race record body (stringRef = uvarint index into the frame's string
+// table; an index equal to the table size introduces a new entry as
+// uvarint length + bytes; entry 0 is pre-seeded with ""):
+//
+//	stringRef key | stringRef unit
+//	uvarint run count | stringRef run id ...
+//	uvarint occurrence count
+//	stringRef category | uvarint label count | stringRef label ...
+//	stringRef detector | stringRef trace path
+//	uvarint race seq | stringRef race detector
+//	access first | access second
+//
+// Access:
+//
+//	uvarint G | stringRef goroutine name | op byte
+//	uvarint addr | uvarint seq | stringRef label | atomic byte
+//	uvarint lock count | stringRef lock ...
+//	uvarint stack depth | per frame: stringRef func | stringRef file |
+//	                      zigzag line
+//
+// Run marker body:
+//
+//	stringRef run id | stringRef label
+//	uvarint executions | uvarint reports
+//
+// Version bumps are reserved for layout changes; adding new payload
+// kinds is backward compatible (readers skip unknown kinds, whose CRC
+// still validates). See docs/FORMATS.md for the compat policy.
+
+// storeMagic identifies a corpus store file.
+var storeMagic = [4]byte{'G', 'R', 'C', 'S'}
+
+// storeVersion is written after the magic; readers reject versions
+// they do not know.
+const storeVersion = 1
+
+// Frame payload kinds.
+const (
+	kindRecord = 1
+	kindRun    = 2
+)
+
+// maxFramePayload bounds a single frame; anything larger is treated as
+// tail corruption rather than allocated.
+const maxFramePayload = 16 << 20
+
+// recEncoder builds one frame payload. Each frame gets a fresh
+// encoder, so its string table is self-contained.
+type recEncoder struct {
+	buf     bytes.Buffer
+	scratch [binary.MaxVarintLen64]byte
+	strings map[string]uint64
+}
+
+func newRecEncoder() *recEncoder {
+	return &recEncoder{strings: map[string]uint64{"": 0}}
+}
+
+func (e *recEncoder) uvarint(v uint64) {
+	n := binary.PutUvarint(e.scratch[:], v)
+	e.buf.Write(e.scratch[:n])
+}
+
+func (e *recEncoder) zigzag(v int64) {
+	n := binary.PutVarint(e.scratch[:], v)
+	e.buf.Write(e.scratch[:n])
+}
+
+func (e *recEncoder) stringRef(s string) {
+	if idx, ok := e.strings[s]; ok {
+		e.uvarint(idx)
+		return
+	}
+	idx := uint64(len(e.strings))
+	e.strings[s] = idx
+	e.uvarint(idx)
+	e.uvarint(uint64(len(s)))
+	e.buf.WriteString(s)
+}
+
+func (e *recEncoder) access(a report.Access) {
+	e.uvarint(uint64(a.G))
+	e.stringRef(a.GName)
+	e.buf.WriteByte(byte(a.Op))
+	e.uvarint(uint64(a.Addr))
+	e.uvarint(a.Seq)
+	e.stringRef(a.Label)
+	atomic := byte(0)
+	if a.Atomic {
+		atomic = 1
+	}
+	e.buf.WriteByte(atomic)
+	e.uvarint(uint64(len(a.Locks)))
+	for _, l := range a.Locks {
+		e.stringRef(l)
+	}
+	frames := a.Stack.Frames()
+	e.uvarint(uint64(len(frames)))
+	for _, f := range frames {
+		e.stringRef(f.Func)
+		e.stringRef(f.File)
+		e.zigzag(int64(f.Line))
+	}
+}
+
+func (e *recEncoder) record(r Record) {
+	e.buf.WriteByte(kindRecord)
+	e.stringRef(r.Key)
+	e.stringRef(r.Unit)
+	e.uvarint(uint64(len(r.RunIDs)))
+	for _, id := range r.RunIDs {
+		e.stringRef(id)
+	}
+	e.uvarint(r.Count)
+	e.stringRef(string(r.Category))
+	e.uvarint(uint64(len(r.Labels)))
+	for _, l := range r.Labels {
+		e.stringRef(string(l))
+	}
+	e.stringRef(r.Detector)
+	e.stringRef(r.TracePath)
+	e.uvarint(r.Race.Seq)
+	e.stringRef(r.Race.Detector)
+	e.access(r.Race.First)
+	e.access(r.Race.Second)
+}
+
+func (e *recEncoder) run(info RunInfo) {
+	e.buf.WriteByte(kindRun)
+	e.stringRef(info.ID)
+	e.stringRef(info.Label)
+	e.uvarint(uint64(info.Executions))
+	e.uvarint(uint64(info.Reports))
+}
+
+// writeFrame frames the encoder's payload (length, CRC, payload) into
+// one buffer and writes it with a single Write call.
+func (e *recEncoder) writeFrame(w io.Writer) error {
+	payload := e.buf.Bytes()
+	var frame bytes.Buffer
+	var scratch [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(scratch[:], uint64(len(payload)))
+	frame.Write(scratch[:n])
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	frame.Write(crc[:])
+	frame.Write(payload)
+	_, err := w.Write(frame.Bytes())
+	return err
+}
+
+// recDecoder decodes one frame payload from an in-memory slice.
+type recDecoder struct {
+	buf     []byte
+	off     int
+	strings []string
+}
+
+var errTruncated = fmt.Errorf("unexpected end of record")
+
+func (d *recDecoder) byte() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, errTruncated
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *recDecoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *recDecoder) zigzag() (int64, error) {
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, errTruncated
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *recDecoder) stringRef() (string, error) {
+	idx, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if idx < uint64(len(d.strings)) {
+		return d.strings[idx], nil
+	}
+	if idx != uint64(len(d.strings)) {
+		return "", fmt.Errorf("string ref %d out of range (table has %d)", idx, len(d.strings))
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 || uint64(len(d.buf)-d.off) < n {
+		return "", fmt.Errorf("string length %d implausible", n)
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	d.strings = append(d.strings, s)
+	return s, nil
+}
+
+func (d *recDecoder) stringList() ([]string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		return nil, fmt.Errorf("list length %d implausible", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		if out[i], err = d.stringRef(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (d *recDecoder) access() (report.Access, error) {
+	var a report.Access
+	g, err := d.uvarint()
+	if err != nil {
+		return a, err
+	}
+	a.G = vclock.TID(g)
+	if a.GName, err = d.stringRef(); err != nil {
+		return a, err
+	}
+	op, err := d.byte()
+	if err != nil {
+		return a, err
+	}
+	a.Op = trace.Op(op)
+	addr, err := d.uvarint()
+	if err != nil {
+		return a, err
+	}
+	a.Addr = trace.Addr(addr)
+	if a.Seq, err = d.uvarint(); err != nil {
+		return a, err
+	}
+	if a.Label, err = d.stringRef(); err != nil {
+		return a, err
+	}
+	atomic, err := d.byte()
+	if err != nil {
+		return a, err
+	}
+	a.Atomic = atomic != 0
+	if a.Locks, err = d.stringList(); err != nil {
+		return a, err
+	}
+	depth, err := d.uvarint()
+	if err != nil {
+		return a, err
+	}
+	if depth > 1<<16 {
+		return a, fmt.Errorf("stack depth %d implausible", depth)
+	}
+	frames := make([]stack.Frame, depth)
+	for i := range frames {
+		if frames[i].Func, err = d.stringRef(); err != nil {
+			return a, err
+		}
+		if frames[i].File, err = d.stringRef(); err != nil {
+			return a, err
+		}
+		line, err := d.zigzag()
+		if err != nil {
+			return a, err
+		}
+		frames[i].Line = int(line)
+	}
+	a.Stack = stack.NewContext(frames...)
+	return a, nil
+}
+
+func (d *recDecoder) record() (Record, error) {
+	var r Record
+	var err error
+	if r.Key, err = d.stringRef(); err != nil {
+		return r, err
+	}
+	if r.Unit, err = d.stringRef(); err != nil {
+		return r, err
+	}
+	if r.RunIDs, err = d.stringList(); err != nil {
+		return r, err
+	}
+	if r.Count, err = d.uvarint(); err != nil {
+		return r, err
+	}
+	cat, err := d.stringRef()
+	if err != nil {
+		return r, err
+	}
+	r.Category = taxonomy.Category(cat)
+	labels, err := d.stringList()
+	if err != nil {
+		return r, err
+	}
+	for _, l := range labels {
+		r.Labels = append(r.Labels, taxonomy.Category(l))
+	}
+	if r.Detector, err = d.stringRef(); err != nil {
+		return r, err
+	}
+	if r.TracePath, err = d.stringRef(); err != nil {
+		return r, err
+	}
+	if r.Race.Seq, err = d.uvarint(); err != nil {
+		return r, err
+	}
+	if r.Race.Detector, err = d.stringRef(); err != nil {
+		return r, err
+	}
+	if r.Race.First, err = d.access(); err != nil {
+		return r, err
+	}
+	if r.Race.Second, err = d.access(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+func (d *recDecoder) run() (RunInfo, error) {
+	var info RunInfo
+	var err error
+	if info.ID, err = d.stringRef(); err != nil {
+		return info, err
+	}
+	if info.Label, err = d.stringRef(); err != nil {
+		return info, err
+	}
+	execs, err := d.uvarint()
+	if err != nil {
+		return info, err
+	}
+	info.Executions = int(execs)
+	reports, err := d.uvarint()
+	if err != nil {
+		return info, err
+	}
+	info.Reports = int(reports)
+	return info, nil
+}

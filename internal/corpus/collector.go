@@ -1,0 +1,265 @@
+package corpus
+
+import (
+	"fmt"
+	"os"
+
+	"gorace/internal/classify"
+	"gorace/internal/detector"
+	"gorace/internal/report"
+	"gorace/internal/sweep"
+	"gorace/internal/taxonomy"
+	"gorace/internal/trace"
+)
+
+// Collector is the sweep aggregator that folds a campaign straight
+// into a corpus store: it deduplicates race reports per unit with the
+// §3.3.1 hash, counts occurrences, classifies each defect's first
+// manifesting report while its trace is still at hand, and (with
+// WithTraceDir) retains that trace for replay. AppendTo then writes
+// one run marker plus one Record per defect.
+//
+// Use one Collector per campaign run id, as a sweep.Factory:
+//
+//	coll := func() sweep.Aggregator { return corpus.NewCollector(runID) }
+//	aggs, _, err := sweep.New().Run(units, coll)
+//	err = aggs[0].(*corpus.Collector).AppendTo(store)
+//
+// Like every sweep aggregator, the engine folds shard instances in
+// shard order, so the collected corpus — including which seed's trace
+// defines each defect — is deterministic at any parallelism.
+type Collector struct {
+	runID    string
+	label    string
+	traceDir string
+
+	executions int
+	reports    int
+	units      []*unitAgg // indexed by UnitIdx
+}
+
+// unitAgg is one unit's deduplicated defects.
+type unitAgg struct {
+	counts map[string]uint64 // race hash -> raw reports observed
+	order  []string          // hashes in first-manifestation order
+	defs   map[string]*defining
+}
+
+// defining is a defect's first manifesting report and its context.
+type defining struct {
+	unit     string
+	seed     int64
+	race     report.Race
+	detector string // registry name, replayable via detector.New
+	labels   []taxonomy.Category
+	trace    *trace.Recorder // retained for WithTraceDir, else nil
+}
+
+// CollectorOption configures a Collector.
+type CollectorOption func(*Collector)
+
+// WithRunLabel attaches free-form metadata to the run marker
+// ("nightly", "ci-1234", ...).
+func WithRunLabel(label string) CollectorOption {
+	return func(c *Collector) { c.label = label }
+}
+
+// WithTraceDir retains each defect's defining trace (for units that
+// record) and saves it under dir — in the binary trace codec, named
+// TraceFileName(key) — when the collector is appended to a store. The
+// record's TracePath points at the saved file.
+func WithTraceDir(dir string) CollectorOption {
+	return func(c *Collector) { c.traceDir = dir }
+}
+
+// NewCollector returns an empty Collector for one campaign run.
+func NewCollector(runID string, opts ...CollectorOption) *Collector {
+	c := &Collector{runID: runID}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+func (c *Collector) unit(idx int) *unitAgg {
+	for len(c.units) <= idx {
+		c.units = append(c.units, nil)
+	}
+	if c.units[idx] == nil {
+		c.units[idx] = &unitAgg{
+			counts: make(map[string]uint64),
+			defs:   make(map[string]*defining),
+		}
+	}
+	return c.units[idx]
+}
+
+// Observe implements sweep.Aggregator.
+func (c *Collector) Observe(r sweep.Run) {
+	c.executions++
+	races := r.Outcome.Races
+	c.reports += len(races)
+	if len(races) == 0 {
+		return
+	}
+	ua := c.unit(r.UnitIdx)
+	for _, race := range races {
+		ua.counts[race.Hash()]++
+	}
+	for _, race := range report.UniqueByHash(races) {
+		h := race.Hash()
+		if _, ok := ua.defs[h]; ok {
+			continue
+		}
+		var events []trace.Event
+		if r.Outcome.Trace != nil {
+			events = r.Outcome.Trace.Events
+		}
+		// Record the *registry* detector name, not the report's
+		// display name, so `racedb replay` can resolve it.
+		detName := r.Unit.Detector
+		if detName == "" {
+			detName = detector.DefaultName
+		}
+		d := &defining{
+			unit:     r.Unit.ID,
+			seed:     r.Seed,
+			race:     race,
+			detector: detName,
+			labels:   classify.Classify(race, classify.HintsFromTrace(events)),
+		}
+		if c.traceDir != "" {
+			d.trace = r.Outcome.Trace // outcomes own their traces
+		}
+		ua.order = append(ua.order, h)
+		ua.defs[h] = d
+	}
+}
+
+// Merge implements sweep.Aggregator: next covers strictly later runs,
+// so its defining reports only fill hashes this instance never saw.
+func (c *Collector) Merge(next sweep.Aggregator) {
+	o := next.(*Collector)
+	c.executions += o.executions
+	c.reports += o.reports
+	for idx, oua := range o.units {
+		if oua == nil {
+			continue
+		}
+		ua := c.unit(idx)
+		for h, n := range oua.counts {
+			ua.counts[h] += n
+		}
+		for _, h := range oua.order {
+			if _, ok := ua.defs[h]; ok {
+				continue
+			}
+			ua.order = append(ua.order, h)
+			ua.defs[h] = oua.defs[h]
+		}
+	}
+}
+
+// Executions returns the number of program executions observed.
+func (c *Collector) Executions() int { return c.executions }
+
+// Reports returns the number of raw race reports observed.
+func (c *Collector) Reports() int { return c.reports }
+
+// Defects returns the number of deduplicated defects collected.
+func (c *Collector) Defects() int {
+	n := 0
+	for _, ua := range c.units {
+		if ua != nil {
+			n += len(ua.order)
+		}
+	}
+	return n
+}
+
+// Records renders the collected corpus as store records for this run,
+// in canonical order (unit index, then first manifestation within the
+// unit). TracePath is left empty; AppendTo fills it when saving
+// traces.
+func (c *Collector) Records() []Record {
+	var out []Record
+	for _, ua := range c.units {
+		if ua == nil {
+			continue
+		}
+		for _, h := range ua.order {
+			d := ua.defs[h]
+			rec := Record{
+				Key:      d.unit + "/" + h,
+				Unit:     d.unit,
+				RunIDs:   []string{c.runID},
+				Count:    ua.counts[h],
+				Labels:   d.labels,
+				Detector: d.detector,
+				Race:     d.race,
+			}
+			if len(d.labels) > 0 {
+				rec.Category = d.labels[0]
+			}
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// AppendTo writes the run marker and every collected defect to the
+// store; with WithTraceDir it first saves each defect's defining
+// trace and points the record at it. Call once, on the campaign's
+// root collector.
+func (c *Collector) AppendTo(store *Store) error {
+	err := store.AppendRun(RunInfo{
+		ID: c.runID, Label: c.label,
+		Executions: c.executions, Reports: c.reports,
+	})
+	if err != nil {
+		return err
+	}
+	recs := c.Records()
+	if c.traceDir != "" {
+		if err := os.MkdirAll(c.traceDir, 0o755); err != nil {
+			return fmt.Errorf("corpus: trace dir: %w", err)
+		}
+		i := 0
+		for _, ua := range c.units {
+			if ua == nil {
+				continue
+			}
+			for _, h := range ua.order {
+				if d := ua.defs[h]; d.trace != nil {
+					path := TracePathIn(c.traceDir, recs[i].Key)
+					if err := saveTrace(path, d.trace); err != nil {
+						return err
+					}
+					recs[i].TracePath = path
+				}
+				i++
+			}
+		}
+	}
+	if err := store.Append(recs...); err != nil {
+		return err
+	}
+	// One fsync per run, not per record: the whole night becomes
+	// power-loss durable at the batch boundary.
+	return store.Sync()
+}
+
+func saveTrace(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("corpus: save trace: %w", err)
+	}
+	if err := rec.Save(f); err != nil {
+		f.Close()
+		return fmt.Errorf("corpus: save trace %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("corpus: save trace %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package corpus
+
+import (
+	"gorace/internal/detector"
+	"gorace/internal/report"
+	"gorace/internal/trace"
+)
+
+// Replay feeds a loaded trace into a fresh detector — by registry
+// name, empty selecting the record's era default — and returns the
+// deduplicated race reports, the record-once/analyze-many path behind
+// `racedb replay`.
+func Replay(rec *trace.Recorder, detectorName string) ([]report.Race, error) {
+	if detectorName == "" {
+		detectorName = detector.DefaultName
+	}
+	d, err := detector.New(detectorName)
+	if err != nil {
+		return nil, err
+	}
+	rec.Replay(d)
+	races := d.Races()
+	report.SortRaces(races)
+	return report.UniqueByHash(races), nil
+}
+
+// ReplayHashes replays like Replay and returns the set of reported
+// dedup hashes — the check that a stored defect's trace still
+// reproduces its key.
+func ReplayHashes(rec *trace.Recorder, detectorName string) map[string]bool {
+	races, err := Replay(rec, detectorName)
+	if err != nil {
+		return nil
+	}
+	out := make(map[string]bool, len(races))
+	for _, r := range races {
+		out[r.Hash()] = true
+	}
+	return out
+}

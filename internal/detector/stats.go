@@ -20,6 +20,7 @@ type Stats struct {
 	Reports    int // races reported (or counted)
 }
 
+// String renders the counters on one line for logs and CLI output.
 func (s Stats) String() string {
 	return fmt.Sprintf("events=%d accesses=%d syncs=%d cells=%d objclocks=%d goroutines=%d reports=%d",
 		s.Events, s.Accesses, s.SyncOps, s.Cells, s.SyncClocks, s.Goroutines, s.Reports)

@@ -1,0 +1,173 @@
+package report
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gorace/internal/stack"
+	"gorace/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the dedup-hash golden file")
+
+// The golden file pins the §3.3.1 dedup hash for representative races.
+// These hashes are *persistent identity*: the corpus store
+// (internal/corpus) keys months of accumulated defect history by
+// them, and the paper's suppress-while-open pipeline depends on a
+// defect hashing identically night after night. A refactor that
+// changes Hash() silently orphans every stored corpus — if this test
+// fails without a deliberate, documented format migration, fix the
+// refactor, not the golden file.
+
+func ctx(frames ...stack.Frame) stack.Context { return stack.NewContext(frames...) }
+
+func fr(fn, file string, line int) stack.Frame {
+	return stack.Frame{Func: fn, File: file, Line: line}
+}
+
+// goldenRaces builds the pinned corpus of representative races. Keep
+// appending; never mutate existing entries (that is the point).
+func goldenRaces() []struct {
+	name string
+	race Race
+} {
+	shallow := Race{
+		First: Access{
+			G: 0, Op: trace.OpWrite, Addr: 7,
+			Stack: ctx(fr("processJobs", "listing1.go", 1)),
+		},
+		Second: Access{
+			G: 1, Op: trace.OpRead, Addr: 7,
+			Stack: ctx(fr("processJobs", "listing1.go", 1), fr("processJobs.func1", "listing1.go", 3)),
+		},
+	}
+	deep := Race{
+		First: Access{
+			G: 2, Op: trace.OpWrite, Addr: 41,
+			Stack: ctx(
+				fr("main", "main.go", 10),
+				fr("(*Server).Start", "server.go", 88),
+				fr("(*Server).Start.func2", "server.go", 92),
+			),
+		},
+		Second: Access{
+			G: 3, Op: trace.OpWrite, Addr: 41,
+			Stack: ctx(
+				fr("main", "main.go", 10),
+				fr("(*Server).Stop", "server.go", 120),
+			),
+		},
+	}
+	oneEmpty := Race{
+		First:  Access{G: 0, Op: trace.OpWrite, Addr: 1},
+		Second: Access{G: 1, Op: trace.OpRead, Addr: 1, Stack: ctx(fr("worker", "w.go", 5))},
+	}
+	bothEmpty := Race{
+		First:  Access{G: 0, Op: trace.OpWrite, Addr: 2},
+		Second: Access{G: 1, Op: trace.OpWrite, Addr: 2},
+	}
+	identicalStacks := Race{
+		First: Access{
+			G: 4, Op: trace.OpWrite, Addr: 9,
+			Stack: ctx(fr("TestThing", "thing_test.go", 31), fr("TestThing.func1", "thing_test.go", 35)),
+		},
+		Second: Access{
+			G: 5, Op: trace.OpWrite, Addr: 9,
+			Stack: ctx(fr("TestThing", "thing_test.go", 31), fr("TestThing.func1", "thing_test.go", 35)),
+		},
+	}
+	return []struct {
+		name string
+		race Race
+	}{
+		{"shallow-read-write", shallow},
+		{"deep-multi-file", deep},
+		{"one-empty-stack", oneEmpty},
+		{"both-empty-stacks", bothEmpty},
+		{"identical-stacks", identicalStacks},
+	}
+}
+
+func TestDedupHashGolden(t *testing.T) {
+	goldenPath := filepath.Join("testdata", "dedup_hashes.golden")
+	var lines []string
+	for _, g := range goldenRaces() {
+		lines = append(lines, fmt.Sprintf("%s\t%s", g.name, g.race.Hash()))
+	}
+	got := strings.Join(lines, "\n") + "\n"
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update after a deliberate format change): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("dedup hashes drifted from golden file — this invalidates every"+
+			" persisted corpus keyed by them.\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestDedupHashInvariants pins the two properties the hash promises:
+// line-number independence (unrelated edits within a function keep
+// the defect's identity) and access-order independence (the hash is
+// the same whichever access the detector saw first).
+func TestDedupHashInvariants(t *testing.T) {
+	for _, g := range goldenRaces() {
+		flipped := Race{First: g.race.Second, Second: g.race.First}
+		if flipped.Hash() != g.race.Hash() {
+			t.Errorf("%s: hash depends on access order", g.name)
+		}
+		relined := g.race
+		relined.First.Stack = shiftLines(relined.First.Stack, 100)
+		relined.Second.Stack = shiftLines(relined.Second.Stack, 7)
+		if relined.Hash() != g.race.Hash() {
+			t.Errorf("%s: hash depends on line numbers", g.name)
+		}
+		// Metadata outside the calling contexts must not affect
+		// identity either: the same defect reported by another
+		// detector, with different labels or lock annotations, files
+		// against the same open defect.
+		decorated := g.race
+		decorated.Detector = "other-detector"
+		decorated.Seq = 999
+		decorated.First.Label = "renamed"
+		decorated.First.Locks = []string{"mu"}
+		decorated.Second.Atomic = !decorated.Second.Atomic
+		if decorated.Hash() != g.race.Hash() {
+			t.Errorf("%s: hash depends on non-context metadata", g.name)
+		}
+	}
+}
+
+// TestDedupHashDistinct guards against the golden corpus collapsing:
+// distinct calling-context pairs must produce distinct hashes.
+func TestDedupHashDistinct(t *testing.T) {
+	seen := map[string]string{}
+	for _, g := range goldenRaces() {
+		h := g.race.Hash()
+		if prev, ok := seen[h]; ok {
+			t.Errorf("%s and %s share hash %s", g.name, prev, h)
+		}
+		seen[h] = g.name
+	}
+}
+
+func shiftLines(c stack.Context, by int) stack.Context {
+	frames := append([]stack.Frame(nil), c.Frames()...)
+	for i := range frames {
+		frames[i].Line += by
+	}
+	return stack.NewContext(frames...)
+}

@@ -22,6 +22,8 @@ type Frame struct {
 	Line int    // line number at the call site or access site
 }
 
+// String renders the frame as "func file:line" (or just the
+// function name for frames without a file).
 func (f Frame) String() string {
 	if f.File == "" {
 		return f.Func

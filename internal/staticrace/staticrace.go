@@ -48,6 +48,7 @@ type Finding struct {
 	Message string
 }
 
+// String renders the finding in file:line:col: [check] message form.
 func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
 }

@@ -1,0 +1,50 @@
+package study
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gorace/internal/taxonomy"
+)
+
+// This file is the longitudinal counterpart of the Table 2/3
+// regeneration: instead of classifying a synthetic population built
+// for one experiment, it tabulates the root-cause labels accumulated
+// in a persistent race corpus (internal/corpus) across many runs —
+// the shape of the paper's own study, which read its categories off
+// months of deduplicated production reports.
+
+// CorpusBreakdown renders per-category defect counts from an
+// accumulated corpus next to the paper's published row counts, in
+// descending corpus order. Categories the paper does not tabulate
+// (e.g. "unknown") print without a paper column.
+func CorpusBreakdown(counts map[taxonomy.Category]int) string {
+	if len(counts) == 0 {
+		return "no classified defects\n"
+	}
+	cats := make([]taxonomy.Category, 0, len(counts))
+	total := 0
+	for c, n := range counts {
+		cats = append(cats, c)
+		total += n
+	}
+	sort.Slice(cats, func(i, j int) bool {
+		if counts[cats[i]] != counts[cats[j]] {
+			return counts[cats[i]] > counts[cats[j]]
+		}
+		return cats[i] < cats[j]
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %8s %8s %10s\n", "category", "defects", "share", "paper n")
+	for _, c := range cats {
+		n := counts[c]
+		paper := ""
+		if e, ok := taxonomy.ByCategory(c); ok {
+			paper = fmt.Sprintf("%d", e.PaperCount)
+		}
+		fmt.Fprintf(&b, "%-24s %8d %7.1f%% %10s\n", c, n, 100*float64(n)/float64(total), paper)
+	}
+	fmt.Fprintf(&b, "%-24s %8d\n", "total", total)
+	return b.String()
+}

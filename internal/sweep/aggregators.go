@@ -11,7 +11,9 @@ import (
 // This file holds the standard streaming aggregators. All of them key
 // their state by unit index, so Merge — always called in shard order,
 // with later shards on the right — reduces to an order-preserving
-// per-unit fold.
+// per-unit fold. Campaigns that should outlive the process use
+// corpus.Collector instead, the same shape folded into a persistent
+// store.
 
 // UnitStat is one unit's detection-probability estimate, the
 // aggregate behind explore.Probe and the §3.2 flakiness argument.

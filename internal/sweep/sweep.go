@@ -1,7 +1,10 @@
 // Package sweep is the campaign engine behind every multi-run driver
 // in the repo: it executes a set of work units (program × detector ×
 // strategy × seed range) over a pool of recycled core.Runner workers
-// and streams each completed run into pluggable aggregators.
+// and streams each completed run into pluggable aggregators — the
+// in-memory ones in this package (Prob, Corpus, FirstRace, Tally) or
+// persistent ones like corpus.Collector, which folds a campaign
+// straight into the on-disk race-corpus store.
 //
 // The paper's deployment story (§3.3) is fleet-scale, offline, and
 // aggregate: record executions by the thousands, replay them into

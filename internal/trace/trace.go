@@ -38,16 +38,17 @@ const NoObj ObjID = 0
 type ObjKind uint8
 
 const (
-	KindNone     ObjKind = iota
-	KindMutex            // sync.Mutex, and sync.RWMutex held in write mode
-	KindRWRead           // sync.RWMutex held in read mode (r-side release object)
-	KindChan             // channel rendezvous / buffer slot objects
-	KindWG               // WaitGroup completion edges
-	KindAtomic           // sync/atomic cells
-	KindOnce             // sync.Once completion edge
-	KindInternal         // other runtime-internal edges (fork bookkeeping etc.)
+	KindNone     ObjKind = iota // no synchronization object
+	KindMutex                   // sync.Mutex, and sync.RWMutex held in write mode
+	KindRWRead                  // sync.RWMutex held in read mode (r-side release object)
+	KindChan                    // channel rendezvous / buffer slot objects
+	KindWG                      // WaitGroup completion edges
+	KindAtomic                  // sync/atomic cells
+	KindOnce                    // sync.Once completion edge
+	KindInternal                // other runtime-internal edges (fork bookkeeping etc.)
 )
 
+// String names the kind for trace dumps and diagnostics.
 func (k ObjKind) String() string {
 	switch k {
 	case KindMutex:
@@ -73,14 +74,14 @@ func (k ObjKind) String() string {
 type Op uint8
 
 const (
+	// OpNone is the zero Op; no real event carries it.
 	OpNone Op = iota
 
-	// Memory accesses (carry Addr).
-	OpRead
-	OpWrite
-	OpAtomicLoad
-	OpAtomicStore
-	OpAtomicRMW
+	OpRead        // plain memory read (carries Addr)
+	OpWrite       // plain memory write (carries Addr)
+	OpAtomicLoad  // sync/atomic load (carries Addr)
+	OpAtomicStore // sync/atomic store (carries Addr)
+	OpAtomicRMW   // sync/atomic read-modify-write (carries Addr)
 
 	// Synchronization edges (carry Obj and Kind).
 	OpAcquire // join the object's clock into the goroutine's clock
@@ -92,6 +93,7 @@ const (
 	OpGoLeak // G still blocked when the program ended (e.g. Listing 9 send)
 )
 
+// String names the operation for trace dumps and diagnostics.
 func (o Op) String() string {
 	switch o {
 	case OpRead:
@@ -156,6 +158,7 @@ type Event struct {
 	Label string        // human-readable site label ("errMap[uuid] = err")
 }
 
+// String renders the event on one line for trace dumps.
 func (e Event) String() string {
 	switch {
 	case e.Op.IsAccess():

@@ -184,6 +184,7 @@ func (e Epoch) LeqVC(o *VC) bool {
 	return e.Time() <= o.Get(e.TID())
 }
 
+// String renders the epoch as tid@time ("\u22a5" for the none epoch).
 func (e Epoch) String() string {
 	if e.IsNone() {
 		return "⊥"

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# doccheck.sh — fail when a package or exported identifier under
+# internal/ or cmd/ lacks a doc comment. CI runs this as a
+# non-blocking step; run it locally before sending a PR:
+#
+#   scripts/doccheck.sh
+#
+# The actual checker is the Go program in scripts/doccheck, which
+# parses the source with go/ast (no deps beyond the stdlib).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec go run ./scripts/doccheck internal cmd

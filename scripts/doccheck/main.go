@@ -1,0 +1,219 @@
+// Command doccheck enforces the repo's documentation bar: every
+// package and every exported identifier under the given directory
+// trees must carry a doc comment. scripts/doccheck.sh runs it over
+// internal/ and cmd/; CI runs that script as a non-blocking step.
+//
+// An exported identifier (top-level function, method, type, const,
+// var) counts as documented if it has its own doc comment, inherits
+// one from its enclosing const/var/type block, or carries a trailing
+// line comment (the idiomatic form inside grouped const blocks).
+// Methods are checked only on exported receiver types; struct fields
+// follow the surrounding struct's doc and are not checked. Test files
+// are skipped.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// violation is one undocumented package or identifier.
+type violation struct {
+	pos  token.Position
+	what string
+}
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"internal", "cmd"}
+	}
+	fset := token.NewFileSet()
+	var violations []violation
+	for _, root := range roots {
+		dirs, err := goDirs(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, dir := range dirs {
+			v, err := checkDir(fset, dir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			violations = append(violations, v...)
+		}
+	}
+	sort.Slice(violations, func(i, j int) bool {
+		a, b := violations[i].pos, violations[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	for _, v := range violations {
+		fmt.Printf("%s: %s\n", v.pos, v.what)
+	}
+	if len(violations) > 0 {
+		fmt.Printf("doccheck: %d undocumented identifier(s)\n", len(violations))
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: all packages and exported identifiers documented")
+}
+
+// goDirs lists directories under root containing non-test .go files.
+func goDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// checkDir parses one package directory and reports undocumented
+// packages and exported identifiers.
+func checkDir(fset *token.FileSet, dir string) ([]violation, error) {
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("doccheck: %s: %w", dir, err)
+	}
+	var out []violation
+	for _, pkg := range pkgs {
+		files := make([]string, 0, len(pkg.Files))
+		for name := range pkg.Files {
+			files = append(files, name)
+		}
+		sort.Strings(files)
+		hasPkgDoc := false
+		for _, name := range files {
+			if pkg.Files[name].Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			out = append(out, violation{
+				pos:  fset.Position(pkg.Files[files[0]].Package),
+				what: fmt.Sprintf("package %s has no package doc comment", pkg.Name),
+			})
+		}
+		exportedTypes := exportedTypeNames(pkg)
+		for _, name := range files {
+			out = append(out, checkFile(fset, pkg.Files[name], exportedTypes)...)
+		}
+	}
+	return out, nil
+}
+
+// exportedTypeNames collects the package's exported type names, the
+// receivers whose methods must be documented.
+func exportedTypeNames(pkg *ast.Package) map[string]bool {
+	out := map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				if ts.Name.IsExported() {
+					out[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func checkFile(fset *token.FileSet, f *ast.File, exportedTypes map[string]bool) []violation {
+	var out []violation
+	add := func(pos token.Pos, format string, args ...any) {
+		out = append(out, violation{pos: fset.Position(pos), what: fmt.Sprintf(format, args...)})
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil {
+				recv := receiverTypeName(d.Recv)
+				if !exportedTypes[recv] {
+					continue
+				}
+				add(d.Name.Pos(), "exported method %s.%s is undocumented", recv, d.Name.Name)
+				continue
+			}
+			add(d.Name.Pos(), "exported function %s is undocumented", d.Name.Name)
+		case *ast.GenDecl:
+			switch d.Tok {
+			case token.TYPE:
+				for _, spec := range d.Specs {
+					ts := spec.(*ast.TypeSpec)
+					if ts.Name.IsExported() && d.Doc == nil && ts.Doc == nil && ts.Comment == nil {
+						add(ts.Name.Pos(), "exported type %s is undocumented", ts.Name.Name)
+					}
+				}
+			case token.CONST, token.VAR:
+				kind := "const"
+				if d.Tok == token.VAR {
+					kind = "var"
+				}
+				for _, spec := range d.Specs {
+					vs := spec.(*ast.ValueSpec)
+					for _, name := range vs.Names {
+						if name.IsExported() && d.Doc == nil && vs.Doc == nil && vs.Comment == nil {
+							add(name.Pos(), "exported %s %s is undocumented", kind, name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}
