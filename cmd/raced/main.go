@@ -1,0 +1,133 @@
+// Command raced is the race-detection-and-corpus service: an
+// HTTP/JSON daemon (internal/service) that serves a persistent race
+// corpus to concurrent readers off immutable snapshots, executes
+// detection campaigns submitted as asynchronous jobs on a bounded
+// worker pool, and accepts nightly monorepo publishes into the live
+// store — the paper's deployed-at-scale pipeline (§3) as a process
+// you can curl.
+//
+// Usage:
+//
+//	raced -db corpus.db [-addr :8077] [-workers 2] [-queue 16]
+//	      [-parallel N] [-max-seeds 512] [-drain 30s] [-quiet]
+//	      [-nightly-services 4] [-nightly-tests 4]
+//	      [-nightly-racy 0.4] [-nightly-seed 1]
+//
+// Endpoints (see docs/SERVICE.md for schemas and examples):
+//
+//	GET  /healthz            liveness + snapshot generation + job load
+//	GET  /v1/stats           corpus summary
+//	GET  /v1/races           defect listing (unit=, category=, run=, sort=count, limit=)
+//	GET  /v1/races/{id}      one defect by dedup key
+//	GET  /v1/diff?a=&b=      defects new/resolved/recurring between runs
+//	GET  /v1/replay/{id}     re-detect a defect from its saved trace
+//	POST /v1/jobs            submit a campaign spec; 202 + job id (429 when full)
+//	GET  /v1/jobs/{id}       job status and live progress
+//	GET  /v1/jobs/{id}/results  finished results as JSON Lines
+//	POST /v1/nightly         run a monorepo nightly and append it to the store
+//
+// On SIGINT/SIGTERM the server drains gracefully: the listener stops,
+// in-flight requests and queued jobs finish (bounded by -drain), and
+// the store is synced and closed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gorace/internal/corpus"
+	"gorace/internal/monorepo"
+	"gorace/internal/service"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8077", "listen address")
+		db       = flag.String("db", "", "corpus store file (created if missing; required)")
+		workers  = flag.Int("workers", 2, "concurrent campaign-job executors")
+		queue    = flag.Int("queue", 16, "pending-job queue bound (full queue answers 429)")
+		parallel = flag.Int("parallel", 0, "sweep workers per campaign (default GOMAXPROCS)")
+		maxSeeds = flag.Int("max-seeds", 512, "per-job seed cap")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight work")
+		quiet    = flag.Bool("quiet", false, "suppress per-request logging")
+
+		nSvc  = flag.Int("nightly-services", 4, "monorepo services for /v1/nightly runs")
+		nTest = flag.Int("nightly-tests", 4, "unit tests per monorepo service")
+		nRacy = flag.Float64("nightly-racy", 0.4, "fraction of monorepo tests embedding a racy pattern")
+		nSeed = flag.Int64("nightly-seed", 1, "monorepo generation seed (fixes which tests are racy)")
+	)
+	flag.Parse()
+	if *db == "" {
+		fmt.Fprintln(os.Stderr, "raced: -db is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "raced ", log.LstdFlags)
+	reqLogger := logger
+	if *quiet {
+		reqLogger = log.New(io.Discard, "", 0)
+	}
+
+	store, err := corpus.Open(*db)
+	if err != nil {
+		fatal(err)
+	}
+	defer store.Close()
+
+	svc, err := service.New(service.Config{
+		Store:          store,
+		Repo:           monorepo.Generate(*nSvc, *nTest, *nRacy, *nSeed),
+		JobWorkers:     *workers,
+		QueueDepth:     *queue,
+		JobParallelism: *parallel,
+		MaxSeeds:       *maxSeeds,
+		Logger:         reqLogger,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	go func() {
+		logger.Printf("serving corpus %s (%d defects, generation %d) on %s",
+			*db, svc.View().Len(), svc.View().Generation(), *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}()
+
+	// Graceful drain: stop the listener, finish in-flight requests,
+	// then finish (or cancel at the deadline) queued campaigns, then
+	// sync the store. The drain budget covers both phases.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logger.Printf("draining (budget %s)...", *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	// Drain quiesces every write path (jobs, an in-flight nightly)
+	// and syncs the store itself; after it returns the deferred Close
+	// cannot race an append.
+	if err := svc.Drain(ctx); err != nil {
+		logger.Printf("drain: %v (in-flight campaigns cancelled)", err)
+	}
+	logger.Printf("bye")
+}

@@ -112,6 +112,9 @@ type Delta struct {
 
 // Store is an open corpus store. It holds the folded state in memory
 // and an append handle on the log; it is not safe for concurrent use.
+// Concurrent readers should take a Snapshot — an immutable View of the
+// folded state — and serialize mutations externally (internal/service
+// does exactly that).
 type Store struct {
 	path  string
 	f     *os.File
@@ -120,6 +123,10 @@ type Store struct {
 	// runOrder preserves first-append order of run ids, the order
 	// Runs returns (append order is chronological in normal use).
 	runOrder []string
+	// gen counts applied frames (records + run markers), including
+	// those replayed by load. It only ever grows, so two Snapshots
+	// with equal generations hold identical folded state.
+	gen uint64
 }
 
 // Open opens the store at path, creating an empty one if the file
@@ -267,6 +274,7 @@ func (s *Store) apply(payload []byte) error {
 // fold merges rec into the in-memory state: run-id sets union, counts
 // add, and the earliest-appended defining report and labels win.
 func (s *Store) fold(rec Record) {
+	s.gen++
 	cur, ok := s.byKey[rec.Key]
 	if !ok {
 		cp := rec
@@ -292,6 +300,7 @@ func (s *Store) fold(rec Record) {
 }
 
 func (s *Store) foldRun(info RunInfo) {
+	s.gen++
 	cur, ok := s.runs[info.ID]
 	if !ok {
 		cp := info
@@ -384,7 +393,23 @@ func (s *Store) Sync() error {
 	return nil
 }
 
-// Records returns the folded defect records, sorted by key.
+// copyRecord returns a Record whose slices do not alias store state.
+// Appends keep folding into the store's internal RunIDs backing
+// arrays, so handing those slices out would let a reader observe — or
+// race with — a concurrent fold. Every read accessor copies.
+func copyRecord(rec *Record) Record {
+	out := *rec
+	out.RunIDs = append([]string(nil), rec.RunIDs...)
+	if rec.Labels != nil {
+		out.Labels = append([]taxonomy.Category(nil), rec.Labels...)
+	}
+	return out
+}
+
+// Records returns the folded defect records, sorted by key. The
+// returned records own their slices: mutating them — or appending to
+// the store afterwards — cannot corrupt (or race with) the caller's
+// view.
 func (s *Store) Records() []Record {
 	keys := make([]string, 0, len(s.byKey))
 	for k := range s.byKey {
@@ -393,19 +418,27 @@ func (s *Store) Records() []Record {
 	sort.Strings(keys)
 	out := make([]Record, len(keys))
 	for i, k := range keys {
-		out[i] = *s.byKey[k]
+		out[i] = copyRecord(s.byKey[k])
 	}
 	return out
 }
 
-// Get returns the folded record for key.
+// Get returns the folded record for key. Like Records, the result is
+// a defensive copy that never aliases store state.
 func (s *Store) Get(key string) (Record, bool) {
 	rec, ok := s.byKey[key]
 	if !ok {
 		return Record{}, false
 	}
-	return *rec, true
+	return copyRecord(rec), true
 }
+
+// Generation returns the store's fold generation: the count of frames
+// applied so far (records and run markers, including those replayed
+// from disk by Open). It grows on every append, so equal generations
+// of one store imply identical folded state — the cache key
+// internal/service uses.
+func (s *Store) Generation() uint64 { return s.gen }
 
 // Len returns the number of deduplicated defects in the store.
 func (s *Store) Len() int { return len(s.byKey) }

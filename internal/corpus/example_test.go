@@ -1,0 +1,79 @@
+package corpus_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gorace/internal/corpus"
+)
+
+// ExampleOpen opens (creating) a store, appends one night's worth of
+// history — a run marker plus a deduplicated defect — and reads the
+// folded record back. Reopening the same path folds the append-only
+// log back into the same state.
+func ExampleOpen() {
+	dir, _ := os.MkdirTemp("", "corpus-example")
+	defer os.RemoveAll(dir)
+
+	store, err := corpus.Open(filepath.Join(dir, "races.db"))
+	if err != nil {
+		panic(err)
+	}
+	defer store.Close()
+
+	store.AppendRun(corpus.RunInfo{
+		ID: "2026-07-01", Label: "nightly", Executions: 120, Reports: 3,
+	})
+	store.Append(corpus.Record{
+		Key:    "checkout/ab12cd34",
+		Unit:   "checkout",
+		RunIDs: []string{"2026-07-01"},
+		Count:  3,
+	})
+
+	rec, _ := store.Get("checkout/ab12cd34")
+	fmt.Printf("%d defect(s); %s seen %dx, first in %s\n",
+		store.Len(), rec.Key, rec.Count, rec.FirstSeen())
+	// Output:
+	// 1 defect(s); checkout/ab12cd34 seen 3x, first in 2026-07-01
+}
+
+// ExampleStore_Diff appends two nightly runs and classifies the
+// defects as new, resolved, or recurring between them — the delta the
+// nightly report (and raced's /v1/diff endpoint) serves.
+func ExampleStore_Diff() {
+	dir, _ := os.MkdirTemp("", "corpus-example")
+	defer os.RemoveAll(dir)
+
+	store, err := corpus.Open(filepath.Join(dir, "races.db"))
+	if err != nil {
+		panic(err)
+	}
+	defer store.Close()
+
+	// Night one sees two defects; night two sees one of them again
+	// plus a brand new one.
+	store.AppendRun(corpus.RunInfo{ID: "2026-07-01", Label: "nightly"})
+	store.Append(
+		corpus.Record{Key: "checkout/ab12", Unit: "checkout", RunIDs: []string{"2026-07-01"}, Count: 1},
+		corpus.Record{Key: "billing/ef56", Unit: "billing", RunIDs: []string{"2026-07-01"}, Count: 2},
+	)
+	store.AppendRun(corpus.RunInfo{ID: "2026-07-02", Label: "nightly"})
+	store.Append(
+		corpus.Record{Key: "checkout/ab12", Unit: "checkout", RunIDs: []string{"2026-07-02"}, Count: 1},
+		corpus.Record{Key: "search/9a0b", Unit: "search", RunIDs: []string{"2026-07-02"}, Count: 1},
+	)
+
+	delta, err := store.Diff("2026-07-01", "2026-07-02")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("new: %s\n", delta.New[0].Key)
+	fmt.Printf("resolved: %s\n", delta.Resolved[0].Key)
+	fmt.Printf("recurring: %s (seen %dx total)\n", delta.Recurring[0].Key, delta.Recurring[0].Count)
+	// Output:
+	// new: search/9a0b
+	// resolved: billing/ef56
+	// recurring: checkout/ab12 (seen 2x total)
+}

@@ -1,0 +1,487 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"gorace/internal/corpus"
+	"gorace/internal/detector"
+	"gorace/internal/patterns"
+	"gorace/internal/report"
+	"gorace/internal/sched"
+	"gorace/internal/sweep"
+)
+
+// JobSpec is the campaign description a client POSTs to /v1/jobs:
+// which corpus patterns to sweep, under which detector and
+// strategies, over how many seeds. Empty fields select defaults, so
+// `{}` is a valid whole-corpus campaign.
+type JobSpec struct {
+	// Patterns lists corpus pattern ids (default: the whole corpus).
+	Patterns []string `json:"patterns,omitempty"`
+	// Variant selects "racy" (default) or "fixed" pattern bodies.
+	Variant string `json:"variant,omitempty"`
+	// Detector is a registry name (default detector.DefaultName).
+	Detector string `json:"detector,omitempty"`
+	// Strategies lists scheduling strategies to sweep (default: all
+	// registered).
+	Strategies []string `json:"strategies,omitempty"`
+	// Seeds is the per-unit seed count (default 20, capped by the
+	// server's MaxSeeds).
+	Seeds int `json:"seeds,omitempty"`
+	// BaseSeed offsets the seed range (default 0).
+	BaseSeed int64 `json:"baseSeed,omitempty"`
+}
+
+// Job states, reported in JobStatus.State.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// JobProgress is a job's campaign progress, updated live from the
+// sweep engine's shard-ordered progress callbacks.
+type JobProgress struct {
+	// DoneShards and TotalShards count campaign shards folded so far.
+	DoneShards  int `json:"doneShards"`
+	TotalShards int `json:"totalShards"`
+	// Runs counts program executions folded so far; Racy counts the
+	// ones that detected at least one race.
+	Runs int `json:"runs"`
+	Racy int `json:"racy"`
+}
+
+// JobUnitResult is one campaign unit's detection-probability estimate
+// in a finished job.
+type JobUnitResult struct {
+	// Unit is "<pattern>/<strategy>".
+	Unit string `json:"unit"`
+	// Detector and Strategy are the resolved registry names.
+	Detector string `json:"detector"`
+	Strategy string `json:"strategy"`
+	// Runs, Detected, and Races count the unit's executions, racy
+	// executions, and raw race reports.
+	Runs     int `json:"runs"`
+	Detected int `json:"detected"`
+	Races    int `json:"races"`
+	// Probability is Detected/Runs, the §3.2 manifestation estimate.
+	Probability float64 `json:"probability"`
+}
+
+// JobDefect is one deduplicated defect a finished job found.
+type JobDefect struct {
+	// Key is the unit-scoped §3.3.1 dedup key, "<unit>/<hash>".
+	Key string `json:"key"`
+	// Unit is the campaign unit that manifested it.
+	Unit string `json:"unit"`
+	// Count totals raw reports attributed to the defect in this job.
+	Count uint64 `json:"count"`
+	// Category is the primary root-cause label; Labels is the full
+	// ordered list. Both come from classifying the defect's first
+	// manifestation with its trace hints — the same labels a corpus
+	// append would persist.
+	Category string   `json:"category,omitempty"`
+	Labels   []string `json:"labels,omitempty"`
+	// Race is the defining report.
+	Race report.Race `json:"race"`
+}
+
+// JobResult is a finished job's payload, streamed by
+// GET /v1/jobs/{id}/results.
+type JobResult struct {
+	// Units, Shards, Runs, and Racy summarize the executed campaign.
+	Units  int `json:"units"`
+	Shards int `json:"shards"`
+	Runs   int `json:"runs"`
+	Racy   int `json:"racy"`
+	// UnitResults holds per-unit probabilities in unit order.
+	UnitResults []JobUnitResult `json:"unitResults"`
+	// Defects holds the deduplicated race corpus in canonical order.
+	Defects []JobDefect `json:"defects"`
+	// Categories tallies primary root-cause labels over units' first
+	// manifesting races.
+	Categories map[string]int `json:"categories"`
+}
+
+// Job is one submitted campaign. All mutable fields are guarded by
+// mu; Status returns a consistent copy.
+type Job struct {
+	// ID is the server-assigned job id ("job-000001").
+	ID string
+	// Spec is the validated spec the job was submitted with.
+	Spec JobSpec
+
+	mu        sync.Mutex
+	state     string
+	err       string
+	progress  JobProgress
+	result    *JobResult
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// JobStatus is the wire form of a job's state, served by
+// GET /v1/jobs/{id}.
+type JobStatus struct {
+	// ID and Spec echo the submission.
+	ID   string  `json:"id"`
+	Spec JobSpec `json:"spec"`
+	// State is one of queued, running, done, failed.
+	State string `json:"state"`
+	// Error is set for failed jobs.
+	Error string `json:"error,omitempty"`
+	// Progress is live campaign progress (meaningful once running).
+	Progress JobProgress `json:"progress"`
+	// Racy mirrors Progress.Racy for finished jobs; Defects counts
+	// the deduplicated corpus (set when done).
+	Defects int `json:"defects,omitempty"`
+}
+
+// Status returns a consistent snapshot of the job's state.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{ID: j.ID, Spec: j.Spec, State: j.state, Error: j.err, Progress: j.progress}
+	if j.result != nil {
+		st.Defects = len(j.result.Defects)
+	}
+	return st
+}
+
+// Result returns the finished job's result, or (nil, false) while the
+// job is still queued, running, or failed.
+func (j *Job) Result() (*JobResult, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone || j.result == nil {
+		return nil, false
+	}
+	return j.result, true
+}
+
+// Errors the submit path distinguishes so handlers can map them to
+// the right status codes.
+var (
+	// ErrQueueFull signals backpressure: the bounded job queue has no
+	// room; retry later (handlers answer 429 + Retry-After).
+	ErrQueueFull = fmt.Errorf("service: job queue full")
+	// ErrDraining signals shutdown: the server no longer accepts jobs
+	// (handlers answer 503).
+	ErrDraining = fmt.Errorf("service: server is draining")
+)
+
+// jobManager owns the bounded queue and the worker pool that executes
+// campaigns over the sweep engine. Finished jobs are retained up to a
+// bound and then evicted oldest-first, so a long-running daemon's job
+// table — results included — stays bounded like everything else.
+type jobManager struct {
+	queue       chan *Job
+	parallelism int
+	maxSeeds    int
+	retain      int // finished jobs kept before oldest-first eviction
+	log         *log.Logger
+
+	ctx    context.Context // cancelled to abort campaigns on forced drain
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, live jobs only
+	finished []string // completion order, for retention eviction
+	nextID   int
+	draining bool
+}
+
+func newJobManager(workers, depth, parallelism, maxSeeds, retain int, logger *log.Logger) *jobManager {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &jobManager{
+		queue:       make(chan *Job, depth),
+		parallelism: parallelism,
+		maxSeeds:    maxSeeds,
+		retain:      retain,
+		log:         logger,
+		ctx:         ctx,
+		cancel:      cancel,
+		jobs:        make(map[string]*Job),
+	}
+	m.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go m.worker()
+	}
+	return m
+}
+
+// validate normalizes and checks a spec against the registries, so a
+// bad submission fails with 400 at the door instead of failing a
+// worker later.
+func (m *jobManager) validate(spec *JobSpec) error {
+	switch spec.Variant {
+	case "":
+		spec.Variant = "racy"
+	case "racy", "fixed":
+	default:
+		return fmt.Errorf("variant %q (want racy or fixed)", spec.Variant)
+	}
+	if spec.Detector == "" {
+		spec.Detector = detector.DefaultName
+	}
+	if _, err := detector.New(spec.Detector); err != nil {
+		return err
+	}
+	if len(spec.Strategies) == 0 {
+		spec.Strategies = sched.StrategyNames()
+	}
+	for _, name := range spec.Strategies {
+		if _, err := sched.NewStrategy(name); err != nil {
+			return err
+		}
+	}
+	if len(spec.Patterns) == 0 {
+		spec.Patterns = patterns.IDs()
+	}
+	for _, id := range spec.Patterns {
+		if _, ok := patterns.ByID(id); !ok {
+			return fmt.Errorf("unknown pattern %q", id)
+		}
+	}
+	if spec.Seeds <= 0 {
+		spec.Seeds = 20
+	}
+	if spec.Seeds > m.maxSeeds {
+		return fmt.Errorf("seeds %d exceeds the server cap of %d", spec.Seeds, m.maxSeeds)
+	}
+	return nil
+}
+
+// Submit validates the spec and enqueues a job. It returns
+// ErrQueueFull when the bounded queue is out of room and ErrDraining
+// once drain has begun; both leave no trace in the job table.
+func (m *jobManager) Submit(spec JobSpec) (*Job, error) {
+	if err := m.validate(&spec); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, ErrDraining
+	}
+	m.nextID++
+	job := &Job{
+		ID:        fmt.Sprintf("job-%06d", m.nextID),
+		Spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	select {
+	case m.queue <- job:
+	default:
+		m.nextID-- // the id was never exposed; reuse it
+		return nil, ErrQueueFull
+	}
+	m.jobs[job.ID] = job
+	m.order = append(m.order, job.ID)
+	return job, nil
+}
+
+// Get returns a job by id.
+func (m *jobManager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// List returns job statuses in submission order.
+func (m *jobManager) List() []JobStatus {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*Job, len(ids))
+	for i, id := range ids {
+		jobs[i] = m.jobs[id]
+	}
+	m.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// Counts returns how many jobs are queued and running, the load
+// signal /healthz exposes.
+func (m *jobManager) Counts() (queued, running int) {
+	for _, st := range m.List() {
+		switch st.State {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		}
+	}
+	return queued, running
+}
+
+func (m *jobManager) worker() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		m.run(job)
+	}
+}
+
+// run executes one job's campaign on the calling worker goroutine.
+func (m *jobManager) run(job *Job) {
+	job.mu.Lock()
+	job.state = StateRunning
+	job.started = time.Now()
+	job.mu.Unlock()
+
+	units := campaignUnits(job.Spec)
+	engine := sweep.New(sweep.WithParallelism(m.parallelism))
+	aggs, stats, err := engine.RunContext(m.ctx, units,
+		func(p sweep.Progress) {
+			job.mu.Lock()
+			job.progress = JobProgress(p)
+			job.mu.Unlock()
+		},
+		func() sweep.Aggregator { return sweep.NewProb() },
+		// The Collector classifies each defect's first manifestation
+		// while its trace is still on the worker — the same labels a
+		// corpus append would persist, so job results and nightly
+		// records never disagree about the same race.
+		func() sweep.Aggregator { return corpus.NewCollector(job.ID) },
+	)
+
+	job.mu.Lock()
+	job.finished = time.Now()
+	if err != nil {
+		job.state = StateFailed
+		job.err = err.Error()
+		m.log.Printf("job %s failed after %s: %v", job.ID, job.finished.Sub(job.started), err)
+	} else {
+		job.state = StateDone
+		job.progress = JobProgress{
+			DoneShards: stats.Shards, TotalShards: stats.Shards,
+			Runs: stats.Runs, Racy: stats.Racy,
+		}
+		job.result = buildResult(stats, aggs)
+		m.log.Printf("job %s done in %s: %d runs, %d defects",
+			job.ID, job.finished.Sub(job.started), stats.Runs, len(job.result.Defects))
+	}
+	job.mu.Unlock()
+	m.retire(job.ID)
+}
+
+// retire records a job's completion and evicts the oldest finished
+// jobs beyond the retention bound. Evicted ids answer 404; live
+// (queued/running) jobs are never evicted.
+func (m *jobManager) retire(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.finished = append(m.finished, id)
+	for len(m.finished) > m.retain {
+		old := m.finished[0]
+		m.finished = m.finished[1:]
+		delete(m.jobs, old)
+		for i, oid := range m.order {
+			if oid == old {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// campaignUnits expands a validated spec into sweep units, one per
+// pattern × strategy, mirroring `racedetect -campaign`.
+func campaignUnits(spec JobSpec) []sweep.Unit {
+	var units []sweep.Unit
+	for _, id := range spec.Patterns {
+		p, _ := patterns.ByID(id) // validated at submit
+		prog := p.Racy
+		if spec.Variant == "fixed" {
+			prog = p.Fixed
+		}
+		for _, strat := range spec.Strategies {
+			units = append(units, sweep.Unit{
+				ID:       p.ID + "/" + strat,
+				Program:  prog,
+				Detector: spec.Detector,
+				Strategy: strat,
+				BaseSeed: spec.BaseSeed,
+				Runs:     spec.Seeds,
+				MaxSteps: 1 << 16,
+				// Recording feeds the classifier's hints; corpus
+				// programs are small and nothing survives the run.
+				Record: true,
+			})
+		}
+	}
+	return units
+}
+
+// buildResult renders the campaign aggregates into the wire result.
+// Defect categories and the tally both come from the Collector's
+// hint-classified records, so they cannot contradict each other.
+func buildResult(stats sweep.Stats, aggs []sweep.Aggregator) *JobResult {
+	res := &JobResult{
+		Units: stats.Units, Shards: stats.Shards,
+		Runs: stats.Runs, Racy: stats.Racy,
+		Categories: make(map[string]int),
+	}
+	for _, s := range aggs[0].(*sweep.Prob).Stats() {
+		res.UnitResults = append(res.UnitResults, JobUnitResult{
+			Unit: s.Unit, Detector: s.Detector, Strategy: s.Strategy,
+			Runs: s.Runs, Detected: s.Detected, Races: s.Races,
+			Probability: s.Probability(),
+		})
+	}
+	for _, rec := range aggs[1].(*corpus.Collector).Records() {
+		d := JobDefect{
+			Key: rec.Key, Unit: rec.Unit, Count: rec.Count,
+			Category: string(rec.Category), Race: rec.Race,
+		}
+		for _, l := range rec.Labels {
+			d.Labels = append(d.Labels, string(l))
+		}
+		res.Defects = append(res.Defects, d)
+		if rec.Category != "" {
+			res.Categories[string(rec.Category)]++
+		}
+	}
+	return res
+}
+
+// drain stops intake, lets queued and running jobs finish, and — if
+// ctx expires first — cancels the remaining campaigns (they finish as
+// failed) before returning ctx's error.
+func (m *jobManager) drain(ctx context.Context) error {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return nil
+	}
+	m.draining = true
+	close(m.queue)
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.cancel() // abort in-flight campaigns; workers mark them failed
+		<-done
+		return ctx.Err()
+	}
+}

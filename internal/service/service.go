@@ -1,0 +1,206 @@
+// Package service is the always-on face of the detection pipeline:
+// an HTTP/JSON server (cmd/raced) that serves race-corpus queries to
+// heavy concurrent read traffic and executes detection campaigns as
+// asynchronous jobs — the paper's "deployed at scale" shape (§3),
+// where race detection is infrastructure a whole engineering org
+// queries, not a CLI one engineer runs.
+//
+// The concurrency design has one writer and arbitrarily many readers,
+// mediated by immutable snapshots:
+//
+//   - All reads (stats, race listings, diffs, replays) are served off
+//     a corpus.View — an immutable copy-on-write snapshot of the
+//     store — published in an atomic pointer. Readers never take a
+//     lock and never observe a concurrent append.
+//   - All store mutations (the nightly publish) serialize on one
+//     mutex and end by publishing a fresh snapshot. Earlier snapshots
+//     keep serving in-flight requests untouched.
+//   - Responses for snapshot-derived endpoints are cached keyed by
+//     (generation, path, query). Equal generations imply identical
+//     folded state, so a hit is byte-identical to a recompute, and
+//     publishing a new snapshot implicitly invalidates by changing
+//     the key.
+//
+// Detection work arrives as campaign specs (POST /v1/jobs) and runs
+// on a bounded pool of job workers over the internal/sweep engine,
+// which recycles core.Runner workers across seeds. The job queue is
+// bounded: when it is full the service answers 429 with Retry-After
+// instead of accumulating unbounded work — backpressure, not
+// collapse. Drain stops intake and finishes (or cancels) what is in
+// flight, so a deploy never tears down a half-written job.
+//
+// Fittingly for a race-detection service, the whole package is
+// load-tested clean under `go test -race` (see soak_test.go), and a
+// fixed snapshot generation answers every read byte-identically at
+// any client parallelism.
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gorace/internal/corpus"
+	"gorace/internal/monorepo"
+)
+
+// Config configures a Server. The zero value of every optional field
+// selects a sensible default; Store is required.
+type Config struct {
+	// Store is the open corpus store the service serves and appends
+	// to. The server becomes the store's single writer; the caller
+	// must not mutate it while the server is running (closing it
+	// after Drain is the caller's job).
+	Store *corpus.Store
+	// Repo, when set, enables POST /v1/nightly: a monorepo nightly
+	// run appended into the live store.
+	Repo *monorepo.Repo
+	// JobWorkers is the number of concurrent campaign executors
+	// (default 2). Each executes one job at a time.
+	JobWorkers int
+	// QueueDepth bounds the pending-job queue (default 16). A full
+	// queue answers 429 + Retry-After.
+	QueueDepth int
+	// JobParallelism is the sweep-engine worker count each campaign
+	// runs with (default GOMAXPROCS).
+	JobParallelism int
+	// MaxSeeds caps the per-job seed range (default 512), bounding
+	// the compute one request can demand.
+	MaxSeeds int
+	// JobsRetained bounds how many finished jobs (with their full
+	// results) stay queryable before oldest-first eviction (default
+	// 64). Evicted job ids answer 404.
+	JobsRetained int
+	// CacheEntries bounds the response cache (default 512 entries).
+	CacheEntries int
+	// Logger receives request and job logs (default: discard).
+	Logger *log.Logger
+}
+
+// Server is the raced service: handlers over snapshots plus the job
+// manager. Create with New, mount Handler on an http.Server, and call
+// Drain before process exit.
+type Server struct {
+	cfg      Config
+	log      *log.Logger
+	mu       sync.Mutex // serializes store mutations (nightly appends)
+	draining atomic.Bool
+	snap     atomic.Pointer[corpus.View]
+	cache    *cache
+	jobs     *jobManager
+	handler  http.Handler
+}
+
+// New builds a Server over an open store and publishes the initial
+// snapshot.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("service: Config.Store is required")
+	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.JobParallelism <= 0 {
+		cfg.JobParallelism = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxSeeds <= 0 {
+		cfg.MaxSeeds = 512
+	}
+	if cfg.JobsRetained <= 0 {
+		cfg.JobsRetained = 64
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 512
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(io.Discard, "", 0)
+	}
+	s := &Server{
+		cfg:   cfg,
+		log:   cfg.Logger,
+		cache: newCache(cfg.CacheEntries),
+	}
+	s.snap.Store(cfg.Store.Snapshot())
+	s.jobs = newJobManager(cfg.JobWorkers, cfg.QueueDepth, cfg.JobParallelism, cfg.MaxSeeds, cfg.JobsRetained, cfg.Logger)
+	s.handler = withRecovery(s.log, withLogging(s.log, s.routes()))
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler (all /v1 endpoints plus
+// /healthz), already wrapped in logging and panic recovery.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// View returns the currently published snapshot. Every read endpoint
+// derives its entire response from one View, which is what makes
+// responses for a fixed generation byte-identical under any load.
+func (s *Server) View() *corpus.View { return s.snap.Load() }
+
+// PublishNightly runs one monorepo nightly campaign, appends it to
+// the live store under runID, and publishes the resulting snapshot.
+// It is the single-writer path: concurrent calls serialize, and
+// readers keep serving the previous snapshot until the new one is
+// published. Returns an error if no Repo is configured or the run id
+// was already recorded.
+func (s *Server) PublishNightly(runID string, seed int64) (*monorepo.Nightly, error) {
+	if s.cfg.Repo == nil {
+		return nil, fmt.Errorf("service: no monorepo configured for nightly runs")
+	}
+	if runID == "" {
+		return nil, fmt.Errorf("service: nightly run id must not be empty")
+	}
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		// Re-check under the mutex: Drain may have begun while this
+		// call waited for an earlier publish. After Drain's quiesce,
+		// no new append may touch the store.
+		return nil, ErrDraining
+	}
+	if s.View().HasRun(runID) {
+		return nil, fmt.Errorf("service: run id %q already recorded", runID)
+	}
+	n, err := s.cfg.Repo.RunNightly(s.cfg.Store, runID, seed)
+	if err != nil {
+		return nil, err
+	}
+	snap := s.cfg.Store.Snapshot()
+	s.snap.Store(snap)
+	s.cache.prune(snap.Generation())
+	s.log.Printf("nightly %s published: generation %d, %d defects on record",
+		runID, snap.Generation(), snap.Len())
+	return n, nil
+}
+
+// Drain gracefully shuts the write paths down: job intake and nightly
+// publishes stop (both answer 503), queued and running jobs finish —
+// if ctx expires first the remaining campaigns are cancelled and
+// marked failed — and an in-flight nightly is waited out before the
+// store is synced. After Drain returns, nothing inside the server
+// touches the store again, so the caller may safely Close it. Call
+// after http.Server.Shutdown has stopped new requests (a Shutdown
+// that timed out may leave a nightly handler running; Drain's
+// quiesce covers exactly that case).
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.jobs.drain(ctx)
+	// Quiesce the writer: taking the mutex waits for an in-flight
+	// PublishNightly to finish its append; the draining flag keeps
+	// any later call from starting a new one.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if syncErr := s.cfg.Store.Sync(); syncErr != nil && err == nil {
+		err = syncErr
+	}
+	return err
+}

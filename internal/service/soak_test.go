@@ -1,0 +1,246 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gorace/internal/monorepo"
+)
+
+// TestConcurrentSoak is the acceptance load test: 64+ simultaneous
+// clients mixing corpus reads, job submits, and replays while a
+// writer appends a nightly mid-soak — all under `go test -race`. A
+// race-detection service must itself be provably race-free under
+// load; any aliasing between snapshot readers, the cache, the job
+// pool, and the single writer shows up here as a -race report.
+func TestConcurrentSoak(t *testing.T) {
+	store, traced := seedStore(t)
+	svc, ts := newTestServer(t, Config{
+		Store:          store,
+		Repo:           monorepo.Generate(2, 2, 0.8, 42),
+		JobWorkers:     2,
+		JobParallelism: 2,
+		QueueDepth:     8,
+	})
+
+	const clients = 64
+	const requestsPerClient = 12
+	var (
+		wg       sync.WaitGroup
+		failures atomic.Int64
+		submits  atomic.Int64
+		rejected atomic.Int64
+	)
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	paths := []string{
+		"/healthz",
+		"/v1/stats",
+		"/v1/races?limit=0",
+		"/v1/races?sort=count&limit=3",
+		"/v1/races/" + traced,
+		"/v1/diff?a=run-001&b=run-002",
+		"/v1/replay/" + traced,
+		"/v1/jobs",
+	}
+	jobSpec := `{"patterns":["capture-loop-index"],"strategies":["random"],"seeds":2}`
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < requestsPerClient; i++ {
+				if (c+i)%8 == 7 {
+					// Every eighth request is a job submit: accepted or
+					// pushed back, never an error.
+					resp, err := client.Post(ts.URL+"/v1/jobs", "application/json",
+						bytes.NewReader([]byte(jobSpec)))
+					if err != nil {
+						t.Errorf("client %d: submit: %v", c, err)
+						failures.Add(1)
+						continue
+					}
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusAccepted:
+						submits.Add(1)
+					case http.StatusTooManyRequests:
+						if resp.Header.Get("Retry-After") == "" {
+							t.Errorf("client %d: 429 without Retry-After", c)
+						}
+						rejected.Add(1)
+					default:
+						t.Errorf("client %d: submit status %d", c, resp.StatusCode)
+						failures.Add(1)
+					}
+					continue
+				}
+				path := paths[(c*7+i)%len(paths)]
+				resp, err := client.Get(ts.URL + path)
+				if err != nil {
+					t.Errorf("client %d: GET %s: %v", c, path, err)
+					failures.Add(1)
+					continue
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("client %d: GET %s = %d", c, path, resp.StatusCode)
+					failures.Add(1)
+				}
+			}
+		}(c)
+	}
+
+	// The single writer: a nightly append racing the read storm. The
+	// snapshot flip must be invisible to in-flight readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond) // land mid-soak
+		if _, err := svc.PublishNightly("run-003", 7); err != nil {
+			t.Errorf("nightly during soak: %v", err)
+		}
+	}()
+
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d request failures under soak", failures.Load())
+	}
+	if submits.Load() == 0 {
+		t.Fatal("soak never managed to submit a job")
+	}
+	if !svc.View().HasRun("run-003") {
+		t.Fatal("nightly append did not land")
+	}
+	t.Logf("soak: %d clients, %d jobs accepted, %d pushed back (429)",
+		clients, submits.Load(), rejected.Load())
+
+	// Drain cleanly with everything that got queued.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatalf("drain after soak: %v", err)
+	}
+}
+
+// TestFixedGenerationResponsesAreByteIdentical pins the acceptance
+// determinism property: with the snapshot generation fixed, every
+// endpoint answers byte-identically no matter how many clients hammer
+// it in parallel — cache hit or miss, first request or thousandth.
+func TestFixedGenerationResponsesAreByteIdentical(t *testing.T) {
+	store, traced := seedStore(t)
+	_, ts := newTestServer(t, Config{Store: store})
+
+	paths := []string{
+		"/v1/stats",
+		"/v1/races?limit=0",
+		"/v1/races?sort=count&limit=0",
+		"/v1/races?unit=svc-a/TestLoop&limit=0",
+		"/v1/races/" + traced,
+		"/v1/diff?a=run-001&b=run-002",
+		"/v1/replay/" + traced,
+	}
+	baseline := make(map[string][]byte, len(paths))
+	var gen string
+	for _, p := range paths {
+		status, body, h := get(t, ts.URL+p)
+		if status != http.StatusOK {
+			t.Fatalf("baseline GET %s = %d %s", p, status, body)
+		}
+		baseline[p] = body
+		if gen == "" {
+			gen = h.Get("X-Corpus-Generation")
+		} else if got := h.Get("X-Corpus-Generation"); got != gen {
+			t.Fatalf("generation drifted across baseline reads: %s then %s", gen, got)
+		}
+	}
+
+	const parallelism = 32
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			for i := 0; i < 3; i++ {
+				for _, p := range paths {
+					resp, err := client.Get(ts.URL + p)
+					if err != nil {
+						t.Errorf("worker %d: GET %s: %v", w, p, err)
+						return
+					}
+					var buf bytes.Buffer
+					buf.ReadFrom(resp.Body)
+					resp.Body.Close()
+					if g := resp.Header.Get("X-Corpus-Generation"); g != gen {
+						t.Errorf("worker %d: GET %s at generation %s, want %s", w, p, g, gen)
+						return
+					}
+					if !bytes.Equal(buf.Bytes(), baseline[p]) {
+						t.Errorf("worker %d: GET %s bytes differ from baseline", w, p)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestSnapshotFlipConsistency: a reader that captured a generation
+// header can rely on the paired body forever — after a nightly flips
+// the snapshot, the *new* generation serves new bytes, but re-reads
+// never blend the two.
+func TestSnapshotFlipConsistency(t *testing.T) {
+	store, _ := seedStore(t)
+	svc, ts := newTestServer(t, Config{
+		Store: store,
+		Repo:  monorepo.Generate(2, 2, 0.8, 42),
+	})
+
+	_, before, h1 := get(t, ts.URL+"/v1/stats")
+	genBefore := h1.Get("X-Corpus-Generation")
+
+	if _, err := svc.PublishNightly("run-003", 7); err != nil {
+		t.Fatal(err)
+	}
+
+	status, after, h2 := get(t, ts.URL+"/v1/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats after flip = %d", status)
+	}
+	genAfter := h2.Get("X-Corpus-Generation")
+	if genAfter == genBefore {
+		t.Fatalf("generation did not advance past %s", genBefore)
+	}
+	if bytes.Equal(before, after) {
+		t.Fatal("snapshot flip produced identical stats bodies (nightly appended nothing?)")
+	}
+	var stats struct {
+		RunHistory []struct{ ID string }
+	}
+	if err := json.Unmarshal(after, &stats); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, run := range stats.RunHistory {
+		if run.ID == "run-003" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("new snapshot missing run-003: %s", after)
+	}
+
+	// And the new generation is itself stable.
+	_, again, _ := get(t, ts.URL+"/v1/stats")
+	if !bytes.Equal(after, again) {
+		t.Fatal("post-flip responses not stable")
+	}
+}

@@ -32,6 +32,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -106,6 +107,17 @@ type Stats struct {
 	Racy   int // executions that detected at least one race
 }
 
+// Progress is a point-in-time view of a running campaign, delivered
+// to RunContext's progress callback after each shard folds into the
+// campaign root. Because shards fold in shard-index order, a given
+// campaign produces the same Progress sequence at any parallelism.
+type Progress struct {
+	DoneShards  int // shards folded so far
+	TotalShards int // shards the campaign was split into
+	Runs        int // program executions folded so far
+	Racy        int // folded executions that detected at least one race
+}
+
 // Engine executes campaigns. The zero value is not useful; use New.
 type Engine struct {
 	parallelism int
@@ -163,6 +175,19 @@ type shardResult struct {
 // strategy name, nil factory strategy, model failure) aborts the
 // campaign; the first error in shard order is returned.
 func (e *Engine) Run(units []Unit, factories ...Factory) ([]Aggregator, Stats, error) {
+	return e.RunContext(context.Background(), units, nil, factories...)
+}
+
+// RunContext is Run with cancellation and progress reporting, the
+// form long-running services drive campaigns through. Cancelling ctx
+// stops the campaign promptly — workers check the context between
+// seeds — and RunContext returns the context's error; partial
+// aggregates are discarded. onProgress, when non-nil, is invoked from
+// the merge loop after each shard folds into the campaign root; it
+// runs on the calling goroutine's merge path, so it must not block
+// for long, and it observes the same deterministic shard-ordered
+// sequence at any parallelism.
+func (e *Engine) RunContext(ctx context.Context, units []Unit, onProgress func(Progress), factories ...Factory) ([]Aggregator, Stats, error) {
 	stats := Stats{Units: len(units)}
 	roots := make([]Aggregator, len(factories))
 	for i, f := range factories {
@@ -210,8 +235,9 @@ func (e *Engine) Run(units []Unit, factories ...Factory) ([]Aggregator, Stats, e
 			// once per (worker, config), not once per run.
 			pool := make(map[string]*core.Worker)
 			for {
-				// A failed shard dooms the campaign, so don't burn
-				// the remaining shards; in-flight ones still finish.
+				// A failed shard (or a cancelled campaign) dooms the
+				// result, so don't burn the remaining shards;
+				// in-flight ones still finish.
 				if failed.Load() {
 					return
 				}
@@ -219,7 +245,7 @@ func (e *Engine) Run(units []Unit, factories ...Factory) ([]Aggregator, Stats, e
 				if si >= len(shards) {
 					return
 				}
-				res := e.runShard(units, shards[si], si, pool, factories)
+				res := e.runShard(ctx, units, shards[si], si, pool, factories)
 				if res.err != nil {
 					failed.Store(true)
 				}
@@ -259,6 +285,14 @@ func (e *Engine) Run(units []Unit, factories ...Factory) ([]Aggregator, Stats, e
 			for i := range roots {
 				roots[i].Merge(r.aggs[i])
 			}
+			if onProgress != nil {
+				onProgress(Progress{
+					DoneShards:  nextMerge,
+					TotalShards: len(shards),
+					Runs:        stats.Runs,
+					Racy:        stats.Racy,
+				})
+			}
 		}
 	}
 	if firstErr != nil {
@@ -279,8 +313,10 @@ func configKey(u *Unit, unitIdx int) string {
 }
 
 // runShard executes one shard on the calling worker goroutine,
-// feeding fresh aggregator instances in seed order.
-func (e *Engine) runShard(units []Unit, sh shard, idx int, pool map[string]*core.Worker, factories []Factory) shardResult {
+// feeding fresh aggregator instances in seed order. The context is
+// checked between seeds, so a cancelled campaign stops within one
+// program execution per worker.
+func (e *Engine) runShard(ctx context.Context, units []Unit, sh shard, idx int, pool map[string]*core.Worker, factories []Factory) shardResult {
 	res := shardResult{idx: idx, aggs: make([]Aggregator, len(factories))}
 	for i, f := range factories {
 		res.aggs[i] = f()
@@ -308,6 +344,10 @@ func (e *Engine) runShard(units []Unit, sh shard, idx int, pool map[string]*core
 		pool[key] = wk
 	}
 	for si := sh.lo; si < sh.lo+sh.n; si++ {
+		if err := ctx.Err(); err != nil {
+			res.err = err
+			return res
+		}
 		seed := u.BaseSeed + int64(si)
 		out, err := wk.RunSeed(u.Program, seed)
 		if err != nil {

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -216,5 +218,68 @@ func TestTallyClassifies(t *testing.T) {
 	}
 	if total != 2 {
 		t.Fatalf("classified %d units, want 2 (%v)", total, counts)
+	}
+}
+
+// TestRunContextProgressIsDeterministic pins the progress contract:
+// shard-ordered callbacks produce one fixed sequence no matter how
+// many workers interleave.
+func TestRunContextProgressIsDeterministic(t *testing.T) {
+	seq := func(parallelism int) string {
+		var b strings.Builder
+		_, stats, err := New(WithParallelism(parallelism), WithShardRuns(8)).RunContext(
+			context.Background(), campaignUnits(t),
+			func(p Progress) {
+				fmt.Fprintf(&b, "%d/%d runs=%d racy=%d\n",
+					p.DoneShards, p.TotalShards, p.Runs, p.Racy)
+			},
+			func() Aggregator { return NewProb() },
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasSuffix(b.String(),
+			fmt.Sprintf("%d/%d runs=%d racy=%d\n", stats.Shards, stats.Shards, stats.Runs, stats.Racy)) {
+			t.Fatalf("final progress does not match stats %+v:\n%s", stats, b.String())
+		}
+		return b.String()
+	}
+	serial := seq(1)
+	for _, p := range []int{2, 8} {
+		if got := seq(p); got != serial {
+			t.Fatalf("progress sequence differs at parallelism %d:\n--- serial\n%s--- parallel\n%s", p, serial, got)
+		}
+	}
+}
+
+// TestRunContextCancellation: a cancelled campaign stops promptly and
+// reports the context's error instead of partial aggregates.
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first seed: every shard must abort
+	aggs, _, err := New(WithParallelism(2)).RunContext(ctx, campaignUnits(t), nil,
+		func() Aggregator { return NewProb() })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if aggs != nil {
+		t.Fatal("cancelled campaign returned aggregates")
+	}
+
+	// Cancelling mid-flight (from the progress callback) also aborts.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	fired := 0
+	_, _, err = New(WithParallelism(1), WithShardRuns(4)).RunContext(ctx2, campaignUnits(t),
+		func(Progress) {
+			fired++
+			cancel2()
+		},
+		func() Aggregator { return NewProb() })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight err = %v, want context.Canceled", err)
+	}
+	if fired == 0 {
+		t.Fatal("progress callback never fired")
 	}
 }

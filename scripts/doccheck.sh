@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # doccheck.sh — fail when a package or exported identifier under
-# internal/ or cmd/ lacks a doc comment. CI runs this as a
-# non-blocking step; run it locally before sending a PR:
+# internal/ or cmd/ lacks a doc comment, or when docs/CLI.md has gone
+# stale against the commands under cmd/. CI runs this as a blocking
+# step; run it locally before sending a PR:
 #
 #   scripts/doccheck.sh
 #
@@ -9,4 +10,4 @@
 # parses the source with go/ast (no deps beyond the stdlib).
 set -euo pipefail
 cd "$(dirname "$0")/.."
-exec go run ./scripts/doccheck internal cmd
+exec go run ./scripts/doccheck -clidoc docs/CLI.md -cmds cmd internal cmd

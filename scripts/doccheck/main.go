@@ -1,7 +1,7 @@
 // Command doccheck enforces the repo's documentation bar: every
 // package and every exported identifier under the given directory
 // trees must carry a doc comment. scripts/doccheck.sh runs it over
-// internal/ and cmd/; CI runs that script as a non-blocking step.
+// internal/ and cmd/; CI runs that script as a blocking step.
 //
 // An exported identifier (top-level function, method, type, const,
 // var) counts as documented if it has its own doc comment, inherits
@@ -10,9 +10,17 @@
 // Methods are checked only on exported receiver types; struct fields
 // follow the surrounding struct's doc and are not checked. Test files
 // are skipped.
+//
+// With -clidoc, doccheck additionally cross-checks the CLI reference
+// against the commands that actually exist: every directory under
+// -cmds must have a "## <name>" section and a command-table row in
+// the given markdown file, and every "## <name>" section must name a
+// real command — so docs/CLI.md cannot silently go stale when a
+// command is added or removed.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -31,12 +39,23 @@ type violation struct {
 }
 
 func main() {
-	roots := os.Args[1:]
+	cliDoc := flag.String("clidoc", "", "markdown CLI reference to cross-check against -cmds (e.g. docs/CLI.md)")
+	cmds := flag.String("cmds", "cmd", "command tree the -clidoc reference must cover")
+	flag.Parse()
+	roots := flag.Args()
 	if len(roots) == 0 {
 		roots = []string{"internal", "cmd"}
 	}
 	fset := token.NewFileSet()
 	var violations []violation
+	if *cliDoc != "" {
+		v, err := checkCLIDoc(*cliDoc, *cmds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		violations = append(violations, v...)
+	}
 	for _, root := range roots {
 		dirs, err := goDirs(root)
 		if err != nil {
@@ -195,6 +214,76 @@ func checkFile(fset *token.FileSet, f *ast.File, exportedTypes map[string]bool) 
 		}
 	}
 	return out
+}
+
+// checkCLIDoc cross-checks the CLI reference against the command
+// tree: every command directory needs a "## <name>" section and a
+// table row linking to it, and every "## <name>" heading must name a
+// command that still exists.
+func checkCLIDoc(docPath, cmdRoot string) ([]violation, error) {
+	entries, err := os.ReadDir(cmdRoot)
+	if err != nil {
+		return nil, fmt.Errorf("doccheck: %s: %w", cmdRoot, err)
+	}
+	commands := map[string]bool{}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		// Only directories holding non-test Go files are commands.
+		files, err := filepath.Glob(filepath.Join(cmdRoot, e.Name(), "*.go"))
+		if err != nil || len(files) == 0 {
+			continue
+		}
+		commands[e.Name()] = true
+	}
+
+	data, err := os.ReadFile(docPath)
+	if err != nil {
+		return nil, fmt.Errorf("doccheck: %s: %w", docPath, err)
+	}
+	sections := map[string]bool{}
+	tableRows := map[string]bool{}
+	var out []violation
+	for i, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "## "); ok {
+			name = strings.TrimSpace(name)
+			sections[name] = true
+			if !commands[name] {
+				out = append(out, violation{
+					pos:  token.Position{Filename: docPath, Line: i + 1},
+					what: fmt.Sprintf("section %q documents a command missing from %s/", name, cmdRoot),
+				})
+			}
+			continue
+		}
+		// Command-table rows look like "| [name](#name) | ... |".
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "| ["); ok {
+			if name, _, ok := strings.Cut(rest, "]"); ok {
+				tableRows[name] = true
+			}
+		}
+	}
+	names := make([]string, 0, len(commands))
+	for name := range commands {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !sections[name] {
+			out = append(out, violation{
+				pos:  token.Position{Filename: docPath, Line: 1},
+				what: fmt.Sprintf("command %s/%s has no \"## %s\" section", cmdRoot, name, name),
+			})
+		}
+		if !tableRows[name] {
+			out = append(out, violation{
+				pos:  token.Position{Filename: docPath, Line: 1},
+				what: fmt.Sprintf("command %s/%s is missing from the command table", cmdRoot, name),
+			})
+		}
+	}
+	return out, nil
 }
 
 func receiverTypeName(recv *ast.FieldList) string {

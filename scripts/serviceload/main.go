@@ -1,0 +1,218 @@
+// Command serviceload is the CI load generator for raced: it fires N
+// concurrent clients at a running instance, each mixing corpus reads
+// (stats, listings, diffs, replays) with job submits and status
+// polls, and reports request counts plus p50/p95/p99 latency. CI runs
+// it against a race-detector build of raced, so the soak doubles as a
+// -race pass over the live service.
+//
+// Usage:
+//
+//	go run ./scripts/serviceload -addr http://127.0.0.1:8077 \
+//	    [-clients 64] [-requests 25] [-timeout 30s]
+//
+// Exit status is non-zero when any request errors or returns an
+// unexpected status (429 on submits is expected backpressure, not a
+// failure).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// sample is one completed request's latency.
+type sample struct {
+	path string
+	d    time.Duration
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8077", "base URL of the raced instance")
+		clients  = flag.Int("clients", 64, "concurrent clients")
+		requests = flag.Int("requests", 25, "requests per client")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: *timeout}
+
+	// Discover a real race key so the by-key and replay endpoints get
+	// genuine traffic.
+	raceKey, replayable := discover(client, *addr)
+	paths := []string{
+		"/healthz",
+		"/v1/stats",
+		"/v1/races?limit=0",
+		"/v1/races?sort=count&limit=5",
+		"/v1/diff",
+		"/v1/jobs",
+	}
+	if a, b := runPair(client, *addr); a != "" {
+		paths[4] = fmt.Sprintf("/v1/diff?a=%s&b=%s", a, b)
+	} else {
+		paths[4] = "/v1/stats" // single-run store: nothing to diff
+	}
+	if raceKey != "" {
+		paths = append(paths, "/v1/races/"+raceKey)
+	}
+	if replayable != "" {
+		paths = append(paths, "/v1/replay/"+replayable)
+	}
+	jobSpec := []byte(`{"patterns":["capture-loop-index"],"strategies":["random"],"seeds":3}`)
+
+	var (
+		mu       sync.Mutex
+		samples  []sample
+		failures atomic.Int64
+		accepted atomic.Int64
+		backoff  atomic.Int64
+	)
+	record := func(path string, d time.Duration) {
+		mu.Lock()
+		samples = append(samples, sample{path, d})
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < *requests; i++ {
+				if (c+i)%10 == 9 {
+					t0 := time.Now()
+					resp, err := client.Post(*addr+"/v1/jobs", "application/json", bytes.NewReader(jobSpec))
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "client %d: submit: %v\n", c, err)
+						failures.Add(1)
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusAccepted:
+						accepted.Add(1)
+						record("POST /v1/jobs", time.Since(t0))
+					case http.StatusTooManyRequests:
+						backoff.Add(1) // expected backpressure
+						record("POST /v1/jobs", time.Since(t0))
+					default:
+						// Failures stay out of the ok count and the
+						// latency percentiles.
+						fmt.Fprintf(os.Stderr, "client %d: submit status %d\n", c, resp.StatusCode)
+						failures.Add(1)
+					}
+					continue
+				}
+				path := paths[(c*13+i)%len(paths)]
+				t0 := time.Now()
+				resp, err := client.Get(*addr + path)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "client %d: GET %s: %v\n", c, path, err)
+					failures.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fmt.Fprintf(os.Stderr, "client %d: GET %s = %d\n", c, path, resp.StatusCode)
+					failures.Add(1)
+					continue
+				}
+				record("GET "+path, time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	lat := make([]time.Duration, len(samples))
+	for i, s := range samples {
+		lat[i] = s.d
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	fmt.Printf("serviceload: %d clients x %d requests against %s\n", *clients, *requests, *addr)
+	fmt.Printf("requests: %d ok in %s (%.0f req/s), %d failures\n",
+		len(samples), elapsed.Round(time.Millisecond),
+		float64(len(samples))/elapsed.Seconds(), failures.Load())
+	fmt.Printf("jobs: %d accepted, %d pushed back (429)\n", accepted.Load(), backoff.Load())
+	if len(lat) > 0 {
+		fmt.Printf("latency: p50=%s p95=%s p99=%s max=%s\n",
+			pct(lat, 50), pct(lat, 95), pct(lat, 99), lat[len(lat)-1].Round(time.Microsecond))
+	}
+	if failures.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// pct returns the p'th latency percentile (nearest-rank).
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx].Round(time.Microsecond)
+}
+
+// discover pulls one defect key (and one replayable key, if any trace
+// was retained) off /v1/races.
+func discover(client *http.Client, addr string) (key, replayable string) {
+	resp, err := client.Get(addr + "/v1/races?limit=0")
+	if err != nil {
+		return "", ""
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Races []struct {
+			Key      string `json:"key"`
+			HasTrace bool   `json:"hasTrace"`
+		} `json:"races"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return "", ""
+	}
+	for _, r := range body.Races {
+		if key == "" {
+			key = r.Key
+		}
+		if replayable == "" && r.HasTrace {
+			replayable = r.Key
+		}
+	}
+	return key, replayable
+}
+
+// runPair pulls the first and last recorded run ids for a diff query.
+func runPair(client *http.Client, addr string) (a, b string) {
+	resp, err := client.Get(addr + "/v1/stats")
+	if err != nil {
+		return "", ""
+	}
+	defer resp.Body.Close()
+	var body struct {
+		RunHistory []struct {
+			ID string `json:"id"`
+		} `json:"runHistory"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return "", ""
+	}
+	if len(body.RunHistory) < 2 {
+		return "", ""
+	}
+	return body.RunHistory[0].ID, body.RunHistory[len(body.RunHistory)-1].ID
+}
