@@ -5,11 +5,19 @@
 // Usage:
 //
 //	racedetect -list
+//	racedetect -list-programs
 //	racedetect -pattern capture-loop-index [-variant racy|fixed]
 //	           [-detector fasttrack|eraser|hybrid] [-strategy random|pct|...]
 //	           [-seeds 20] [-suppressions file] [-save-trace file]
+//	racedetect -program stack-trace [-variant racy|fixed] [...]
 //	racedetect -campaign [-seeds 20] [-parallel 8] [-strategies random,pct]
 //	           [-corpus store.db] [-run-id id] [-corpus-traces dir]
+//
+// Alongside the synthetic pattern corpus, racedetect runs instrumented
+// programs: real packages rewritten onto the sched/trace event model
+// by cmd/raceinstrument and registered in internal/progs. -list-programs
+// tables them, -program runs one, and campaign mode sweeps them as
+// prog:<name> units next to the patterns.
 //
 // Campaign mode sweeps the whole corpus — every pattern × every
 // scheduling strategy × N seeds — through the internal/sweep engine
@@ -43,7 +51,9 @@ import (
 	"gorace/internal/core"
 	"gorace/internal/corpus"
 	"gorace/internal/detector"
+	"gorace/internal/instrument"
 	"gorace/internal/patterns"
+	_ "gorace/internal/progs" // registers instrumented programs
 	"gorace/internal/report"
 	"gorace/internal/sched"
 	"gorace/internal/sweep"
@@ -76,7 +86,9 @@ func loadSuppressions(path string) *report.SuppressionList {
 func main() {
 	var (
 		list       = flag.Bool("list", false, "list corpus patterns and exit")
+		listProgs  = flag.Bool("list-programs", false, "list instrumented programs and exit")
 		pattern    = flag.String("pattern", "", "corpus pattern ID")
+		program    = flag.String("program", "", "instrumented program name (see -list-programs)")
 		variant    = flag.String("variant", "racy", "racy or fixed")
 		det        = flag.String("detector", detector.DefaultName, "one of: "+strings.Join(detector.Names(), ", "))
 		strategy   = flag.String("strategy", sched.DefaultStrategyName, "one of: "+strings.Join(sched.StrategyNames(), ", "))
@@ -104,6 +116,18 @@ func main() {
 		return
 	}
 
+	if *listProgs {
+		fmt.Printf("%-18s %-44s %s\n", "program", "source", "description")
+		for _, p := range instrument.Programs() {
+			fixed := ""
+			if p.Fixed != nil {
+				fixed = " [+fixed]"
+			}
+			fmt.Printf("%-18s %-44s %s%s\n", p.Name, p.Source, p.Desc, fixed)
+		}
+		return
+	}
+
 	supp := loadSuppressions(*suppFile)
 
 	if *campaign {
@@ -112,14 +136,35 @@ func main() {
 		return
 	}
 
-	p, ok := patterns.ByID(*pattern)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown pattern %q; use -list\n", *pattern)
-		os.Exit(2)
-	}
-	prog := p.Racy
-	if *variant == "fixed" {
-		prog = p.Fixed
+	var (
+		unitID string
+		prog   func(*sched.G)
+	)
+	switch {
+	case *program != "":
+		ip, ok := instrument.ProgramByName(*program)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown program %q; use -list-programs\n", *program)
+			os.Exit(2)
+		}
+		unitID, prog = "prog:"+ip.Name, ip.Racy
+		if *variant == "fixed" {
+			if ip.Fixed == nil {
+				fmt.Fprintf(os.Stderr, "program %q has no fixed variant\n", *program)
+				os.Exit(2)
+			}
+			prog = ip.Fixed
+		}
+	default:
+		p, ok := patterns.ByID(*pattern)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown pattern %q; use -list\n", *pattern)
+			os.Exit(2)
+		}
+		unitID, prog = p.ID, p.Racy
+		if *variant == "fixed" {
+			prog = p.Fixed
+		}
 	}
 
 	runner := core.NewRunner(
@@ -157,7 +202,7 @@ func main() {
 			}
 			return
 		}
-		fmt.Printf("== %s/%s under %s, %s, seed %d ==\n", p.ID, *variant, out.Detector, out.Strategy, seed)
+		fmt.Printf("== %s/%s under %s, %s, seed %d ==\n", unitID, *variant, out.Detector, out.Strategy, seed)
 		if out.RaceCount > 0 {
 			// Counting detectors synthesize stackless one-per-address
 			// reports; the pair count and racy-address total say more.
@@ -180,7 +225,7 @@ func main() {
 		}
 		return
 	}
-	fmt.Printf("no race manifested for %s/%s across %d seeds", p.ID, *variant, *seeds)
+	fmt.Printf("no race manifested for %s/%s across %d seeds", unitID, *variant, *seeds)
 	if totalSuppressed > 0 {
 		fmt.Printf(" (%d report(s) suppressed via %s)", totalSuppressed, *suppFile)
 	}
@@ -205,16 +250,13 @@ func runCampaign(det, strategies, variant string, seeds, parallel int, supp *rep
 		}
 	}
 	pats := patterns.All()
+	progs := instrument.Programs()
 
 	var units []sweep.Unit
-	for _, p := range pats {
-		prog := p.Racy
-		if variant == "fixed" {
-			prog = p.Fixed
-		}
+	addUnits := func(id string, prog func(*sched.G)) {
 		for _, s := range stratNames {
 			units = append(units, sweep.Unit{
-				ID:       p.ID + "/" + s,
+				ID:       id + "/" + s,
 				Program:  prog,
 				Detector: det,
 				Strategy: s,
@@ -227,6 +269,25 @@ func runCampaign(det, strategies, variant string, seeds, parallel int, supp *rep
 				Record: true,
 			})
 		}
+	}
+	for _, p := range pats {
+		prog := p.Racy
+		if variant == "fixed" {
+			prog = p.Fixed
+		}
+		addUnits(p.ID, prog)
+	}
+	// Instrumented programs sweep alongside the synthetic corpus; ones
+	// without a fixed variant sit out a fixed-variant campaign.
+	for _, p := range progs {
+		prog := p.Racy
+		if variant == "fixed" {
+			if p.Fixed == nil {
+				continue
+			}
+			prog = p.Fixed
+		}
+		addUnits("prog:"+p.Name, prog)
 	}
 
 	opts := []sweep.Option{}
@@ -271,8 +332,8 @@ func runCampaign(det, strategies, variant string, seeds, parallel int, supp *rep
 	campCorpus := aggs[1].(*sweep.Corpus)
 	tally := aggs[2].(*sweep.Tally)
 
-	fmt.Printf("== campaign: %d patterns × %d strategies × %d seeds, detector %s ==\n",
-		len(pats), len(stratNames), seeds, det)
+	fmt.Printf("== campaign: %d patterns + %d programs × %d strategies × %d seeds, detector %s ==\n",
+		len(pats), len(progs), len(stratNames), seeds, det)
 
 	// Per-pattern manifestation probability, one column per strategy.
 	byUnit := make(map[string]sweep.UnitStat)
@@ -304,12 +365,22 @@ func runCampaign(det, strategies, variant string, seeds, parallel int, supp *rep
 		fmt.Printf("%12s", s)
 	}
 	fmt.Printf("%10s\n", "defects")
+	rowIDs := make([]string, 0, len(pats)+len(progs))
 	for _, p := range pats {
-		fmt.Printf("%-28s", p.ID)
-		for _, s := range stratNames {
-			fmt.Printf("%12.2f", byUnit[p.ID+"/"+s].Probability())
+		rowIDs = append(rowIDs, p.ID)
+	}
+	for _, p := range progs {
+		if variant == "fixed" && p.Fixed == nil {
+			continue
 		}
-		fmt.Printf("%10d\n", defects[p.ID])
+		rowIDs = append(rowIDs, "prog:"+p.Name)
+	}
+	for _, id := range rowIDs {
+		fmt.Printf("%-28s", id)
+		for _, s := range stratNames {
+			fmt.Printf("%12.2f", byUnit[id+"/"+s].Probability())
+		}
+		fmt.Printf("%10d\n", defects[id])
 	}
 
 	fmt.Printf("\nruns: %d (%d racy); reports: %d -> %d unique defects",

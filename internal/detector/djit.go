@@ -19,6 +19,8 @@ type DJIT struct {
 	objCount  int
 	cells     []djitCell
 	cellCount int
+	addrIx    sparseIndex
+	objIx     sparseIndex
 	count     int
 	racyAddrs map[trace.Addr]bool
 	stats     statCounter
@@ -84,6 +86,8 @@ func (d *DJIT) Reset() {
 		c.atomicReads.Reset()
 	}
 	d.cellCount = 0
+	d.addrIx.reset()
+	d.objIx.reset()
 	d.count = 0
 	clear(d.racyAddrs)
 	d.stats = statCounter{}
@@ -102,6 +106,7 @@ func (d *DJIT) clockOf(g vclock.TID) *vclock.VC {
 }
 
 func (d *DJIT) objClock(o trace.ObjID) *vclock.VC {
+	o = trace.ObjID(d.objIx.local(uint64(o)))
 	for int(o) >= len(d.objClocks) {
 		d.objClocks = append(d.objClocks, nil)
 	}
@@ -115,6 +120,7 @@ func (d *DJIT) objClock(o trace.ObjID) *vclock.VC {
 // cell returns the shadow cell for a. The pointer is only valid until
 // the next cell call.
 func (d *DJIT) cell(a trace.Addr) *djitCell {
+	a = trace.Addr(d.addrIx.local(uint64(a)))
 	for int(a) >= len(d.cells) {
 		d.cells = append(d.cells, djitCell{})
 	}

@@ -19,6 +19,8 @@ type Epoch struct {
 	objCount  int
 	cells     []epochCell
 	cellCount int
+	addrIx    sparseIndex
+	objIx     sparseIndex
 	count     int
 	racyAddrs map[trace.Addr]bool
 	stats     statCounter
@@ -88,6 +90,8 @@ func (e *Epoch) Reset() {
 		c.atomicReads.ReleaseTo(e.pool)
 	}
 	e.cellCount = 0
+	e.addrIx.reset()
+	e.objIx.reset()
 	e.count = 0
 	clear(e.racyAddrs)
 	e.stats = statCounter{}
@@ -106,6 +110,7 @@ func (e *Epoch) clockOf(g vclock.TID) *vclock.VC {
 }
 
 func (e *Epoch) objClock(o trace.ObjID) *vclock.VC {
+	o = trace.ObjID(e.objIx.local(uint64(o)))
 	for int(o) >= len(e.objClocks) {
 		e.objClocks = append(e.objClocks, nil)
 	}
@@ -119,6 +124,7 @@ func (e *Epoch) objClock(o trace.ObjID) *vclock.VC {
 // cell returns the shadow cell for a, initializing it on first touch.
 // The pointer is only valid until the next cell call.
 func (e *Epoch) cell(a trace.Addr) *epochCell {
+	a = trace.Addr(e.addrIx.local(uint64(a)))
 	for int(a) >= len(e.cells) {
 		e.cells = append(e.cells, epochCell{})
 	}

@@ -58,6 +58,7 @@ type Eraser struct {
 	locks     *lockTracker
 	cells     []eraserCell
 	cellCount int
+	addrIx    sparseIndex
 	races     []report.Race
 	stats     statCounter
 }
@@ -75,6 +76,7 @@ func (e *Eraser) Reset() {
 		e.cells[i] = eraserCell{}
 	}
 	e.cellCount = 0
+	e.addrIx.reset()
 	e.locks.reset()
 	e.races = e.races[:0]
 	e.stats = statCounter{}
@@ -96,6 +98,7 @@ func (e *Eraser) RaceCount() int { return len(e.races) }
 
 // CellState exposes a cell's state machine position, for tests.
 func (e *Eraser) CellState(a trace.Addr) string {
+	a = trace.Addr(e.addrIx.local(uint64(a)))
 	if int(a) < len(e.cells) && e.cells[a].seen {
 		return e.cells[a].state.String()
 	}
@@ -113,10 +116,11 @@ func (e *Eraser) HandleEvent(ev trace.Event) {
 		// accesses, by the lockset algorithm.
 		return
 	}
-	for int(ev.Addr) >= len(e.cells) {
+	idx := trace.Addr(e.addrIx.local(uint64(ev.Addr)))
+	for int(idx) >= len(e.cells) {
 		e.cells = append(e.cells, eraserCell{})
 	}
-	c := &e.cells[ev.Addr]
+	c := &e.cells[idx]
 	if !c.seen {
 		c.seen = true
 		e.cellCount++

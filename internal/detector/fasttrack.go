@@ -61,6 +61,8 @@ type FastTrack struct {
 	objCount  int
 	cells     []ftCell
 	cellCount int
+	addrIx    sparseIndex
+	objIx     sparseIndex
 	locks     *lockTracker
 	races     []report.Race
 	stats     statCounter
@@ -118,6 +120,8 @@ func (ft *FastTrack) Reset() {
 		c.reads = c.reads[:0]
 	}
 	ft.cellCount = 0
+	ft.addrIx.reset()
+	ft.objIx.reset()
 	ft.locks.reset()
 	ft.races = ft.races[:0]
 	ft.stats = statCounter{}
@@ -138,6 +142,7 @@ func (ft *FastTrack) clockOf(g vclock.TID) *vclock.VC {
 }
 
 func (ft *FastTrack) objClock(o trace.ObjID) *vclock.VC {
+	o = trace.ObjID(ft.objIx.local(uint64(o)))
 	for int(o) >= len(ft.objClocks) {
 		ft.objClocks = append(ft.objClocks, nil)
 	}
@@ -151,6 +156,7 @@ func (ft *FastTrack) objClock(o trace.ObjID) *vclock.VC {
 // cell returns the shadow cell for a. The returned pointer is only
 // valid until the next cell call (growth may move the backing array).
 func (ft *FastTrack) cell(a trace.Addr) *ftCell {
+	a = trace.Addr(ft.addrIx.local(uint64(a)))
 	for int(a) >= len(ft.cells) {
 		ft.cells = append(ft.cells, ftCell{})
 	}

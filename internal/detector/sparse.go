@@ -1,0 +1,43 @@
+package detector
+
+import "gorace/internal/trace"
+
+// sparseIndex maps the scheduler's stable identities (63-bit hashes
+// with trace.StableBit set, see sched.G.StableIDs) onto small dense
+// indices, so detectors can keep their shadow state in the same dense
+// slices they use for default-mode addresses. Default-mode identities
+// pass through untouched on a branch, keeping the pattern-corpus hot
+// path map-free; a run is either entirely dense or entirely stable, so
+// the two ranges never mix within one run.
+//
+// The dense index assigned to a given stable identity is first-touch
+// (run-local, schedule-dependent) — that is fine because it never
+// leaves the detector: reports and racy-address sets always carry the
+// original event identity.
+type sparseIndex struct {
+	m    map[uint64]uint64
+	next uint64
+}
+
+// local returns the dense index for v, assigning one on first touch.
+func (si *sparseIndex) local(v uint64) uint64 {
+	if v&trace.StableBit == 0 {
+		return v
+	}
+	l, ok := si.m[v]
+	if !ok {
+		if si.m == nil {
+			si.m = make(map[uint64]uint64)
+		}
+		si.next++
+		l = si.next
+		si.m[v] = l
+	}
+	return l
+}
+
+// reset forgets all assignments, keeping the map's capacity.
+func (si *sparseIndex) reset() {
+	clear(si.m)
+	si.next = 0
+}

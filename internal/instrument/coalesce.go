@@ -1,0 +1,154 @@
+package instrument
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// coalescePlan is one cell's treatment inside a run: accesses go
+// through temp, with a single trailing store if the run writes it.
+type coalescePlan struct {
+	v        *types.Var
+	temp     string
+	needLoad bool
+}
+
+// coalesceRun is a maximal sequence of simple statements emitted as
+// one unit; plans list the cells whose accesses coalesce within it.
+type coalesceRun struct {
+	stmts []ast.Stmt
+	plans []coalescePlan
+}
+
+// planRuns partitions a statement list into runs. Simple statements
+// (straight-line assignments and ++/-- over identifiers, no calls or
+// channel/container operations) form runs; anything else is a run of
+// its own with no coalescing.
+func (em *emitter) planRuns(list []ast.Stmt) []coalesceRun {
+	var runs []coalesceRun
+	var cur []ast.Stmt
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		runs = append(runs, coalesceRun{stmts: cur, plans: em.planCells(cur)})
+		cur = nil
+	}
+	for _, s := range list {
+		if em.simpleStmt(s) {
+			cur = append(cur, s)
+			continue
+		}
+		flush()
+		runs = append(runs, coalesceRun{stmts: []ast.Stmt{s}})
+	}
+	flush()
+	return runs
+}
+
+// simpleStmt reports whether s is a pure straight-line statement over
+// identifiers — the only shape the coalescer reorders.
+func (em *emitter) simpleStmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if s.Tok == token.DEFINE {
+			return false
+		}
+		for _, l := range s.Lhs {
+			if _, ok := l.(*ast.Ident); !ok {
+				return false
+			}
+		}
+		for _, r := range s.Rhs {
+			if !em.pureExpr(r) {
+				return false
+			}
+		}
+		return true
+	case *ast.IncDecStmt:
+		_, ok := s.X.(*ast.Ident)
+		return ok
+	}
+	return false
+}
+
+// pureExpr reports whether e reads only identifiers and literals.
+func (em *emitter) pureExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.BasicLit:
+		return true
+	case *ast.ParenExpr:
+		return em.pureExpr(e.X)
+	case *ast.BinaryExpr:
+		return em.pureExpr(e.X) && em.pureExpr(e.Y)
+	case *ast.UnaryExpr:
+		return e.Op != token.ARROW && e.Op != token.AND && em.pureExpr(e.X)
+	}
+	return false
+}
+
+// cellAccess is one ordered access to a cell within a run.
+type cellAccess struct {
+	v    *types.Var
+	read bool
+}
+
+// planCells decides which cells coalesce in a run: any cell touched
+// twice or more gets a temp; needLoad when its first access reads.
+func (em *emitter) planCells(stmts []ast.Stmt) []coalescePlan {
+	var accs []cellAccess
+	note := func(id *ast.Ident, read bool) {
+		v := em.an.varOf(id)
+		if v != nil && em.an.kinds[v] == kCell {
+			accs = append(accs, cellAccess{v: v, read: read})
+		}
+	}
+	var reads func(e ast.Expr)
+	reads = func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				note(id, true)
+			}
+			return true
+		})
+	}
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			for _, r := range s.Rhs {
+				reads(r)
+			}
+			for _, l := range s.Lhs {
+				id := l.(*ast.Ident)
+				if s.Tok != token.ASSIGN {
+					note(id, true) // compound ops read before writing
+				}
+				note(id, false)
+			}
+		case *ast.IncDecStmt:
+			id := s.X.(*ast.Ident)
+			note(id, true)
+			note(id, false)
+		}
+	}
+
+	counts := map[*types.Var]int{}
+	first := map[*types.Var]bool{}
+	var order []*types.Var
+	for _, a := range accs {
+		if counts[a.v] == 0 {
+			first[a.v] = a.read
+			order = append(order, a.v)
+		}
+		counts[a.v]++
+	}
+	var plans []coalescePlan
+	for _, v := range order {
+		if counts[v] < 2 {
+			continue
+		}
+		plans = append(plans, coalescePlan{v: v, temp: em.tmp("c"), needLoad: first[v]})
+	}
+	return plans
+}

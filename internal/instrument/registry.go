@@ -1,0 +1,64 @@
+package instrument
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gorace/internal/sched"
+)
+
+// Program is one instrumented program: a racy variant and (optionally)
+// its fixed counterpart, both runnable under the modeled scheduler.
+type Program struct {
+	// Name identifies the program in CLIs, job specs, and reports.
+	Name string
+	// Desc is a one-line description of the bug shape.
+	Desc string
+	// Source names where the subject code came from (package path or
+	// real-world provenance).
+	Source string
+	// Racy is the instrumented buggy entry point.
+	Racy func(*sched.G)
+	// Fixed is the instrumented corrected entry point, or nil.
+	Fixed func(*sched.G)
+}
+
+var (
+	progMu   sync.Mutex
+	programs = map[string]Program{}
+)
+
+// MustRegister adds a program to the global registry; duplicate or
+// anonymous registrations panic (they indicate a generation bug).
+func MustRegister(p Program) {
+	progMu.Lock()
+	defer progMu.Unlock()
+	if p.Name == "" || p.Racy == nil {
+		panic("instrument: program needs a name and a racy entry")
+	}
+	if _, dup := programs[p.Name]; dup {
+		panic(fmt.Sprintf("instrument: duplicate program %q", p.Name))
+	}
+	programs[p.Name] = p
+}
+
+// Programs returns all registered programs sorted by name.
+func Programs() []Program {
+	progMu.Lock()
+	defer progMu.Unlock()
+	out := make([]Program, 0, len(programs))
+	for _, p := range programs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ProgramByName looks a program up by name.
+func ProgramByName(name string) (Program, bool) {
+	progMu.Lock()
+	defer progMu.Unlock()
+	p, ok := programs[name]
+	return p, ok
+}

@@ -1,0 +1,935 @@
+package instrument
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// stmt emits one statement. Statements whose subtree touches nothing
+// instrumented pass through verbatim.
+func (em *emitter) stmt(s ast.Stmt) {
+	// Functions with named results have them lowered out of the
+	// signature, so any return must be rewritten even in otherwise
+	// plain code.
+	forced := len(em.curResults) > 0 && containsReturn(s)
+	if !forced && !em.interesting(s) {
+		for _, ln := range strings.Split(em.origPrint(s), "\n") {
+			em.line("%s", ln)
+		}
+		return
+	}
+	prevReplaced := em.replaced
+	em.replaced = map[ast.Expr]string{}
+	defer func() { em.replaced = prevReplaced }()
+
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		em.assign(s)
+	case *ast.DeclStmt:
+		em.declStmt(s)
+	case *ast.IncDecStmt:
+		em.incDec(s)
+	case *ast.ExprStmt:
+		em.exprStmt(s)
+	case *ast.SendStmt:
+		em.hoistInner(s.Chan, false)
+		em.hoistInner(s.Value, false)
+		em.line("%s.Send(g, %s)", em.exprStr(s.Chan), em.exprStr(s.Value))
+	case *ast.GoStmt:
+		em.goStmt(s)
+	case *ast.DeferStmt:
+		em.deferStmt(s)
+	case *ast.ReturnStmt:
+		em.returnStmt(s)
+	case *ast.IfStmt:
+		em.ifStmt(s)
+	case *ast.ForStmt:
+		em.forStmt(s)
+	case *ast.RangeStmt:
+		em.rangeStmt(s)
+	case *ast.SwitchStmt:
+		em.switchStmt(s)
+	case *ast.SelectStmt:
+		em.selectStmt(s)
+	case *ast.BlockStmt:
+		em.block(s)
+	case *ast.LabeledStmt:
+		em.line("%s:", s.Label.Name)
+		em.stmt(s.Stmt)
+	case *ast.BranchStmt:
+		em.line("%s", em.origPrint(s))
+	case *ast.EmptyStmt:
+	default:
+		em.fail(s.Pos(), "unsupported statement %T", s)
+	}
+}
+
+// exprStmt emits a top-level expression statement.
+func (em *emitter) exprStmt(s *ast.ExprStmt) {
+	if u, ok := s.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		em.hoistInner(u.X, false)
+		em.line("%s.Recv(g)", em.exprStr(u.X))
+		return
+	}
+	em.hoistInner(s.X, true)
+	em.line("%s", em.exprStr(s.X))
+}
+
+// assign emits an assignment, dispatching over the supported shapes.
+func (em *emitter) assign(s *ast.AssignStmt) {
+	// v := <-ch / v, ok := <-ch
+	if len(s.Rhs) == 1 {
+		if u, ok := s.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			em.recvAssign(s, u.X)
+			return
+		}
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+			if em.makeAssign(s, call) {
+				return
+			}
+			if em.appendAssign(s, call) {
+				return
+			}
+		}
+		if ix, ok := s.Rhs[0].(*ast.IndexExpr); ok && em.exprKind(ix.X) == kMap {
+			em.mapReadAssign(s, ix)
+			return
+		}
+		if sl, ok := s.Rhs[0].(*ast.SliceExpr); ok && em.exprKind(sl.X) == kSlice {
+			em.truncateAssign(s, sl)
+			return
+		}
+	}
+
+	// Compound ops: x op= e.
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		em.opAssign(s)
+		return
+	}
+
+	// Hoist receives/map-reads buried in RHS expressions.
+	for _, r := range s.Rhs {
+		em.hoistInner(r, false)
+	}
+
+	if s.Tok == token.DEFINE {
+		em.define(s)
+		return
+	}
+	em.plainAssign(s)
+}
+
+// recvAssign emits `v[, ok] :=/= <-ch`.
+func (em *emitter) recvAssign(s *ast.AssignStmt, ch ast.Expr) {
+	em.hoistInner(ch, false)
+	chs := em.exprStr(ch)
+	if s.Tok == token.DEFINE {
+		names := make([]string, len(s.Lhs))
+		for i, l := range s.Lhs {
+			id := l.(*ast.Ident)
+			names[i] = id.Name
+			if em.an.kindOf(id) != kPlain && id.Name != "_" {
+				names[i] = em.tmp("r")
+			}
+		}
+		if len(names) == 1 {
+			names = append(names, "_")
+		}
+		em.line("%s := %s.Recv(g)", strings.Join(names, ", "), chs)
+		for i, l := range s.Lhs {
+			id := l.(*ast.Ident)
+			if v := em.an.varOf(id); v != nil && em.an.kinds[v] != kPlain {
+				em.promoteLocal(v, id.Name, names[i])
+			}
+		}
+		return
+	}
+	// Assignment to existing locations: receive into temps, then store.
+	tv, tok := em.tmp("v"), "_"
+	if len(s.Lhs) == 2 {
+		tok = em.tmp("ok")
+	}
+	em.line("%s, %s := %s.Recv(g)", tv, tok, chs)
+	em.storeTo(s.Lhs[0], tv)
+	if len(s.Lhs) == 2 {
+		em.storeTo(s.Lhs[1], tok)
+	}
+}
+
+// makeAssign handles `x := make(...)` / `x = make(...)` for modeled
+// kinds; returns false if the make is plain (or not a make).
+func (em *emitter) makeAssign(s *ast.AssignStmt, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if len(s.Lhs) != 1 {
+		return false
+	}
+	lhs, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	t := em.an.info.Types[call.Args[0]].Type
+	switch u := t.Underlying().(type) {
+	case *types.Chan:
+		capStr := "0"
+		if len(call.Args) > 1 {
+			capStr = em.exprStr(call.Args[1])
+		}
+		em.defineOrAssign(s.Tok, lhs.Name,
+			fmt.Sprintf("sched.NewChan[%s](g, %q, %s)", em.goType(u.Elem()), lhs.Name, capStr))
+		return true
+	case *types.Map:
+		if em.an.kindOf(lhs) != kMap {
+			return false
+		}
+		em.defineOrAssign(s.Tok, lhs.Name,
+			fmt.Sprintf("sched.NewMap[%s, %s](g, %q)", em.goType(u.Key()), em.goType(u.Elem()), lhs.Name))
+		return true
+	case *types.Slice:
+		if em.an.kindOf(lhs) != kSlice {
+			return false
+		}
+		lenStr := "0"
+		if len(call.Args) > 1 {
+			lenStr = em.exprStr(call.Args[1])
+		}
+		em.defineOrAssign(s.Tok, lhs.Name,
+			fmt.Sprintf("sched.NewSlice[%s](g, %q, %s)", em.goType(u.Elem()), lhs.Name, lenStr))
+		return true
+	}
+	return false
+}
+
+func (em *emitter) defineOrAssign(tok token.Token, name, rhs string) {
+	op := "="
+	if tok == token.DEFINE {
+		op = ":="
+	}
+	em.line("%s %s %s", name, op, rhs)
+}
+
+// appendAssign handles `s = append(s, ...)` on modeled slices;
+// returns false for plain appends.
+func (em *emitter) appendAssign(s *ast.AssignStmt, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	base := em.baseObj(call.Args[0])
+	if base == "" || em.exprKind(call.Args[0]) != kSlice {
+		return false
+	}
+	if s.Tok == token.DEFINE {
+		em.fail(s.Pos(), "append on a modeled slice must reassign the same variable")
+	}
+	lhsStr := em.baseObj(s.Lhs[0])
+	if lhsStr != base {
+		em.fail(s.Pos(), "append on a modeled slice must reassign the same variable")
+	}
+	if call.Ellipsis != token.NoPos {
+		src := call.Args[1]
+		var vals string
+		if em.exprKind(src) == kSlice {
+			vals = em.baseObjExpr(src) + ".Values(g)"
+		} else {
+			vals = em.exprStr(src)
+		}
+		tv := em.tmp("v")
+		em.line("for _, %s := range %s {", tv, vals)
+		em.ind++
+		em.line("%s.Append(g, %s)", base, tv)
+		em.ind--
+		em.line("}")
+		return true
+	}
+	for _, a := range call.Args[1:] {
+		em.hoistInner(a, false)
+		em.line("%s.Append(g, %s)", base, em.exprStr(a))
+	}
+	return true
+}
+
+// truncateAssign handles `s = s[:n]` on modeled slices.
+func (em *emitter) truncateAssign(s *ast.AssignStmt, sl *ast.SliceExpr) {
+	base := em.baseObj(sl.X)
+	if base == "" || len(s.Lhs) != 1 || em.baseObj(s.Lhs[0]) != base {
+		em.fail(s.Pos(), "slice expression on a modeled slice only supported as s = s[:n]")
+	}
+	if sl.Low != nil || sl.High == nil || sl.Max != nil {
+		em.fail(s.Pos(), "slice expression on a modeled slice only supported as s = s[:n]")
+	}
+	em.hoistInner(sl.High, false)
+	em.line("%s.Truncate(g, %s)", base, em.exprStr(sl.High))
+}
+
+// mapReadAssign emits `v[, ok] :=/= m[k]`.
+func (em *emitter) mapReadAssign(s *ast.AssignStmt, ix *ast.IndexExpr) {
+	em.hoistInner(ix.Index, false)
+	get := fmt.Sprintf("%s.Get(g, %s)", em.baseObjExpr(ix.X), em.exprStr(ix.Index))
+	if s.Tok == token.DEFINE {
+		names := make([]string, len(s.Lhs))
+		for i, l := range s.Lhs {
+			names[i] = l.(*ast.Ident).Name
+		}
+		if len(names) == 1 {
+			names = append(names, "_")
+		}
+		em.line("%s := %s", strings.Join(names, ", "), get)
+		for _, l := range s.Lhs {
+			id := l.(*ast.Ident)
+			if v := em.an.varOf(id); v != nil && em.an.kinds[v] != kPlain {
+				em.fail(s.Pos(), "shared variable %s cannot be bound by map read directly", id.Name)
+			}
+		}
+		return
+	}
+	tv, tok := em.tmp("v"), "_"
+	if len(s.Lhs) == 2 {
+		tok = em.tmp("ok")
+	}
+	em.line("%s, %s := %s", tv, tok, get)
+	em.storeTo(s.Lhs[0], tv)
+	if len(s.Lhs) == 2 {
+		em.storeTo(s.Lhs[1], tok)
+	}
+}
+
+// opAssign emits `lhs op= rhs` for instrumented targets.
+func (em *emitter) opAssign(s *ast.AssignStmt) {
+	op := strings.TrimSuffix(s.Tok.String(), "=")
+	lhs, rhs := s.Lhs[0], s.Rhs[0]
+	em.hoistInner(rhs, false)
+	rs := em.exprStr(rhs)
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		v := em.an.varOf(l)
+		switch em.an.kindOf(l) {
+		case kPlain:
+			em.line("%s %s= %s", l.Name, op, rs)
+		case kCell:
+			if t, ok := em.subst[v]; ok {
+				em.substDirty[v] = true
+				em.line("%s = %s %s (%s)", t, t, op, rs)
+				return
+			}
+			em.line("%s.Store(g, %s.Load(g) %s (%s))", l.Name, l.Name, op, rs)
+		case kAtomic:
+			em.line("%s.PlainStore(g, %s.PlainLoad(g) %s (%s))", l.Name, l.Name, op, rs)
+		default:
+			em.fail(s.Pos(), "compound assignment unsupported for this kind")
+		}
+	case *ast.IndexExpr:
+		switch em.exprKind(l.X) {
+		case kMap:
+			b := em.baseObjExpr(l.X)
+			k := em.tmp("k")
+			em.line("%s := %s", k, em.exprStr(l.Index))
+			tv := em.tmp("v")
+			em.line("%s, _ := %s.Get(g, %s)", tv, b, k)
+			em.line("%s.Put(g, %s, %s %s (%s))", b, k, tv, op, rs)
+		case kSlice:
+			b := em.baseObjExpr(l.X)
+			i := em.tmp("i")
+			em.line("%s := %s", i, em.exprStr(l.Index))
+			em.line("%s.Set(g, %s, %s.Get(g, %s) %s (%s))", b, i, b, i, op, rs)
+		default:
+			em.line("%s %s= %s", em.exprStr(l), op, rs)
+		}
+	case *ast.SelectorExpr:
+		if fk, cell := em.cellField(l); cell && fk == kCell {
+			em.line("%s.%s.Store(g, %s.%s.Load(g) %s (%s))",
+				em.exprStr(l.X), l.Sel.Name, em.exprStr(l.X), l.Sel.Name, op, rs)
+			return
+		}
+		em.line("%s %s= %s", em.exprStr(l), op, rs)
+	case *ast.StarExpr:
+		if em.isCellPtr(l.X) {
+			p := em.exprStr(l.X)
+			em.line("%s.Store(g, %s.Load(g) %s (%s))", p, p, op, rs)
+			return
+		}
+		em.line("*%s %s= %s", em.exprStr(l.X), op, rs)
+	default:
+		em.fail(s.Pos(), "unsupported compound assignment target %T", lhs)
+	}
+}
+
+// define emits `lhs... := rhs...`, promoting shared targets to cells.
+func (em *emitter) define(s *ast.AssignStmt) {
+	// Multi-value call: bind everything to temps first.
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		temps := make([]string, len(s.Lhs))
+		for i := range temps {
+			temps[i] = em.tmp("t")
+		}
+		em.line("%s := %s", strings.Join(temps, ", "), em.exprStr(s.Rhs[0]))
+		for i, l := range s.Lhs {
+			em.defineOne(l.(*ast.Ident), nil, temps[i])
+		}
+		return
+	}
+	if len(s.Lhs) != len(s.Rhs) {
+		em.fail(s.Pos(), "unbalanced short declaration unsupported")
+	}
+	// Evaluate all RHS first (Go semantics), then bind.
+	anyShared := false
+	for _, l := range s.Lhs {
+		if id, ok := l.(*ast.Ident); ok && em.an.kindOf(id) != kPlain {
+			anyShared = true
+		}
+	}
+	if !anyShared && len(s.Lhs) == 1 {
+		id := s.Lhs[0].(*ast.Ident)
+		em.line("%s := %s", id.Name, em.exprStr(s.Rhs[0]))
+		return
+	}
+	for i, l := range s.Lhs {
+		em.defineOne(l.(*ast.Ident), s.Rhs[i], "")
+	}
+}
+
+// defineOne declares one variable, from either an expression or an
+// already-evaluated temp.
+func (em *emitter) defineOne(id *ast.Ident, rhs ast.Expr, temp string) {
+	v := em.an.varOf(id)
+	if id.Name == "_" || v == nil {
+		val := temp
+		if rhs != nil {
+			val = em.exprStr(rhs)
+		}
+		em.line("_ = %s", val)
+		return
+	}
+	kind := em.an.kinds[v]
+	val := temp
+	if rhs != nil {
+		val = em.exprStr(rhs)
+	}
+	switch kind {
+	case kPlain:
+		em.line("%s := %s", id.Name, val)
+	case kCell:
+		em.line("%s := sched.NewVarOf[%s](g, %q, %s)", id.Name, em.goType(v.Type()), id.Name, val)
+	case kSlice:
+		if rhs != nil {
+			if cl, ok := rhs.(*ast.CompositeLit); ok {
+				em.emitCellInit(id.Name, v, kSlice, cl, token.DEFINE)
+				return
+			}
+		}
+		elem := v.Type().Underlying().(*types.Slice).Elem()
+		em.line("%s := sched.NewSliceOf[%s](g, %q, %s)", id.Name, em.goType(elem), id.Name, val)
+	case kMap:
+		if rhs != nil {
+			if cl, ok := rhs.(*ast.CompositeLit); ok {
+				em.emitCellInit(id.Name, v, kMap, cl, token.DEFINE)
+				return
+			}
+		}
+		em.fail(id.Pos(), "shared map %s: only make/literal initialization supported", id.Name)
+	default:
+		em.fail(id.Pos(), "short declaration unsupported for this kind (declare with var or make)")
+	}
+}
+
+// plainAssign emits `lhs... = rhs...` (token.ASSIGN).
+func (em *emitter) plainAssign(s *ast.AssignStmt) {
+	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+		em.assignOne(s.Lhs[0], s.Rhs[0])
+		return
+	}
+	if len(s.Rhs) == 1 {
+		// Multi-value call into existing locations.
+		temps := make([]string, len(s.Lhs))
+		for i := range temps {
+			temps[i] = em.tmp("t")
+		}
+		em.line("%s := %s", strings.Join(temps, ", "), em.exprStr(s.Rhs[0]))
+		for i, l := range s.Lhs {
+			em.storeTo(l, temps[i])
+		}
+		return
+	}
+	// Parallel assignment: evaluate RHS into temps, then store.
+	temps := make([]string, len(s.Rhs))
+	for i, r := range s.Rhs {
+		temps[i] = em.tmp("t")
+		em.line("%s := %s", temps[i], em.exprStr(r))
+	}
+	for i, l := range s.Lhs {
+		em.storeTo(l, temps[i])
+	}
+}
+
+// assignOne emits a single `lhs = rhs`.
+func (em *emitter) assignOne(lhs, rhs ast.Expr) {
+	switch l := lhs.(type) {
+	case *ast.IndexExpr:
+		switch em.exprKind(l.X) {
+		case kMap:
+			em.line("%s.Put(g, %s, %s)", em.baseObjExpr(l.X), em.exprStr(l.Index), em.exprStr(rhs))
+			return
+		case kSlice:
+			em.line("%s.Set(g, %s, %s)", em.baseObjExpr(l.X), em.exprStr(l.Index), em.exprStr(rhs))
+			return
+		}
+	case *ast.SelectorExpr:
+		// s[i].f = v on a modeled slice: read-modify-write the element.
+		if ix, ok := l.X.(*ast.IndexExpr); ok && em.exprKind(ix.X) == kSlice {
+			b := em.baseObjExpr(ix.X)
+			i := em.tmp("i")
+			em.line("%s := %s", i, em.exprStr(ix.Index))
+			tv := em.tmp("e")
+			em.line("%s := %s.Get(g, %s)", tv, b, i)
+			em.line("%s.%s = %s", tv, l.Sel.Name, em.exprStr(rhs))
+			em.line("%s.Set(g, %s, %s)", b, i, tv)
+			return
+		}
+	}
+	em.storeTo(lhs, em.exprStr(rhs))
+}
+
+// storeTo emits the store of an evaluated value (as Go source text)
+// into an assignable location.
+func (em *emitter) storeTo(lhs ast.Expr, val string) {
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			em.line("_ = %s", val)
+			return
+		}
+		v := em.an.varOf(l)
+		switch em.an.kindOf(l) {
+		case kPlain:
+			em.line("%s = %s", l.Name, val)
+		case kCell:
+			if t, ok := em.subst[v]; ok {
+				em.substDirty[v] = true
+				em.line("%s = %s", t, val)
+				return
+			}
+			em.line("%s.Store(g, %s)", l.Name, val)
+		case kAtomic:
+			em.line("%s.PlainStore(g, %s)", l.Name, val)
+		case kChan, kMap, kSlice, kMutex, kRW, kWG, kOnce:
+			em.line("%s = %s", l.Name, val) // rebinding the object reference
+		}
+	case *ast.SelectorExpr:
+		if fk, cell := em.cellField(l); cell {
+			switch fk {
+			case kCell:
+				em.line("%s.%s.Store(g, %s)", em.exprStr(l.X), l.Sel.Name, val)
+			default:
+				em.fail(l.Pos(), "cannot reassign cellified field %s", l.Sel.Name)
+			}
+			return
+		}
+		em.line("%s.%s = %s", em.exprStr(l.X), l.Sel.Name, val)
+	case *ast.StarExpr:
+		if em.isCellPtr(l.X) {
+			em.line("%s.Store(g, %s)", em.exprStr(l.X), val)
+			return
+		}
+		em.line("*%s = %s", em.exprStr(l.X), val)
+	case *ast.IndexExpr:
+		switch em.exprKind(l.X) {
+		case kMap:
+			em.line("%s.Put(g, %s, %s)", em.baseObjExpr(l.X), em.exprStr(l.Index), val)
+		case kSlice:
+			em.line("%s.Set(g, %s, %s)", em.baseObjExpr(l.X), em.exprStr(l.Index), val)
+		default:
+			em.line("%s[%s] = %s", em.exprStr(l.X), em.exprStr(l.Index), val)
+		}
+	default:
+		em.fail(lhs.Pos(), "unsupported assignment target %T", lhs)
+	}
+}
+
+// declStmt emits a local var/const declaration.
+func (em *emitter) declStmt(s *ast.DeclStmt) {
+	d := s.Decl.(*ast.GenDecl)
+	if d.Tok == token.CONST {
+		em.line("%s", em.origPrint(d))
+		return
+	}
+	for _, sp := range d.Specs {
+		spec := sp.(*ast.ValueSpec)
+		for i, name := range spec.Names {
+			v := em.an.varOf(name)
+			if v == nil {
+				continue
+			}
+			var init ast.Expr
+			if i < len(spec.Values) {
+				init = spec.Values[i]
+			}
+			em.emitCellInit(name.Name, v, em.an.kinds[v], init, token.DEFINE)
+		}
+	}
+}
+
+// emitCellInit declares-or-assigns one variable's representation with
+// an optional initializer expression.
+func (em *emitter) emitCellInit(name string, v *types.Var, kind varKind, init ast.Expr, tok token.Token) {
+	if init != nil {
+		em.hoistInner(init, false)
+	}
+	switch kind {
+	case kPlain:
+		if tok == token.DEFINE {
+			if init != nil {
+				em.line("var %s %s = %s", name, em.goType(v.Type()), em.exprStr(init))
+			} else {
+				em.line("var %s %s", name, em.goType(v.Type()))
+			}
+		} else {
+			if init != nil {
+				em.line("%s = %s", name, em.exprStr(init))
+			}
+		}
+	case kCell:
+		if init != nil {
+			em.defineOrAssign(tok, name, fmt.Sprintf("sched.NewVarOf[%s](g, %q, %s)", em.goType(v.Type()), name, em.exprStr(init)))
+		} else {
+			em.defineOrAssign(tok, name, fmt.Sprintf("sched.NewVar[%s](g, %q)", em.goType(v.Type()), name))
+		}
+	case kAtomic:
+		em.defineOrAssign(tok, name, fmt.Sprintf("sched.NewAtomic(g, %q)", name))
+		if init != nil {
+			em.line("%s.PlainStore(g, %s)", name, em.exprStr(init))
+		}
+	case kMutex:
+		em.defineOrAssign(tok, name, fmt.Sprintf("sched.NewMutex(g, %q)", name))
+	case kRW:
+		em.defineOrAssign(tok, name, fmt.Sprintf("sched.NewRWMutex(g, %q)", name))
+	case kWG:
+		em.defineOrAssign(tok, name, fmt.Sprintf("sched.NewWaitGroup(g, %q)", name))
+	case kOnce:
+		em.defineOrAssign(tok, name, fmt.Sprintf("sched.NewOnce(g, %q)", name))
+	case kChan:
+		ct := v.Type().Underlying().(*types.Chan)
+		if init == nil {
+			if tok == token.DEFINE {
+				em.line("var %s *sched.Chan[%s]", name, em.goType(ct.Elem()))
+			}
+			return
+		}
+		call, ok := init.(*ast.CallExpr)
+		if !ok {
+			em.fail(init.Pos(), "channel initializer must be make")
+		}
+		capStr := "0"
+		if len(call.Args) > 1 {
+			capStr = em.exprStr(call.Args[1])
+		}
+		em.defineOrAssign(tok, name, fmt.Sprintf("sched.NewChan[%s](g, %q, %s)", em.goType(ct.Elem()), name, capStr))
+	case kSlice:
+		st := v.Type().Underlying().(*types.Slice)
+		switch init := init.(type) {
+		case nil:
+			em.defineOrAssign(tok, name, fmt.Sprintf("sched.NewSlice[%s](g, %q, 0)", em.goType(st.Elem()), name))
+		case *ast.CompositeLit:
+			var elems []string
+			for _, e := range init.Elts {
+				elems = append(elems, em.exprStr(e))
+			}
+			em.defineOrAssign(tok, name, fmt.Sprintf("sched.NewSliceOf[%s](g, %q, []%s{\n%s,\n})",
+				em.goType(st.Elem()), name, em.goType(st.Elem()), strings.Join(elems, ",\n")))
+		case *ast.CallExpr:
+			lenStr := "0"
+			if len(init.Args) > 1 {
+				lenStr = em.exprStr(init.Args[1])
+			}
+			em.defineOrAssign(tok, name, fmt.Sprintf("sched.NewSlice[%s](g, %q, %s)", em.goType(st.Elem()), name, lenStr))
+		default:
+			em.fail(init.Pos(), "unsupported shared slice initializer")
+		}
+	case kMap:
+		mt := v.Type().Underlying().(*types.Map)
+		em.defineOrAssign(tok, name, fmt.Sprintf("sched.NewMap[%s, %s](g, %q)", em.goType(mt.Key()), em.goType(mt.Elem()), name))
+		if cl, ok := init.(*ast.CompositeLit); ok {
+			for _, e := range cl.Elts {
+				kv := e.(*ast.KeyValueExpr)
+				em.line("%s.Put(g, %s, %s)", name, em.exprStr(kv.Key), em.exprStr(kv.Value))
+			}
+		} else if init != nil {
+			if _, isMake := init.(*ast.CallExpr); !isMake {
+				em.fail(init.Pos(), "unsupported shared map initializer")
+			}
+		}
+	}
+}
+
+// incDec emits x++ / x--.
+func (em *emitter) incDec(s *ast.IncDecStmt) {
+	op := "+"
+	if s.Tok == token.DEC {
+		op = "-"
+	}
+	switch l := s.X.(type) {
+	case *ast.Ident:
+		v := em.an.varOf(l)
+		switch em.an.kindOf(l) {
+		case kPlain:
+			em.line("%s%s", l.Name, s.Tok)
+		case kCell:
+			if t, ok := em.subst[v]; ok {
+				em.substDirty[v] = true
+				em.line("%s%s", t, s.Tok)
+				return
+			}
+			em.line("%s.Store(g, %s.Load(g) %s 1)", l.Name, l.Name, op)
+		case kAtomic:
+			em.line("%s.PlainStore(g, %s.PlainLoad(g) %s 1)", l.Name, l.Name, op)
+		default:
+			em.fail(s.Pos(), "unsupported ++/-- target kind")
+		}
+	case *ast.SelectorExpr:
+		if fk, cell := em.cellField(l); cell && fk == kCell {
+			em.line("%s.%s.Store(g, %s.%s.Load(g) %s 1)", em.exprStr(l.X), l.Sel.Name, em.exprStr(l.X), l.Sel.Name, op)
+			return
+		}
+		em.line("%s%s", em.exprStr(l), s.Tok)
+	case *ast.IndexExpr:
+		switch em.exprKind(l.X) {
+		case kMap:
+			b := em.baseObjExpr(l.X)
+			k := em.tmp("k")
+			em.line("%s := %s", k, em.exprStr(l.Index))
+			tv := em.tmp("v")
+			em.line("%s, _ := %s.Get(g, %s)", tv, b, k)
+			em.line("%s.Put(g, %s, %s%s1)", b, k, tv, op)
+		case kSlice:
+			b := em.baseObjExpr(l.X)
+			i := em.tmp("i")
+			em.line("%s := %s", i, em.exprStr(l.Index))
+			em.line("%s.Set(g, %s, %s.Get(g, %s)%s1)", b, i, b, i, op)
+		default:
+			em.line("%s%s", em.exprStr(l), s.Tok)
+		}
+	default:
+		em.fail(s.Pos(), "unsupported ++/-- target %T", s.X)
+	}
+}
+
+// goStmt emits a goroutine spawn: arguments are hoisted to temps
+// (evaluated at the go statement, as in Go), then the call runs inside
+// a modeled goroutine.
+func (em *emitter) goStmt(s *ast.GoStmt) {
+	call := s.Call
+	pos := em.an.fset.Position(s.Pos())
+	file := filepath.Base(pos.Filename)
+
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		name = fmt.Sprintf("%s.func%d", em.curFunc, em.anonN[em.curFunc]+1)
+		em.anonN[em.curFunc]++
+	}
+
+	temps := make([]string, len(call.Args))
+	for i, a := range call.Args {
+		em.hoistInner(a, false)
+		temps[i] = em.tmp("a")
+		em.line("%s := %s", temps[i], em.exprStr(a))
+	}
+
+	em.line("g.Go(%q, func(g *sched.G) {", name)
+	em.ind++
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		em.line("g.Push(%q, %q, %d)", em.an.pkg.Name()+"."+name, file, pos.Line)
+		em.line("defer g.Pop()")
+		// Bind parameters to the hoisted argument temps, then inline
+		// the body.
+		sig := em.an.info.Types[lit].Type.(*types.Signature)
+		idx := 0
+		for _, f := range lit.Type.Params.List {
+			for _, pn := range f.Names {
+				if pn.Name == "_" {
+					em.line("_ = %s", temps[idx])
+					idx++
+					continue
+				}
+				em.line("%s := %s", pn.Name, temps[idx])
+				pv, _ := em.an.info.Defs[pn].(*types.Var)
+				if pv != nil && em.an.kinds[pv] != kPlain {
+					em.promoteLocal(pv, pn.Name, pn.Name)
+				}
+				idx++
+			}
+		}
+		_ = sig
+		prev := em.curFunc
+		em.curFunc = name
+		em.stmtList(lit.Body.List)
+		em.curFunc = prev
+	} else {
+		em.line("%s", em.callWith(call, temps))
+	}
+	em.ind--
+	em.line("})")
+}
+
+// callWith renders call with pre-evaluated argument temps.
+func (em *emitter) callWith(call *ast.CallExpr, temps []string) string {
+	saved := em.replaced
+	em.replaced = map[ast.Expr]string{}
+	for i, a := range call.Args {
+		em.replaced[a] = temps[i]
+	}
+	for k, v := range saved {
+		em.replaced[k] = v
+	}
+	out := em.exprStr(call)
+	em.replaced = saved
+	return out
+}
+
+// deferStmt emits a defer of the rewritten call.
+func (em *emitter) deferStmt(s *ast.DeferStmt) {
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok && len(s.Call.Args) == 0 {
+		em.line("defer func() {")
+		em.ind++
+		em.stmtList(lit.Body.List)
+		em.ind--
+		em.line("}()")
+		return
+	}
+	em.line("defer %s", em.exprStr(s.Call))
+}
+
+// returnStmt emits a return, expanding bare returns of named results.
+func (em *emitter) returnStmt(s *ast.ReturnStmt) {
+	if len(s.Results) == 0 {
+		if len(em.curResults) == 0 {
+			em.line("return")
+			return
+		}
+		var vals []string
+		for _, r := range em.curResults {
+			switch r.kind {
+			case kCell:
+				vals = append(vals, fmt.Sprintf("%s.Load(g)", r.name))
+			default:
+				vals = append(vals, r.name)
+			}
+		}
+		em.line("return %s", strings.Join(vals, ", "))
+		return
+	}
+	for _, r := range s.Results {
+		em.hoistInner(r, false)
+	}
+	var vals []string
+	for _, r := range s.Results {
+		vals = append(vals, em.exprStr(r))
+	}
+	em.line("return %s", strings.Join(vals, ", "))
+}
+
+// ifStmt emits an if/else chain; inits and hoists go in a wrapper
+// block so their names scope correctly.
+func (em *emitter) ifStmt(s *ast.IfStmt) {
+	needsWrap := s.Init != nil || em.needsHoist(s.Cond)
+	if needsWrap {
+		em.line("{")
+		em.ind++
+		if s.Init != nil {
+			em.stmt(s.Init)
+		}
+		em.hoistInner(s.Cond, false)
+	}
+	em.line("if %s {", em.exprStr(s.Cond))
+	em.ind++
+	em.stmtList(s.Body.List)
+	em.ind--
+	if s.Else != nil {
+		em.line("} else {")
+		em.ind++
+		if eb, ok := s.Else.(*ast.BlockStmt); ok {
+			em.stmtList(eb.List)
+		} else {
+			em.stmt(s.Else)
+		}
+		em.ind--
+	}
+	em.line("}")
+	if needsWrap {
+		em.ind--
+		em.line("}")
+	}
+}
+
+// forStmt emits a for loop. An instrumented post clause moves to the
+// end of the body (rejected if the body contains a continue).
+func (em *emitter) forStmt(s *ast.ForStmt) {
+	if s.Cond != nil && em.needsHoist(s.Cond) {
+		em.fail(s.Cond.Pos(), "channel/map operations in a loop condition are unsupported")
+	}
+	postInBody := s.Post != nil && em.interesting(s.Post)
+	if postInBody && hasLoopContinue(s.Body) {
+		em.fail(s.Post.Pos(), "continue with an instrumented loop post statement is unsupported")
+	}
+	wrap := s.Init != nil && em.interesting(s.Init)
+	if wrap {
+		em.line("{")
+		em.ind++
+		em.stmt(s.Init)
+	}
+	header := "for "
+	if !wrap && s.Init != nil {
+		header += em.origPrint(s.Init) + "; "
+	} else if s.Post != nil && !postInBody {
+		header += "; "
+	}
+	if s.Cond != nil {
+		header += em.exprStr(s.Cond)
+	}
+	if s.Post != nil && !postInBody {
+		header += "; " + em.origPrint(s.Post)
+	} else if !wrap && s.Init != nil {
+		header += ";"
+	}
+	em.line("%s {", strings.TrimRight(header, " "))
+	em.ind++
+	em.stmtList(s.Body.List)
+	if postInBody {
+		em.stmt(s.Post)
+	}
+	em.ind--
+	em.line("}")
+	if wrap {
+		em.ind--
+		em.line("}")
+	}
+}
+
+// hasLoopContinue reports whether body contains a continue binding to
+// this loop (ignores nested loops and function literals).
+func hasLoopContinue(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false
+		case *ast.BranchStmt:
+			if n.Tok == token.CONTINUE {
+				found = true
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return found
+}

@@ -1,0 +1,53 @@
+package stack
+
+import "sync"
+
+// RacyTrace shares one frame Stack between a worker pushing frames and
+// an observer capturing snapshots, without synchronization — the
+// missing-lock shape on this repository's stack package.
+func RacyTrace() {
+	s := NewStack()
+	s.Push("main", "main.go", 1)
+	done := make(chan bool, 2)
+	go func() {
+		s.Push("worker", "worker.go", 10)
+		s.SetLine(11)
+		_ = s.Capture()
+		s.Pop()
+		done <- true
+	}()
+	go func() {
+		_ = s.Capture()
+		_ = s.Depth()
+		done <- true
+	}()
+	<-done
+	<-done
+}
+
+var traceMu sync.Mutex
+
+// FixedTrace is RacyTrace with a mutex around every Stack operation.
+func FixedTrace() {
+	s := NewStack()
+	s.Push("main", "main.go", 1)
+	done := make(chan bool, 2)
+	go func() {
+		traceMu.Lock()
+		s.Push("worker", "worker.go", 10)
+		s.SetLine(11)
+		_ = s.Capture()
+		s.Pop()
+		traceMu.Unlock()
+		done <- true
+	}()
+	go func() {
+		traceMu.Lock()
+		_ = s.Capture()
+		_ = s.Depth()
+		traceMu.Unlock()
+		done <- true
+	}()
+	<-done
+	<-done
+}

@@ -1,0 +1,43 @@
+package taxonomy
+
+import "sync"
+
+// RacyAudit reads the category table concurrently with a
+// late-registration append — the paper's concurrent-slice-access
+// shape on a real package of this repository.
+func RacyAudit() {
+	done := make(chan bool, 2)
+	go func() {
+		Entries = append(Entries, Entry{CatUnknown, 3, 0, "late registration", 1})
+		done <- true
+	}()
+	go func() {
+		_, _ = ByCategory(CatSlice)
+		_ = TableEntries(2)
+		done <- true
+	}()
+	<-done
+	<-done
+}
+
+var auditMu sync.Mutex
+
+// FixedAudit is RacyAudit with every table access behind one mutex.
+func FixedAudit() {
+	done := make(chan bool, 2)
+	go func() {
+		auditMu.Lock()
+		Entries = append(Entries, Entry{CatUnknown, 3, 0, "late registration", 1})
+		auditMu.Unlock()
+		done <- true
+	}()
+	go func() {
+		auditMu.Lock()
+		_, _ = ByCategory(CatSlice)
+		_ = TableEntries(2)
+		auditMu.Unlock()
+		done <- true
+	}()
+	<-done
+	<-done
+}

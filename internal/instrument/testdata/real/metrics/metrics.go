@@ -1,0 +1,53 @@
+// Package metrics reproduces a recurring real-world shape from the
+// study's partial-atomics category: a request counter bumped with a
+// plain ++ on the hot path while other paths use sync/atomic on the
+// same word. The mixed accesses race; the fix makes every access
+// atomic.
+package metrics
+
+import "sync/atomic"
+
+var requests int64
+var failures int64
+
+// Handle is the racy hot path: a plain increment of an
+// atomically-accessed counter.
+func Handle(fail bool) {
+	requests++
+	if fail {
+		atomic.AddInt64(&failures, 1)
+	}
+}
+
+// HandleAtomic is the repaired hot path.
+func HandleAtomic(fail bool) {
+	atomic.AddInt64(&requests, 1)
+	if fail {
+		atomic.AddInt64(&failures, 1)
+	}
+}
+
+// Snapshot reads both counters atomically.
+func Snapshot() (int64, int64) {
+	return atomic.LoadInt64(&requests), atomic.LoadInt64(&failures)
+}
+
+// RacyServe runs two racy handlers concurrently.
+func RacyServe() {
+	done := make(chan bool, 2)
+	go func() { Handle(false); done <- true }()
+	go func() { Handle(true); done <- true }()
+	<-done
+	<-done
+	_, _ = Snapshot()
+}
+
+// FixedServe runs two repaired handlers concurrently.
+func FixedServe() {
+	done := make(chan bool, 2)
+	go func() { HandleAtomic(false); done <- true }()
+	go func() { HandleAtomic(true); done <- true }()
+	<-done
+	<-done
+	_, _ = Snapshot()
+}

@@ -1,0 +1,22 @@
+package atomics
+
+import "sync/atomic"
+
+var hits int64
+var flag int64
+
+func Record() {
+	atomic.AddInt64(&hits, 1)
+	if atomic.CompareAndSwapInt64(&flag, 0, 1) {
+		atomic.StoreInt64(&flag, 2)
+	}
+}
+
+func Run() {
+	done := make(chan bool, 2)
+	go func() { Record(); done <- true }()
+	go func() { hits++; done <- true }()
+	<-done
+	<-done
+	_ = atomic.LoadInt64(&hits)
+}

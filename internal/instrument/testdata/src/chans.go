@@ -1,0 +1,29 @@
+package chans
+
+func produce(ch chan int, n int) {
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+}
+
+func Run() {
+	ch := make(chan int, 2)
+	results := make(chan int)
+	go produce(ch, 4)
+	go func() {
+		sum := 0
+		for v := range ch {
+			sum += v
+		}
+		results <- sum
+	}()
+	total := <-results
+	select {
+	case v := <-results:
+		_ = v
+	default:
+		total++
+	}
+	_ = total
+}

@@ -1,0 +1,17 @@
+package coalesce
+
+var a, b int
+
+func Step() {
+	a = a + 1
+	a = a + 2
+	b = a
+	b++
+}
+
+func Run() {
+	done := make(chan bool)
+	go func() { Step(); done <- true }()
+	Step()
+	<-done
+}

@@ -1,0 +1,25 @@
+package collections
+
+var items []int
+var index = map[string]int{}
+
+func Add(k string, v int) {
+	items = append(items, v)
+	index[k] = len(items)
+}
+
+func Run() {
+	done := make(chan bool, 2)
+	go func() { Add("x", 1); done <- true }()
+	go func() { Add("y", 2); done <- true }()
+	<-done
+	<-done
+	total := 0
+	for _, v := range items {
+		total += v
+	}
+	for k := range index {
+		_ = k
+	}
+	_ = total
+}

@@ -1,0 +1,21 @@
+package counter
+
+import "sync"
+
+var total int
+
+func worker(wg *sync.WaitGroup, n int) {
+	for i := 0; i < n; i++ {
+		total++
+	}
+	wg.Done()
+}
+
+func Run() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go worker(&wg, 3)
+	go worker(&wg, 3)
+	wg.Wait()
+	_ = total
+}

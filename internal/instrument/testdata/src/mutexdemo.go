@@ -1,0 +1,35 @@
+package mutexdemo
+
+import "sync"
+
+var (
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	count int
+	seen  = map[string]int{}
+)
+
+func Inc(key string) {
+	mu.Lock()
+	count++
+	mu.Unlock()
+	rw.Lock()
+	seen[key]++
+	rw.Unlock()
+}
+
+func Get(key string) int {
+	rw.RLock()
+	v := seen[key]
+	rw.RUnlock()
+	return v
+}
+
+func Run() {
+	done := make(chan bool, 2)
+	go func() { Inc("a"); done <- true }()
+	go func() { Inc("a"); done <- true }()
+	<-done
+	<-done
+	_ = Get("a")
+}

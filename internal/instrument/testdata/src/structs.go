@@ -1,0 +1,27 @@
+package structs
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Value() int {
+	return c.n
+}
+
+func Run() {
+	c := &Counter{}
+	done := make(chan bool, 2)
+	go func() { c.Inc(); done <- true }()
+	go func() { _ = c.Value(); done <- true }()
+	<-done
+	<-done
+}

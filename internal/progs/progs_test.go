@@ -1,0 +1,107 @@
+package progs_test
+
+import (
+	"sort"
+	"testing"
+
+	"gorace/internal/core"
+	"gorace/internal/instrument"
+	_ "gorace/internal/progs"
+)
+
+// seedsWithRace runs one registered program variant under FastTrack
+// over a band of seeds and returns how many seeds manifested a race
+// plus the sorted set of distinct race hashes seen.
+func seedsWithRace(t *testing.T, name string, racy bool, seeds int) (hits int, hashes []string) {
+	t.Helper()
+	p, ok := instrument.ProgramByName(name)
+	if !ok {
+		t.Fatalf("program %q not registered", name)
+	}
+	entry := p.Racy
+	if !racy {
+		entry = p.Fixed
+	}
+	seen := map[string]bool{}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		out, err := core.Detect(entry, core.Config{Detector: "fasttrack", Seed: seed})
+		if err != nil {
+			t.Fatalf("%s seed %d: %v", name, seed, err)
+		}
+		if out.HasRace() {
+			hits++
+		}
+		for _, r := range out.Races {
+			seen[r.Hash()] = true
+		}
+	}
+	for h := range seen {
+		hashes = append(hashes, h)
+	}
+	sort.Strings(hashes)
+	return hits, hashes
+}
+
+// TestRacyProgramsManifest is the end-to-end acceptance check: every
+// instrumented racy program yields a FastTrack race within a modest
+// seed band, and its fixed counterpart never does.
+func TestRacyProgramsManifest(t *testing.T) {
+	const seeds = 30
+	for _, p := range instrument.Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			hits, _ := seedsWithRace(t, p.Name, true, seeds)
+			if hits == 0 {
+				t.Errorf("racy %s: no race in %d seeds", p.Name, seeds)
+			}
+			if p.Fixed == nil {
+				return
+			}
+			if fhits, _ := seedsWithRace(t, p.Name, false, seeds); fhits != 0 {
+				t.Errorf("fixed %s: race manifested in %d/%d seeds", p.Name, fhits, seeds)
+			}
+		})
+	}
+}
+
+// TestRaceHashesStableAcrossRuns pins the stable-identity guarantee at
+// the program level: because instrumented programs run under
+// g.StableIDs, the set of race hashes a seed band produces is
+// identical from process run to run and independent of which seed
+// found each race first. Two full sweeps must agree exactly.
+func TestRaceHashesStableAcrossRuns(t *testing.T) {
+	const seeds = 20
+	for _, p := range instrument.Programs() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			_, first := seedsWithRace(t, p.Name, true, seeds)
+			if len(first) == 0 {
+				t.Fatalf("racy %s: no hashes in %d seeds", p.Name, seeds)
+			}
+			_, second := seedsWithRace(t, p.Name, true, seeds)
+			if len(first) != len(second) {
+				t.Fatalf("hash sets differ in size: %d vs %d", len(first), len(second))
+			}
+			for i := range first {
+				if first[i] != second[i] {
+					t.Fatalf("hash %d differs: %s vs %s", i, first[i], second[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryComplete checks every dogfood spec made it into the
+// registry with both variants wired.
+func TestRegistryComplete(t *testing.T) {
+	for _, d := range instrument.DogfoodPrograms() {
+		p, ok := instrument.ProgramByName(d.Name)
+		if !ok {
+			t.Errorf("dogfood %s not registered", d.Name)
+			continue
+		}
+		if p.Racy == nil || p.Fixed == nil {
+			t.Errorf("dogfood %s missing a variant", d.Name)
+		}
+	}
+}

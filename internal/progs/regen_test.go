@@ -1,0 +1,42 @@
+package progs_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gorace/internal/instrument"
+)
+
+// TestGeneratedSourcesCurrent is the regeneration guard: the committed
+// *_gen.go files must be byte-identical to what the rewriter produces
+// from the dogfood spec today. Run `go run ./cmd/raceinstrument
+// -dogfood` after changing the rewriter, a subject package, or a
+// harness.
+func TestGeneratedSourcesCurrent(t *testing.T) {
+	root := filepath.Join("..", "..")
+	for _, p := range instrument.DogfoodPrograms() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			racy, fixed, err := instrument.GenerateDogfood(root, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []struct {
+				path string
+				want []byte
+			}{
+				{p.OutRacy, racy.Source},
+				{p.OutFixed, fixed.Source},
+			} {
+				got, err := os.ReadFile(filepath.Join(root, filepath.FromSlash(w.path)))
+				if err != nil {
+					t.Fatalf("missing committed file: %v", err)
+				}
+				if string(got) != string(w.want) {
+					t.Errorf("%s is stale; run go run ./cmd/raceinstrument -dogfood", w.path)
+				}
+			}
+		})
+	}
+}

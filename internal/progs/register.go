@@ -1,0 +1,27 @@
+package progs
+
+import "gorace/internal/instrument"
+
+func init() {
+	instrument.MustRegister(instrument.Program{
+		Name:   "metrics-counter",
+		Desc:   "partial atomics: plain ++ races with atomic ops on one counter",
+		Source: "internal/instrument/testdata/real/metrics",
+		Racy:   ProgMetricsCounter,
+		Fixed:  ProgMetricsCounterFixed,
+	})
+	instrument.MustRegister(instrument.Program{
+		Name:   "stack-trace",
+		Desc:   "unsynchronized push/capture on a shared frame stack (internal/stack)",
+		Source: "internal/stack",
+		Racy:   ProgStackTrace,
+		Fixed:  ProgStackTraceFixed,
+	})
+	instrument.MustRegister(instrument.Program{
+		Name:   "taxonomy-audit",
+		Desc:   "concurrent slice append vs. reads on the category table (internal/taxonomy)",
+		Source: "internal/taxonomy",
+		Racy:   ProgTaxonomyAudit,
+		Fixed:  ProgTaxonomyAuditFixed,
+	})
+}

@@ -22,7 +22,7 @@ type Atomic struct {
 
 // NewAtomic allocates a modeled atomic cell.
 func NewAtomic(g *G, name string) *Atomic {
-	return &Atomic{s: g.s, id: g.s.newObj(), addr: g.s.newAddr(), name: name}
+	return &Atomic{s: g.s, id: g.s.objFor(g), addr: g.s.addrFor(g), name: name}
 }
 
 // Addr exposes the shadow cell, for tests and classifiers.
@@ -56,6 +56,22 @@ func (a *Atomic) Add(g *G, delta int64) int64 {
 	a.s.emit(g, trace.Event{Op: trace.OpRelease, Obj: a.id, Kind: trace.KindAtomic, Label: a.name})
 	a.val += delta
 	return a.val
+}
+
+// CompareAndSwap models atomic.CompareAndSwapInt64: a read-modify-write
+// access with the acquire/release edge of sync/atomic, whether or not
+// the swap succeeds (the hardware operation touches the cell either
+// way).
+func (a *Atomic) CompareAndSwap(g *G, old, new int64) bool {
+	g.point()
+	a.s.emit(g, trace.Event{Op: trace.OpAcquire, Obj: a.id, Kind: trace.KindAtomic, Label: a.name})
+	a.s.emit(g, trace.Event{Op: trace.OpAtomicRMW, Addr: a.addr, Label: a.name})
+	a.s.emit(g, trace.Event{Op: trace.OpRelease, Obj: a.id, Kind: trace.KindAtomic, Label: a.name})
+	if a.val != old {
+		return false
+	}
+	a.val = new
+	return true
 }
 
 // PlainLoad models reading the variable without sync/atomic — the

@@ -52,12 +52,12 @@ func NewChan[T any](g *G, name string, capacity int) *Chan[T] {
 		s:        g.s,
 		name:     name,
 		capacity: capacity,
-		sendObj:  g.s.newObj(),
-		recvObj:  g.s.newObj(),
-		closeObj: g.s.newObj(),
+		sendObj:  g.s.objFor(g),
+		recvObj:  g.s.objFor(g),
+		closeObj: g.s.objFor(g),
 	}
 	for i := 0; i < capacity; i++ {
-		c.slotObjs = append(c.slotObjs, g.s.newObj())
+		c.slotObjs = append(c.slotObjs, g.s.objFor(g))
 	}
 	return c
 }

@@ -26,7 +26,7 @@ func NewMap[K comparable, V any](g *G, name string) *Map[K, V] {
 	return &Map[K, V]{
 		s:        g.s,
 		name:     name,
-		internal: g.s.newAddr(),
+		internal: g.s.addrFor(g),
 		keyAddrs: make(map[K]trace.Addr),
 		m:        make(map[K]V),
 	}
@@ -38,10 +38,10 @@ func (m *Map[K, V]) InternalAddr() trace.Addr { return m.internal }
 // Name returns the diagnostic name.
 func (m *Map[K, V]) Name() string { return m.name }
 
-func (m *Map[K, V]) keyAddr(k K) trace.Addr {
+func (m *Map[K, V]) keyAddr(g *G, k K) trace.Addr {
 	a, ok := m.keyAddrs[k]
 	if !ok {
-		a = m.s.newAddr()
+		a = m.s.addrFor(g)
 		m.keyAddrs[k] = a
 	}
 	return a
@@ -51,7 +51,7 @@ func (m *Map[K, V]) keyAddr(k K) trace.Addr {
 func (m *Map[K, V]) Get(g *G, k K) (V, bool) {
 	g.point()
 	m.s.emit(g, trace.Event{Op: trace.OpRead, Addr: m.internal, Label: m.name + "(internal)"})
-	m.s.emit(g, trace.Event{Op: trace.OpRead, Addr: m.keyAddr(k), Label: m.name + "[key]"})
+	m.s.emit(g, trace.Event{Op: trace.OpRead, Addr: m.keyAddr(g, k), Label: m.name + "[key]"})
 	v, ok := m.m[k]
 	return v, ok
 }
@@ -60,7 +60,7 @@ func (m *Map[K, V]) Get(g *G, k K) (V, bool) {
 func (m *Map[K, V]) Put(g *G, k K, v V) {
 	g.point()
 	m.s.emit(g, trace.Event{Op: trace.OpWrite, Addr: m.internal, Label: m.name + "(internal)"})
-	m.s.emit(g, trace.Event{Op: trace.OpWrite, Addr: m.keyAddr(k), Label: m.name + "[key]"})
+	m.s.emit(g, trace.Event{Op: trace.OpWrite, Addr: m.keyAddr(g, k), Label: m.name + "[key]"})
 	m.m[k] = v
 }
 
@@ -68,7 +68,7 @@ func (m *Map[K, V]) Put(g *G, k K, v V) {
 func (m *Map[K, V]) Delete(g *G, k K) {
 	g.point()
 	m.s.emit(g, trace.Event{Op: trace.OpWrite, Addr: m.internal, Label: m.name + "(internal)"})
-	m.s.emit(g, trace.Event{Op: trace.OpWrite, Addr: m.keyAddr(k), Label: m.name + "[key]"})
+	m.s.emit(g, trace.Event{Op: trace.OpWrite, Addr: m.keyAddr(g, k), Label: m.name + "[key]"})
 	delete(m.m, k)
 }
 
@@ -94,7 +94,7 @@ func (m *Map[K, V]) Range(g *G, fn func(k K, v V) bool) {
 	}
 	var keys []kv
 	for k := range m.m {
-		keys = append(keys, kv{k, m.keyAddr(k)})
+		keys = append(keys, kv{k, m.keyAddr(g, k)})
 	}
 	for i := 1; i < len(keys); i++ {
 		for j := i; j > 0 && keys[j].a < keys[j-1].a; j-- {
@@ -107,6 +107,34 @@ func (m *Map[K, V]) Range(g *G, fn func(k K, v V) bool) {
 			return
 		}
 	}
+}
+
+// Keys models collecting the map's keys for iteration: one read of the
+// shared sparse structure, returning the keys in deterministic
+// (insertion-assigned cell id) order. Instrumented `for k := range m`
+// loops lower to a Keys call plus per-iteration Gets, which keeps
+// `break`, `continue`, and `return` inside the loop body legal.
+func (m *Map[K, V]) Keys(g *G) []K {
+	g.point()
+	m.s.emit(g, trace.Event{Op: trace.OpRead, Addr: m.internal, Label: m.name + "(internal)"})
+	type kv struct {
+		k K
+		a trace.Addr
+	}
+	var keys []kv
+	for k := range m.m {
+		keys = append(keys, kv{k, m.keyAddr(g, k)})
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j].a < keys[j-1].a; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	out := make([]K, len(keys))
+	for i, e := range keys {
+		out[i] = e.k
+	}
+	return out
 }
 
 // Snapshot returns a plain copy of the contents without instrumentation,
@@ -135,11 +163,21 @@ type Slice[T any] struct {
 
 // NewSlice allocates a modeled slice of the given initial length.
 func NewSlice[T any](g *G, name string, n int) *Slice[T] {
-	sl := &Slice[T]{s: g.s, name: name, meta: g.s.newAddr()}
+	sl := &Slice[T]{s: g.s, name: name, meta: g.s.addrFor(g)}
 	for i := 0; i < n; i++ {
 		sl.elems = append(sl.elems, *new(T))
-		sl.elemAddrs = append(sl.elemAddrs, g.s.newAddr())
+		sl.elemAddrs = append(sl.elemAddrs, g.s.addrFor(g))
 	}
+	return sl
+}
+
+// NewSliceOf allocates a modeled slice initialized from elems, without
+// emitting writes (declaration-time initialization is not an access
+// visible to other goroutines yet). Instrumented slice literals lower
+// to this constructor.
+func NewSliceOf[T any](g *G, name string, elems []T) *Slice[T] {
+	sl := NewSlice[T](g, name, len(elems))
+	copy(sl.elems, elems)
 	return sl
 }
 
@@ -157,8 +195,41 @@ func (s *Slice[T]) Append(g *G, v T) {
 	s.s.emit(g, trace.Event{Op: trace.OpRead, Addr: s.meta, Label: s.name + "(meta)"})
 	s.s.emit(g, trace.Event{Op: trace.OpWrite, Addr: s.meta, Label: s.name + "(meta)"})
 	s.elems = append(s.elems, v)
-	s.elemAddrs = append(s.elemAddrs, s.s.newAddr())
+	// Reuse the cell of a previously truncated element (the real
+	// runtime reuses that memory too); allocate only past the
+	// high-water mark.
+	if len(s.elemAddrs) < len(s.elems) {
+		s.elemAddrs = append(s.elemAddrs, s.s.addrFor(g))
+	}
 	s.s.emit(g, trace.Event{Op: trace.OpWrite, Addr: s.elemAddrs[len(s.elems)-1], Label: s.name + "[new]"})
+}
+
+// Truncate models sl = sl[:n]: re-slicing reads and writes the header
+// without touching elements. Instrumented slice-expression shrinks
+// (`s = s[:len(s)-1]`) lower to this.
+func (s *Slice[T]) Truncate(g *G, n int) {
+	g.point()
+	s.s.emit(g, trace.Event{Op: trace.OpRead, Addr: s.meta, Label: s.name + "(meta)"})
+	if n < 0 || n > len(s.elems) {
+		s.s.fail(g, "slice bounds out of range [:%d] with length %d on %s", n, len(s.elems), s.name)
+		return
+	}
+	s.s.emit(g, trace.Event{Op: trace.OpWrite, Addr: s.meta, Label: s.name + "(meta)"})
+	s.elems = s.elems[:n]
+}
+
+// Values models reading the whole slice (e.g. expanding it into a
+// variadic call, or copying it out): the header and every element are
+// read, and a plain copy is returned.
+func (s *Slice[T]) Values(g *G) []T {
+	g.point()
+	s.s.emit(g, trace.Event{Op: trace.OpRead, Addr: s.meta, Label: s.name + "(meta)"})
+	out := make([]T, len(s.elems))
+	for i := range s.elems {
+		s.s.emit(g, trace.Event{Op: trace.OpRead, Addr: s.elemAddrs[i], Label: s.name + "[i]"})
+		out[i] = s.elems[i]
+	}
+	return out
 }
 
 // Get models v := sl[i]: the bounds check reads the header, then the
@@ -237,7 +308,7 @@ type Once struct {
 
 // NewOnce allocates a modeled Once.
 func NewOnce(g *G, name string) *Once {
-	return &Once{s: g.s, id: g.s.newObj(), name: name}
+	return &Once{s: g.s, id: g.s.objFor(g), name: name}
 }
 
 // Do runs fn if no Do has completed yet.

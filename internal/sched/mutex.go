@@ -15,7 +15,7 @@ type Mutex struct {
 
 // NewMutex allocates a modeled mutex.
 func NewMutex(g *G, name string) *Mutex {
-	return &Mutex{s: g.s, id: g.s.newObj(), name: name}
+	return &Mutex{s: g.s, id: g.s.objFor(g), name: name}
 }
 
 // ID exposes the sync object identity.
@@ -29,7 +29,7 @@ func (m *Mutex) Name() string { return m.name }
 // precisely why by-value mutex parameters provide no mutual exclusion.
 func (m *Mutex) Clone(g *G) *Mutex {
 	g.point()
-	return &Mutex{s: m.s, id: m.s.newObj(), name: m.name + "(copy)", held: m.held}
+	return &Mutex{s: m.s, id: m.s.objFor(g), name: m.name + "(copy)", held: m.held}
 }
 
 // Lock acquires the mutex, blocking while it is held.
@@ -85,7 +85,7 @@ type RWMutex struct {
 
 // NewRWMutex allocates a modeled reader-writer mutex.
 func NewRWMutex(g *G, name string) *RWMutex {
-	return &RWMutex{s: g.s, id: g.s.newObj(), rid: g.s.newObj(), name: name}
+	return &RWMutex{s: g.s, id: g.s.objFor(g), rid: g.s.objFor(g), name: name}
 }
 
 // ID exposes the write-side sync object identity.
@@ -94,7 +94,7 @@ func (m *RWMutex) ID() trace.ObjID { return m.id }
 // Clone models a by-value copy (a fresh, unrelated RWMutex).
 func (m *RWMutex) Clone(g *G) *RWMutex {
 	g.point()
-	return &RWMutex{s: m.s, id: m.s.newObj(), rid: m.s.newObj(), name: m.name + "(copy)"}
+	return &RWMutex{s: m.s, id: m.s.objFor(g), rid: m.s.objFor(g), name: m.name + "(copy)"}
 }
 
 // Lock acquires the write lock.

@@ -44,11 +44,15 @@ type abortSignal struct{}
 type G struct {
 	id        vclock.TID
 	name      string
+	path      string // structural spawn path ("0", "0.1", "0.1.2", ...)
 	s         *Scheduler
 	stk       *stack.Stack
 	state     gstate
 	resume    chan resumeMsg
 	blockedOn string
+	spawnN    int // children spawned so far (path suffix allocator)
+	allocN    int // stable-mode shadow cells allocated by this G
+	objN      int // stable-mode sync objects allocated by this G
 }
 
 type resumeMsg struct{ abort bool }
@@ -108,6 +112,12 @@ type Scheduler struct {
 	nextAddr  trace.Addr
 	nextObj   trace.ObjID
 	result    Result
+	// Stable identity mode (see G.StableIDs): addresses and object
+	// ids are hashed from spawn paths instead of allocation order.
+	// The owner maps detect (astronomically unlikely) hash collisions.
+	stable    bool
+	addrOwner map[trace.Addr]string
+	objOwner  map[trace.ObjID]string
 	// pollers are goroutines blocked in a select with no ready arm;
 	// they are woken (to re-poll) on any channel state change.
 	pollers []*G
@@ -151,9 +161,15 @@ func newScheduler(opts Options) *Scheduler {
 
 // spawn creates a modeled goroutine. parent is nil only for main.
 func (s *Scheduler) spawn(parent *G, name string, fn func(*G)) *G {
+	path := "0"
+	if parent != nil {
+		path = fmt.Sprintf("%s.%d", parent.path, parent.spawnN)
+		parent.spawnN++
+	}
 	g := &G{
 		id:     vclock.TID(len(s.gs)),
 		name:   name,
+		path:   path,
 		s:      s,
 		stk:    stack.NewStack(),
 		state:  gReady,

@@ -1,0 +1,161 @@
+package sched
+
+import (
+	"testing"
+
+	"gorace/internal/trace"
+)
+
+// stableProg spawns workers that each allocate cells dynamically, so
+// under the default allocator the cells' addresses depend on how the
+// workers interleave.
+func stableProg(g *G) {
+	g.StableIDs()
+	done := NewWaitGroup(g, "done")
+	done.Add(g, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		g.Go("worker", func(g *G) {
+			name := []string{"left", "right"}[i]
+			local := NewVar[int](g, name)
+			mu := NewMutex(g, name+".mu")
+			mu.Lock(g)
+			local.Store(g, i)
+			mu.Unlock(g)
+			done.Done(g)
+		})
+	}
+	done.Wait(g)
+}
+
+// addrsByLabel runs prog under seed and returns each written label's
+// address.
+func addrsByLabel(t *testing.T, prog func(*G), seed int64) map[string]trace.Addr {
+	t.Helper()
+	rec := &trace.Recorder{}
+	res := Run(prog, Options{Seed: seed, Strategy: NewRandom(), Listeners: []trace.Listener{rec}})
+	if len(res.Failures) > 0 {
+		t.Fatalf("failures: %v", res.Failures)
+	}
+	out := make(map[string]trace.Addr)
+	for _, ev := range rec.Events {
+		if ev.Op == trace.OpWrite {
+			out[ev.Label] = ev.Addr
+		}
+	}
+	return out
+}
+
+func TestStableIDsDeterministicAcrossSeeds(t *testing.T) {
+	base := addrsByLabel(t, stableProg, 1)
+	if len(base) == 0 {
+		t.Fatal("no writes observed")
+	}
+	for seed := int64(2); seed < 12; seed++ {
+		got := addrsByLabel(t, stableProg, seed)
+		for label, addr := range base {
+			if got[label] != addr {
+				t.Fatalf("seed %d: label %q at a%d, want a%d", seed, label, got[label], addr)
+			}
+		}
+	}
+}
+
+func TestDefaultModeStaysSequential(t *testing.T) {
+	var addrs []trace.Addr
+	Run(func(g *G) {
+		a := NewVar[int](g, "a")
+		b := NewVar[int](g, "b")
+		addrs = []trace.Addr{a.Addr(), b.Addr()}
+	}, Options{})
+	if addrs[0] != 1 || addrs[1] != 2 {
+		t.Fatalf("default allocator not sequential: %v", addrs)
+	}
+}
+
+func TestStableIDsTooLateFails(t *testing.T) {
+	res := Run(func(g *G) {
+		NewVar[int](g, "x")
+		g.StableIDs()
+	}, Options{})
+	if len(res.Failures) == 0 {
+		t.Fatal("StableIDs after an allocation should record a model failure")
+	}
+}
+
+func TestSpawnPathsAreStructural(t *testing.T) {
+	paths := make(map[string]string) // name -> path
+	Run(func(g *G) {
+		if g.Path() != "0" {
+			t.Errorf("main path %q, want 0", g.Path())
+		}
+		for i := 0; i < 2; i++ {
+			name := []string{"a", "b"}[i]
+			g.Go(name, func(g *G) {
+				paths[name] = g.Path()
+				g.Go(name+"-kid", func(g *G) { paths[name+"-kid"] = g.Path() })
+			})
+		}
+	}, Options{})
+	want := map[string]string{"a": "0.0", "b": "0.1", "a-kid": "0.0.0", "b-kid": "0.1.0"}
+	for name, p := range want {
+		if paths[name] != p {
+			t.Errorf("path of %s = %q, want %q", name, paths[name], p)
+		}
+	}
+}
+
+func TestSliceTruncateAppendReusesCells(t *testing.T) {
+	Run(func(g *G) {
+		s := NewSliceOf[int](g, "s", []int{1, 2, 3})
+		if s.Len(g) != 3 {
+			t.Fatalf("len = %d, want 3", s.Len(g))
+		}
+		s.Truncate(g, 1)
+		before := s.s.nextAddr
+		s.Append(g, 9)
+		if s.s.nextAddr != before {
+			t.Fatal("Append after Truncate should reuse the freed element cell")
+		}
+		if got := s.Snapshot(); len(got) != 2 || got[1] != 9 {
+			t.Fatalf("contents %v, want [1 9]", got)
+		}
+		vals := s.Values(g)
+		if len(vals) != 2 || vals[0] != 1 || vals[1] != 9 {
+			t.Fatalf("Values = %v", vals)
+		}
+	}, Options{})
+}
+
+func TestMapKeysDeterministic(t *testing.T) {
+	Run(func(g *G) {
+		m := NewMap[string, int](g, "m")
+		m.Put(g, "b", 2)
+		m.Put(g, "a", 1)
+		m.Put(g, "c", 3)
+		keys := m.Keys(g)
+		// Insertion-assigned cell order, not sort order.
+		want := []string{"b", "a", "c"}
+		for i, k := range want {
+			if keys[i] != k {
+				t.Fatalf("Keys = %v, want %v", keys, want)
+			}
+		}
+	}, Options{})
+}
+
+func TestAtomicCompareAndSwap(t *testing.T) {
+	Run(func(g *G) {
+		a := NewAtomic(g, "a")
+		a.Store(g, 5)
+		if a.CompareAndSwap(g, 4, 9) {
+			t.Fatal("CAS with wrong old value succeeded")
+		}
+		if !a.CompareAndSwap(g, 5, 9) {
+			t.Fatal("CAS with right old value failed")
+		}
+		if a.Load(g) != 9 {
+			t.Fatalf("value = %d, want 9", a.Load(g))
+		}
+	}, Options{})
+}

@@ -17,7 +17,7 @@ type Var[T any] struct {
 // NewVar allocates an instrumented variable. The name labels events
 // and race reports ("err", "result", "job").
 func NewVar[T any](g *G, name string) *Var[T] {
-	return &Var[T]{s: g.s, addr: g.s.newAddr(), name: name}
+	return &Var[T]{s: g.s, addr: g.s.addrFor(g), name: name}
 }
 
 // NewVarOf allocates an instrumented variable with an initial value,

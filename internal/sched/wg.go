@@ -17,7 +17,7 @@ type WaitGroup struct {
 
 // NewWaitGroup allocates a modeled WaitGroup.
 func NewWaitGroup(g *G, name string) *WaitGroup {
-	return &WaitGroup{s: g.s, id: g.s.newObj(), name: name}
+	return &WaitGroup{s: g.s, id: g.s.objFor(g), name: name}
 }
 
 // Name returns the diagnostic name.

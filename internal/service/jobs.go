@@ -4,12 +4,15 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"strings"
 	"sync"
 	"time"
 
 	"gorace/internal/corpus"
 	"gorace/internal/detector"
+	"gorace/internal/instrument"
 	"gorace/internal/patterns"
+	_ "gorace/internal/progs" // registers instrumented programs
 	"gorace/internal/report"
 	"gorace/internal/sched"
 	"gorace/internal/sweep"
@@ -21,6 +24,8 @@ import (
 // `{}` is a valid whole-corpus campaign.
 type JobSpec struct {
 	// Patterns lists corpus pattern ids (default: the whole corpus).
+	// Instrumented programs join the sweep as "prog:<name>" entries
+	// (see `racedetect -list-programs`).
 	Patterns []string `json:"patterns,omitempty"`
 	// Variant selects "racy" (default) or "fixed" pattern bodies.
 	Variant string `json:"variant,omitempty"`
@@ -247,9 +252,20 @@ func (m *jobManager) validate(spec *JobSpec) error {
 		spec.Patterns = patterns.IDs()
 	}
 	for _, id := range spec.Patterns {
-		if _, ok := patterns.ByID(id); !ok {
-			return fmt.Errorf("unknown pattern %q", id)
+		if _, ok := patterns.ByID(id); ok {
+			continue
 		}
+		if name, isProg := strings.CutPrefix(id, "prog:"); isProg {
+			p, ok := instrument.ProgramByName(name)
+			if !ok {
+				return fmt.Errorf("unknown program %q", name)
+			}
+			if spec.Variant == "fixed" && p.Fixed == nil {
+				return fmt.Errorf("program %q has no fixed variant", name)
+			}
+			continue
+		}
+		return fmt.Errorf("unknown pattern %q", id)
 	}
 	if spec.Seeds <= 0 {
 		spec.Seeds = 20
@@ -399,18 +415,28 @@ func (m *jobManager) retire(id string) {
 }
 
 // campaignUnits expands a validated spec into sweep units, one per
-// pattern × strategy, mirroring `racedetect -campaign`.
+// pattern (or prog:<name> program) × strategy, mirroring
+// `racedetect -campaign`.
 func campaignUnits(spec JobSpec) []sweep.Unit {
 	var units []sweep.Unit
 	for _, id := range spec.Patterns {
-		p, _ := patterns.ByID(id) // validated at submit
-		prog := p.Racy
-		if spec.Variant == "fixed" {
-			prog = p.Fixed
+		var prog func(*sched.G)
+		if name, isProg := strings.CutPrefix(id, "prog:"); isProg {
+			ip, _ := instrument.ProgramByName(name) // validated at submit
+			prog = ip.Racy
+			if spec.Variant == "fixed" {
+				prog = ip.Fixed
+			}
+		} else {
+			p, _ := patterns.ByID(id) // validated at submit
+			prog = p.Racy
+			if spec.Variant == "fixed" {
+				prog = p.Fixed
+			}
 		}
 		for _, strat := range spec.Strategies {
 			units = append(units, sweep.Unit{
-				ID:       p.ID + "/" + strat,
+				ID:       id + "/" + strat,
 				Program:  prog,
 				Detector: spec.Detector,
 				Strategy: strat,

@@ -300,6 +300,38 @@ func TestJobLifecycle(t *testing.T) {
 	}
 }
 
+// TestJobInstrumentedProgram sweeps an instrumented program (a
+// prog:<name> spec entry) next to a synthetic pattern, and checks
+// both bad-program rejections.
+func TestJobInstrumentedProgram(t *testing.T) {
+	store, _ := seedStore(t)
+	_, ts := newTestServer(t, Config{Store: store, JobWorkers: 1, JobParallelism: 2})
+
+	spec := `{"patterns":["prog:metrics-counter","capture-loop-index"],"strategies":["random"],"seeds":6}`
+	status, body, _ := post(t, ts.URL+"/v1/jobs", spec)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit = %d %s", status, body)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitForJob(t, ts.URL, sub.ID); st.State != StateDone {
+		t.Fatalf("job state = %s (%s)", st.State, st.Error)
+	}
+	_, res, _ := get(t, ts.URL+"/v1/jobs/"+sub.ID+"/results")
+	if !strings.Contains(string(res), `"unit":"prog:metrics-counter/random"`) {
+		t.Fatalf("results missing program unit:\n%s", res)
+	}
+	if !strings.Contains(string(res), `"racy":`) {
+		t.Fatalf("results missing racy counts:\n%s", res)
+	}
+
+	if s, b, _ := post(t, ts.URL+"/v1/jobs", `{"patterns":["prog:no-such-program"]}`); s != http.StatusBadRequest {
+		t.Fatalf("unknown program spec = %d %s, want 400", s, b)
+	}
+}
+
 func waitForJob(t testing.TB, base, id string) JobStatus {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)

@@ -87,7 +87,7 @@ func (c Context) Key() string {
 func (c Context) String() string {
 	var b strings.Builder
 	for i := len(c.frames) - 1; i >= 0; i-- {
-		fmt.Fprintf(&b, "  %s\n", c.frames[i])
+		fmt.Fprintf(&b, "  %s\n", c.frames[i].String())
 	}
 	return b.String()
 }

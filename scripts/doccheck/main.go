@@ -95,6 +95,11 @@ func goDirs(root string) ([]string, error) {
 		if err != nil {
 			return err
 		}
+		// testdata trees hold fixtures (instrumentation subjects, golden
+		// output), not API surface — the Go toolchain ignores them too.
+		if d.IsDir() && d.Name() == "testdata" {
+			return fs.SkipDir
+		}
 		if !d.IsDir() && strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
 			seen[filepath.Dir(path)] = true
 		}
