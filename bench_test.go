@@ -333,6 +333,36 @@ func BenchmarkEraserHotPath(b *testing.B) { benchHotPath(b, "eraser") }
 
 func BenchmarkHybridHotPath(b *testing.B) { benchHotPath(b, "hybrid") }
 
+// benchSampledHotPath is the sampled variant of benchHotPath: the
+// same recycled FastTrack behind a deterministic 1-in-rate access
+// gate, measuring what a sample:<n> campaign actually pays per event
+// (the gate still consumes every event; only the detection work is
+// skipped). docs/DETECTORS.md's tuning guide reads these numbers
+// against the detection-probability table.
+func benchSampledHotPath(b *testing.B, rate int) {
+	rec := recordHeavyTrace(b)
+	d, err := detector.New("fasttrack", detector.WithSampleRate(rate))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, ok := d.(*detector.Sampled)
+	if !ok {
+		b.Fatalf("rate %d did not wrap in a sampling gate", rate)
+	}
+	s.SetRunSeed(1)
+	rec.Replay(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reset()
+		rec.Replay(s)
+	}
+}
+
+func BenchmarkFastTrackHotPathSample4(b *testing.B) { benchSampledHotPath(b, 4) }
+
+func BenchmarkFastTrackHotPathSample16(b *testing.B) { benchSampledHotPath(b, 16) }
+
 // --- Ablations (DESIGN.md) ---
 
 // heavyProgram stresses shadow-memory operations: many goroutines,

@@ -12,6 +12,8 @@
 //	racedetect -program stack-trace [-variant racy|fixed] [...]
 //	racedetect -campaign [-seeds 20] [-parallel 8] [-strategies random,pct]
 //	           [-corpus store.db] [-run-id id] [-corpus-traces dir]
+//	racedetect -sweep-rates 1,4,16,64 [-seeds 20] [-detector fasttrack]
+//	           [-strategy random] [-parallel 8] [-markdown]
 //
 // Alongside the synthetic pattern corpus, racedetect runs instrumented
 // programs: real packages rewritten onto the sched/trace event model
@@ -38,6 +40,18 @@
 // -save-trace writes the manifesting run's event trace in the
 // versioned binary codec; raceanalyze auto-detects it (and still
 // reads legacy JSON Lines traces).
+//
+// -sample gates the detector behind a deterministic 1-in-N
+// access-sampling filter (sync events always pass), trading detection
+// probability for overhead; it applies to single runs and -campaign
+// alike. -sweep-rates runs the tradeoff study itself: one campaign
+// per rate over the whole corpus (patterns and prog:<name> programs),
+// printing the detection-probability-vs-overhead table — P(detect),
+// fraction of accesses checked, adaptive promotion counters, and
+// wall-clock per rate — plus the per-unit P(detect) matrix.
+// -markdown renders the summary table as GitHub-flavored markdown for
+// CI job summaries. docs/DETECTORS.md explains how to read the table
+// and choose a rate.
 package main
 
 import (
@@ -102,6 +116,9 @@ func main() {
 		corpusPath = flag.String("corpus", "", "persist -campaign results into this race-corpus store (see cmd/racedb)")
 		runID      = flag.String("run-id", "", "run id for -corpus (default: UTC timestamp; ids must sort chronologically)")
 		corpusTr   = flag.String("corpus-traces", "", "with -corpus, save each defect's defining trace into this directory")
+		sample     = flag.Int("sample", 1, "check 1 in N accesses (deterministic per seed; 1 = every access)")
+		sweepRates = flag.String("sweep-rates", "", "comma-separated sample rates (e.g. 1,4,16,64): sweep rates × corpus and print the P(detect)-vs-overhead table")
+		markdown   = flag.Bool("markdown", false, "with -sweep-rates, print the summary table as GitHub-flavored markdown")
 	)
 	flag.Parse()
 
@@ -130,8 +147,13 @@ func main() {
 
 	supp := loadSuppressions(*suppFile)
 
+	if *sweepRates != "" {
+		runRateSweep(*det, *strategy, *variant, *seeds, *parallel, *sweepRates, *markdown)
+		return
+	}
+
 	if *campaign {
-		runCampaign(*det, *strategies, *variant, *seeds, *parallel, supp,
+		runCampaign(*det, *strategies, *variant, *seeds, *parallel, *sample, supp,
 			*corpusPath, *runID, *corpusTr)
 		return
 	}
@@ -171,6 +193,7 @@ func main() {
 		core.WithDetector(*det),
 		core.WithStrategy(*strategy),
 		core.WithRecord(*saveTrace != ""),
+		core.WithSampleRate(*sample),
 	)
 	totalSuppressed := 0
 	for seed := int64(0); seed < int64(*seeds); seed++ {
@@ -236,7 +259,7 @@ func main() {
 // strategy for the given number of seeds, as one sweep campaign.
 // With corpusPath, the campaign additionally streams into a
 // corpus.Collector and persists the deduplicated defects.
-func runCampaign(det, strategies, variant string, seeds, parallel int, supp *report.SuppressionList,
+func runCampaign(det, strategies, variant string, seeds, parallel, sample int, supp *report.SuppressionList,
 	corpusPath, runID, traceDir string) {
 	stratNames := sched.StrategyNames()
 	if strategies != "" {
@@ -256,12 +279,13 @@ func runCampaign(det, strategies, variant string, seeds, parallel int, supp *rep
 	addUnits := func(id string, prog func(*sched.G)) {
 		for _, s := range stratNames {
 			units = append(units, sweep.Unit{
-				ID:       id + "/" + s,
-				Program:  prog,
-				Detector: det,
-				Strategy: s,
-				Runs:     seeds,
-				MaxSteps: 1 << 16,
+				ID:         id + "/" + s,
+				Program:    prog,
+				Detector:   det,
+				Strategy:   s,
+				Runs:       seeds,
+				MaxSteps:   1 << 16,
+				SampleRate: sample,
 				// Recording buys hint-quality root-cause tallies at
 				// the cost of one trace snapshot per run; corpus
 				// programs are small, and Tally classifies in Observe,
@@ -405,6 +429,153 @@ func runCampaign(det, strategies, variant string, seeds, parallel int, supp *rep
 
 	if store != nil {
 		persistCampaign(aggs[3].(*corpus.Collector), store, runID)
+	}
+}
+
+// runRateSweep runs the detection-probability-vs-overhead study: one
+// campaign per sample rate over the whole corpus (patterns plus
+// instrumented programs) under a single strategy, timed separately so
+// each rate gets a wall-clock figure, followed by the per-unit
+// P(detect) matrix. Campaigns are deterministic at any parallelism,
+// so two sweeps with the same seeds differ only in the wall column.
+func runRateSweep(det, strategy, variant string, seeds, parallel int, ratesCSV string, markdown bool) {
+	var rates []int
+	for _, f := range strings.Split(ratesCSV, ",") {
+		f = strings.TrimSpace(f)
+		var n int
+		if _, err := fmt.Sscanf(f, "%d", &n); err != nil || n < 1 {
+			fatal(fmt.Errorf("-sweep-rates %q: %q is not a positive integer", ratesCSV, f))
+		}
+		rates = append(rates, n)
+	}
+
+	type unitSrc struct {
+		id   string
+		prog func(*sched.G)
+	}
+	var srcs []unitSrc
+	for _, p := range patterns.All() {
+		prog := p.Racy
+		if variant == "fixed" {
+			prog = p.Fixed
+		}
+		srcs = append(srcs, unitSrc{p.ID, prog})
+	}
+	nPats := len(srcs)
+	for _, p := range instrument.Programs() {
+		prog := p.Racy
+		if variant == "fixed" {
+			if p.Fixed == nil {
+				continue
+			}
+			prog = p.Fixed
+		}
+		srcs = append(srcs, unitSrc{"prog:" + p.Name, prog})
+	}
+
+	opts := []sweep.Option{}
+	if parallel > 0 {
+		opts = append(opts, sweep.WithParallelism(parallel))
+	}
+	engine := sweep.New(opts...)
+
+	type rateRow struct {
+		rate    int
+		work    []sweep.UnitWork
+		byUnit  map[string]sweep.UnitWork
+		elapsed time.Duration
+	}
+	var rows []rateRow
+	for _, rate := range rates {
+		units := make([]sweep.Unit, 0, len(srcs))
+		for _, s := range srcs {
+			units = append(units, sweep.Unit{
+				ID:         s.id,
+				Program:    s.prog,
+				Detector:   det,
+				Strategy:   strategy,
+				Runs:       seeds,
+				MaxSteps:   1 << 16,
+				SampleRate: rate,
+			})
+		}
+		start := time.Now()
+		aggs, _, err := engine.Run(units, func() sweep.Aggregator { return sweep.NewOverhead() })
+		if err != nil {
+			fatal(err)
+		}
+		row := rateRow{rate: rate, work: aggs[0].(*sweep.Overhead).Work(),
+			byUnit: make(map[string]sweep.UnitWork), elapsed: time.Since(start)}
+		for _, w := range row.work {
+			row.byUnit[w.Unit] = w
+		}
+		rows = append(rows, row)
+	}
+
+	if markdown {
+		fmt.Printf("%d patterns + %d programs × %d seeds, detector `%s`, strategy `%s`.\n\n",
+			nPats, len(srcs)-nPats, seeds, det, strategy)
+	} else {
+		fmt.Printf("== sample-rate sweep: %d patterns + %d programs × %d seeds, detector %s, strategy %s ==\n\n",
+			nPats, len(srcs)-nPats, seeds, det, strategy)
+	}
+
+	// Summary: one row per rate, detection probability averaged over
+	// units (each unit weighted equally, like the campaign table).
+	if markdown {
+		fmt.Println("| rate | P(detect) | checked | promotions | demotions | fastreads | wall |")
+		fmt.Println("|-----:|----------:|--------:|-----------:|----------:|----------:|-----:|")
+	} else {
+		fmt.Printf("%6s %10s %9s %11s %10s %10s %8s\n",
+			"rate", "P(detect)", "checked", "promotions", "demotions", "fastreads", "wall")
+	}
+	for _, row := range rows {
+		var pSum float64
+		var checked, accesses, promos, demos, fast int
+		for _, w := range row.work {
+			pSum += w.Probability()
+			checked += w.Checked
+			accesses += w.Accesses
+			promos += w.Promotions
+			demos += w.Demotions
+			fast += w.FastReads
+		}
+		pMean := pSum / float64(len(row.work))
+		frac := 0.0
+		if accesses > 0 {
+			frac = float64(checked) / float64(accesses)
+		}
+		wall := row.elapsed.Round(time.Millisecond)
+		if markdown {
+			fmt.Printf("| %d | %.3f | %.1f%% | %d | %d | %d | %s |\n",
+				row.rate, pMean, 100*frac, promos, demos, fast, wall)
+		} else {
+			fmt.Printf("%6d %10.3f %8.1f%% %11d %10d %10d %8s\n",
+				row.rate, pMean, 100*frac, promos, demos, fast, wall)
+		}
+	}
+
+	// Per-unit detection probability, one column per rate. In
+	// markdown mode the fixed-width matrix goes in a code fence so job
+	// summaries render it intact.
+	fmt.Printf("\nper-unit P(detect) by rate:\n")
+	if markdown {
+		fmt.Println("```")
+	}
+	fmt.Printf("%-28s", "unit")
+	for _, row := range rows {
+		fmt.Printf("%8d", row.rate)
+	}
+	fmt.Println()
+	for _, s := range srcs {
+		fmt.Printf("%-28s", s.id)
+		for _, row := range rows {
+			fmt.Printf("%8.2f", row.byUnit[s.id].Probability())
+		}
+		fmt.Println()
+	}
+	if markdown {
+		fmt.Println("```")
 	}
 }
 

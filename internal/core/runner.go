@@ -26,6 +26,7 @@ type Runner struct {
 	maxSteps        int
 	record          bool
 	parallelism     int
+	sampleRate      int
 }
 
 // Option configures a Runner.
@@ -75,6 +76,15 @@ func WithParallelism(n int) Option {
 	return func(r *Runner) { r.parallelism = n }
 }
 
+// WithSampleRate gates the detector behind a deterministic 1-in-n
+// access-sampling filter (detector.WithSampleRate): sync events always
+// reach the detector, accesses 1 in n. The gate's phase is derived
+// from each run's seed, so sampled sweeps stay reproducible at any
+// parallelism. n ≤ 1 disables sampling; negative n fails validation.
+func WithSampleRate(n int) Option {
+	return func(r *Runner) { r.sampleRate = n }
+}
+
 // NewRunner builds a Runner from options.
 func NewRunner(opts ...Option) *Runner {
 	r := &Runner{parallelism: 1}
@@ -102,7 +112,7 @@ func (r *Runner) newStrategy() (sched.Strategy, error) {
 // WithStrategyFactory promises one invocation per run, and a stateful
 // factory must not have a strategy consumed by validation.
 func (r *Runner) validate() error {
-	if _, err := detector.New(r.detectorName); err != nil {
+	if _, err := r.newDetector(); err != nil {
 		return err
 	}
 	if r.strategyFactory == nil {
@@ -140,11 +150,16 @@ type runState struct {
 	shared bool              // state is recycled across runs (batch worker)
 }
 
+// newDetector builds the Runner's detector, sampling gate included.
+func (r *Runner) newDetector() (detector.Detector, error) {
+	return detector.New(r.detectorName, detector.WithSampleRate(r.sampleRate))
+}
+
 // newRunState builds a fresh detector and decides whether it can be
-// recycled. A Counting wrapper is only recyclable when its inner
-// counting detector is.
+// recycled. A wrapper (Counting, Sampled) is only recyclable when the
+// detector inside it is.
 func (r *Runner) newRunState() (*runState, error) {
-	det, err := detector.New(r.detectorName)
+	det, err := r.newDetector()
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +167,7 @@ func (r *Runner) newRunState() (*runState, error) {
 	if rs, ok := det.(detector.Resetter); ok {
 		st.reset = rs
 	}
-	if c, ok := det.(*detector.Counting); ok && !c.CanReset() {
+	if c, ok := det.(interface{ CanReset() bool }); ok && !c.CanReset() {
 		st.reset = nil
 	}
 	return st, nil
@@ -168,7 +183,7 @@ func (st *runState) recycle(r *Runner) error {
 		st.reset.Reset()
 		return nil
 	}
-	det, err := detector.New(r.detectorName)
+	det, err := r.newDetector()
 	if err != nil {
 		return err
 	}
@@ -188,6 +203,12 @@ func (r *Runner) runSeed(st *runState, prog func(*sched.G), seed int64) (*Outcom
 		return nil, err
 	}
 	det := st.det
+	if sd, ok := det.(detector.Seeded); ok {
+		// A sampling gate's phase is a function of the run seed, not
+		// of worker identity or scheduling order — this is what keeps
+		// sampled batch results identical at any parallelism.
+		sd.SetRunSeed(seed)
+	}
 	// A shared (batch-worker) detector is recycled after this run,
 	// which would rewind its result slices — so the outcome must own
 	// copies. One-shot states discard the detector; aliasing is fine.
@@ -203,7 +224,7 @@ func (r *Runner) runSeed(st *runState, prog func(*sched.G), seed int64) (*Outcom
 		st.buf.Reset()
 		listeners = append(listeners, st.buf)
 	}
-	if _, isNoop := det.(detector.Noop); !isNoop {
+	if !detector.IsNoop(det) {
 		// The none detector observes nothing; not attaching it keeps
 		// the overhead baseline free of per-event dispatch cost.
 		listeners = append(listeners, det)
@@ -233,7 +254,7 @@ func (r *Runner) runSeed(st *runState, prog func(*sched.G), seed int64) (*Outcom
 		out.Candidates = append([]report.Race(nil), out.Candidates...)
 	}
 	out.Stats = det.Stats()
-	if c, ok := det.(*detector.Counting); ok {
+	if c, ok := det.(detector.Counter); ok {
 		out.RaceCount = c.Count()
 	}
 	report.SortRaces(out.Races)

@@ -24,17 +24,23 @@ type DJIT struct {
 	count     int
 	racyAddrs map[trace.Addr]bool
 	stats     statCounter
+	adapt     adaptCounter
 }
 
 // djitCell holds the four per-cell history clocks by value, in a dense
-// slice indexed by Addr; the zero VC is a usable empty clock, so a
-// fresh cell needs no initialization and no allocation.
+// slice indexed by Addr. Each history is an adaptive clock: one packed
+// epoch word while a single goroutine touches it, inflated to a pooled
+// full vector clock on the first second-goroutine touch. AdaptiveClock
+// preserves every component exactly, so DJIT's per-component verdict
+// counts are unchanged — only the representation (and its cost) adapts.
+// The zero value is a usable empty history, so a fresh cell needs no
+// initialization and no allocation.
 type djitCell struct {
 	seen         bool
-	writes       vclock.VC // per-goroutine last write time
-	reads        vclock.VC // per-goroutine last plain-read time
-	atomicWrites vclock.VC
-	atomicReads  vclock.VC
+	writes       vclock.AdaptiveClock // per-goroutine last write time
+	reads        vclock.AdaptiveClock // per-goroutine last plain-read time
+	atomicWrites vclock.AdaptiveClock
+	atomicReads  vclock.AdaptiveClock
 }
 
 // NewDJIT returns a fresh DJIT+ detector.
@@ -80,10 +86,12 @@ func (d *DJIT) Reset() {
 	for i := range d.cells {
 		c := &d.cells[i]
 		c.seen = false
-		c.writes.Reset()
-		c.reads.Reset()
-		c.atomicWrites.Reset()
-		c.atomicReads.Reset()
+		// Inflated histories return their clocks to the pool now;
+		// teardown is not a demotion, so the counters stay untouched.
+		c.writes.ReleaseTo(d.pool)
+		c.reads.ReleaseTo(d.pool)
+		c.atomicWrites.ReleaseTo(d.pool)
+		c.atomicReads.ReleaseTo(d.pool)
 	}
 	d.cellCount = 0
 	d.addrIx.reset()
@@ -91,6 +99,7 @@ func (d *DJIT) Reset() {
 	d.count = 0
 	clear(d.racyAddrs)
 	d.stats = statCounter{}
+	d.adapt = adaptCounter{}
 }
 
 func (d *DJIT) clockOf(g vclock.TID) *vclock.VC {
@@ -164,9 +173,9 @@ func (d *DJIT) HandleEvent(ev trace.Event) {
 		if !ev.Op.IsAtomic() {
 			// A plain read also conflicts with concurrent atomic writes.
 			d.countConcurrent(&c.atomicWrites, cur, ev)
-			c.reads.Set(ev.G, cur.Get(ev.G))
+			d.noteRead(&c.reads, ev.G, cur.Get(ev.G))
 		} else {
-			c.atomicReads.Set(ev.G, cur.Get(ev.G))
+			d.noteRead(&c.atomicReads, ev.G, cur.Get(ev.G))
 		}
 
 	case trace.OpWrite, trace.OpAtomicStore, trace.OpAtomicRMW:
@@ -177,24 +186,39 @@ func (d *DJIT) HandleEvent(ev trace.Event) {
 		if !ev.Op.IsAtomic() {
 			d.countConcurrent(&c.atomicWrites, cur, ev)
 			d.countConcurrent(&c.atomicReads, cur, ev)
-			c.writes.Set(ev.G, cur.Get(ev.G))
+			if c.writes.SetPooled(ev.G, cur.Get(ev.G), d.pool) {
+				d.adapt.promotions++
+			}
 		} else {
-			c.atomicWrites.Set(ev.G, cur.Get(ev.G))
+			if c.atomicWrites.SetPooled(ev.G, cur.Get(ev.G), d.pool) {
+				d.adapt.promotions++
+			}
 		}
+	}
+}
+
+// noteRead folds a read into an adaptive read history, counting the
+// promotion when the set inflates and the fast path when it stays in
+// (or enters) epoch form.
+func (d *DJIT) noteRead(hist *vclock.AdaptiveClock, g vclock.TID, t uint32) {
+	wasEpoch := !hist.IsInflated()
+	if hist.SetPooled(g, t, d.pool) {
+		d.adapt.promotions++
+	} else if wasEpoch {
+		d.adapt.fastReads++
 	}
 }
 
 // countConcurrent tallies components of hist that are ahead of cur —
 // prior accesses by other goroutines not ordered before this one.
-func (d *DJIT) countConcurrent(hist *vclock.VC, cur *vclock.VC, ev trace.Event) {
-	for i := 0; i < hist.Len(); i++ {
-		t := vclock.TID(i)
+func (d *DJIT) countConcurrent(hist *vclock.AdaptiveClock, cur *vclock.VC, ev trace.Event) {
+	hist.ForEachTime(func(t vclock.TID, ts uint32) {
 		if t == ev.G {
-			continue
+			return
 		}
-		if ts := hist.Get(t); ts != 0 && ts > cur.Get(t) {
+		if ts > cur.Get(t) {
 			d.count++
 			d.racyAddrs[ev.Addr] = true
 		}
-	}
+	})
 }

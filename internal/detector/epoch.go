@@ -24,6 +24,7 @@ type Epoch struct {
 	count     int
 	racyAddrs map[trace.Addr]bool
 	stats     statCounter
+	adapt     adaptCounter
 }
 
 // epochCell is one cell's shadow word, stored by value in a dense
@@ -95,6 +96,7 @@ func (e *Epoch) Reset() {
 	e.count = 0
 	clear(e.racyAddrs)
 	e.stats = statCounter{}
+	e.adapt = adaptCounter{}
 }
 
 func (e *Epoch) clockOf(g vclock.TID) *vclock.VC {
@@ -174,9 +176,9 @@ func (e *Epoch) HandleEvent(ev trace.Event) {
 			}
 		}
 		if ev.Op.IsAtomic() {
-			c.atomicReads.NotePooled(vclock.MakeEpoch(ev.G, cur.Get(ev.G)), cur, e.pool)
+			e.noteRead(&c.atomicReads, ev.G, cur)
 		} else {
-			c.reads.NotePooled(vclock.MakeEpoch(ev.G, cur.Get(ev.G)), cur, e.pool)
+			e.noteRead(&c.reads, ev.G, cur)
 		}
 
 	case trace.OpWrite, trace.OpAtomicStore, trace.OpAtomicRMW:
@@ -204,8 +206,27 @@ func (e *Epoch) HandleEvent(ev trace.Event) {
 		}
 		c.write = vclock.MakeEpoch(ev.G, cur.Get(ev.G))
 		c.writeAtomic = ev.Op.IsAtomic()
-		c.reads.ReleaseTo(e.pool)
-		c.atomicReads.ReleaseTo(e.pool)
+		// The write subsumes the read history; count the demotion only
+		// when an inflated clock actually went back to the pool (cell
+		// init and Reset also call ReleaseTo, but those are teardown).
+		if c.reads.ReleaseTo(e.pool) {
+			e.adapt.demotions++
+		}
+		if c.atomicReads.ReleaseTo(e.pool) {
+			e.adapt.demotions++
+		}
+	}
+}
+
+// noteRead folds a read into an adaptive read set, counting the
+// promotion when the set inflates and the fast path when the read is
+// absorbed in epoch form.
+func (e *Epoch) noteRead(rs *vclock.ReadSet, g vclock.TID, cur *vclock.VC) {
+	wasEpoch := !rs.IsInflated()
+	if rs.NotePooled(vclock.MakeEpoch(g, cur.Get(g)), cur, e.pool) {
+		e.adapt.promotions++
+	} else if wasEpoch {
+		e.adapt.fastReads++
 	}
 }
 

@@ -31,16 +31,29 @@ func (a access) toReport(addr trace.Addr) report.Access {
 // ftCell is the shadow state of one memory cell. Cells live by value
 // in a dense slice indexed by Addr, so looking one up is a bounds
 // check, not a map probe, and a fresh cell costs no allocation.
+//
+// The read history is adaptive, FastTrack style: while a single
+// goroutine reads the cell — by far the common case — the history is
+// the inline `read` slot and costs nothing beyond the cell itself.
+// The first read by a second goroutine *promotes* the cell to the
+// `readers` list (drawn from the detector's freelist); the next write
+// *demotes* it back, releasing the list for reuse by other cells.
+// Unlike textbook FastTrack, an *ordered* read by a second goroutine
+// still promotes: this detector reports one race per retained reader
+// with that reader's metadata, so collapsing ordered readers into one
+// slot would change which reports a later concurrent write produces.
 type ftCell struct {
 	seen     bool
 	hasWrite bool
+	hasRead  bool
 	write    access
-	// reads holds the most recent read per goroutine since the last
-	// ordered write (FastTrack's read history, with report metadata).
-	// The list holds only live readers — a write clears it — so it
-	// stays small and is scanned linearly; truncation keeps its
-	// capacity, making steady-state maintenance allocation-free.
-	reads   []access
+	// read is the epoch-form read slot: the most recent read while at
+	// most one goroutine has read since the last write.
+	read access
+	// readers is the promoted (vector-clock-form) read history: the
+	// most recent read per goroutine since the last write, in first-
+	// read order. nil while the cell is in epoch form.
+	readers []access
 	reports int
 }
 
@@ -66,6 +79,11 @@ type FastTrack struct {
 	locks     *lockTracker
 	races     []report.Race
 	stats     statCounter
+	adapt     adaptCounter
+	// freeReaders recycles demoted readers lists: only currently
+	// promoted cells hold list storage, and a demotion hands the
+	// backing array to the next promotion anywhere in the detector.
+	freeReaders [][]access
 	// MaxReportsPerCell caps reports from a single cell so a racy
 	// loop does not flood the output (default 8).
 	MaxReportsPerCell int
@@ -115,9 +133,14 @@ func (ft *FastTrack) Reset() {
 	ft.objCount = 0
 	for i := range ft.cells {
 		c := &ft.cells[i]
-		c.seen, c.hasWrite, c.reports = false, false, 0
-		c.write = access{}
-		c.reads = c.reads[:0]
+		c.seen, c.hasWrite, c.hasRead, c.reports = false, false, false, 0
+		c.write, c.read = access{}, access{}
+		if c.readers != nil {
+			// Teardown, not a demotion: the counters describe the
+			// event stream, so Reset does not touch them.
+			ft.releaseReaders(c.readers)
+			c.readers = nil
+		}
 	}
 	ft.cellCount = 0
 	ft.addrIx.reset()
@@ -125,6 +148,28 @@ func (ft *FastTrack) Reset() {
 	ft.locks.reset()
 	ft.races = ft.races[:0]
 	ft.stats = statCounter{}
+	ft.adapt = adaptCounter{}
+}
+
+// acquireReaders pops a recycled readers list, or allocates the first
+// time a promotion outruns the freelist.
+func (ft *FastTrack) acquireReaders() []access {
+	if n := len(ft.freeReaders); n > 0 {
+		s := ft.freeReaders[n-1]
+		ft.freeReaders[n-1] = nil
+		ft.freeReaders = ft.freeReaders[:n-1]
+		return s
+	}
+	return make([]access, 0, 4)
+}
+
+// releaseReaders clears a demoted list (dropping its stack and lock
+// references) and parks it for the next promotion.
+func (ft *FastTrack) releaseReaders(s []access) {
+	for i := range s {
+		s[i] = access{}
+	}
+	ft.freeReaders = append(ft.freeReaders, s[:0])
 }
 
 // clockOf returns g's clock, initializing it with its own component
@@ -222,13 +267,30 @@ func (ft *FastTrack) read(ev trace.Event) {
 		}
 	}
 	a := ft.newAccess(ev)
-	for i := range c.reads {
-		if c.reads[i].g == ev.G {
-			c.reads[i] = a
-			return
+	if c.readers != nil {
+		// Promoted: maintain the per-goroutine slot in first-read
+		// order, exactly the pre-adaptive list behavior.
+		for i := range c.readers {
+			if c.readers[i].g == ev.G {
+				c.readers[i] = a
+				return
+			}
 		}
+		c.readers = append(c.readers, a)
+		return
 	}
-	c.reads = append(c.reads, a)
+	if !c.hasRead || c.read.g == ev.G {
+		// Epoch-form fast path: first reader, or the owning goroutine
+		// reading again.
+		c.read, c.hasRead = a, true
+		ft.adapt.fastReads++
+		return
+	}
+	// Second distinct reader: promote. The prior slot goes first so
+	// the list order matches the pre-adaptive insertion order.
+	c.readers = append(ft.acquireReaders(), c.read, a)
+	c.read, c.hasRead = access{}, false
+	ft.adapt.promotions++
 }
 
 func (ft *FastTrack) write(ev trace.Event) {
@@ -239,20 +301,30 @@ func (ft *FastTrack) write(ev trace.Event) {
 			ft.report(ev, c, c.write)
 		}
 	}
-	for i := range c.reads {
-		r := &c.reads[i]
-		if r.g == ev.G {
-			continue
+	if c.readers != nil {
+		for i := range c.readers {
+			r := &c.readers[i]
+			if r.g == ev.G {
+				continue
+			}
+			if r.time > cur.Get(r.g) && !(r.atomic && ev.Op.IsAtomic()) {
+				ft.report(ev, c, *r)
+			}
 		}
-		if r.time > cur.Get(r.g) && !(r.atomic && ev.Op.IsAtomic()) {
-			ft.report(ev, c, *r)
+		// Demote: the write subsumes the ordered read history and the
+		// concurrent readers were just reported, so the list storage
+		// goes back to the freelist for the next promotion.
+		ft.releaseReaders(c.readers)
+		c.readers = nil
+		ft.adapt.demotions++
+	} else if c.hasRead {
+		if r := c.read; r.g != ev.G && r.time > cur.Get(r.g) && !(r.atomic && ev.Op.IsAtomic()) {
+			ft.report(ev, c, r)
 		}
 	}
+	c.read, c.hasRead = access{}, false
 	c.write = ft.newAccess(ev)
 	c.hasWrite = true
-	// FastTrack: a write subsumes the ordered read history; concurrent
-	// reads were just reported. Clearing keeps the history bounded.
-	c.reads = c.reads[:0]
 }
 
 func (ft *FastTrack) report(ev trace.Event, c *ftCell, prior access) {

@@ -1,6 +1,7 @@
 package detector
 
 import (
+	"fmt"
 	"sort"
 
 	"gorace/internal/registry"
@@ -17,13 +18,43 @@ var reg = registry.New[Detector]("detector")
 // name, a nil factory, or a duplicate registration.
 func Register(name string, factory func() Detector) { reg.Register(name, factory) }
 
+// Option configures construction in New beyond the detector name.
+type Option func(*config)
+
+type config struct {
+	sampleRate int
+}
+
+// WithSampleRate asks New to wrap the detector in a Sampled gate that
+// checks 1 in n accesses (sync events always pass). n ≤ 1 means no
+// sampling; negative n is rejected by New. The "none" detector is
+// never wrapped — there is nothing to sample.
+func WithSampleRate(n int) Option {
+	return func(c *config) { c.sampleRate = n }
+}
+
 // New builds a fresh detector by registered name ("" selects
-// DefaultName). Unknown names error, listing the valid ones.
-func New(name string) (Detector, error) {
+// DefaultName). Unknown names error, listing the valid ones, as does
+// an invalid option (negative sample rate).
+func New(name string, opts ...Option) (Detector, error) {
 	if name == "" {
 		name = DefaultName
 	}
-	return reg.Build(name)
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.sampleRate < 0 {
+		return nil, fmt.Errorf("detector: sample rate %d is negative (want ≥ 1, 1 = no sampling)", cfg.sampleRate)
+	}
+	d, err := reg.Build(name)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.sampleRate > 1 && !IsNoop(d) {
+		d = NewSampled(d, cfg.sampleRate)
+	}
+	return d, nil
 }
 
 // Names returns the registered detector names, sorted.
@@ -142,3 +173,35 @@ func (Noop) Stats() Stats { return Stats{} }
 
 // Reset implements Resetter; the none detector holds no state.
 func (Noop) Reset() {}
+
+// Counter is implemented by detectors that track the total number of
+// conflicting access pairs beyond the deduplicated report list
+// (Counting and any wrapper around one). Consumers prefer Count over
+// len(Races()) when available.
+type Counter interface {
+	Count() int
+}
+
+// Seeded is implemented by detectors whose behavior has a per-run
+// pseudo-random component (the Sampled gate's phase). core.Runner
+// calls SetRunSeed before each seed so results are a pure function of
+// (seed, configuration) at any parallelism.
+type Seeded interface {
+	SetRunSeed(seed int64)
+}
+
+// IsNoop reports whether d is the "none" detector, unwrapping any
+// Sampled gate. The Runner consults it to skip attaching a listener
+// that would observe nothing.
+func IsNoop(d Detector) bool {
+	for {
+		if _, ok := d.(Noop); ok {
+			return true
+		}
+		s, ok := d.(*Sampled)
+		if !ok {
+			return false
+		}
+		d = s.Inner
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"gorace/internal/sched"
 	"gorace/internal/trace"
+	"gorace/internal/vclock"
 )
 
 func TestNewKnownDetectors(t *testing.T) {
@@ -154,5 +155,119 @@ func TestNoopDetectorReportsNothing(t *testing.T) {
 	}
 	if n.Name() != "none" {
 		t.Fatalf("noop name %q", n.Name())
+	}
+}
+
+// TestNewWithSampleRate pins the option's wrapping rules: rates above
+// 1 wrap in a Sampled gate, rates 0/1 build the bare detector, the
+// none detector is never wrapped, and negative rates error.
+func TestNewWithSampleRate(t *testing.T) {
+	d, err := New("fasttrack", WithSampleRate(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := d.(*Sampled)
+	if !ok {
+		t.Fatalf("New(fasttrack, rate 4) = %T, want *Sampled", d)
+	}
+	if s.Rate != 4 {
+		t.Fatalf("wrapped rate = %d, want 4", s.Rate)
+	}
+	if got, want := s.Name(), "fasttrack-hb+sample:4"; got != want {
+		t.Fatalf("sampled name = %q, want %q", got, want)
+	}
+	for _, rate := range []int{0, 1} {
+		d, err := New("fasttrack", WithSampleRate(rate))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, wrapped := d.(*Sampled); wrapped {
+			t.Fatalf("rate %d wrapped the detector; want bare", rate)
+		}
+	}
+	d, err = New("none", WithSampleRate(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsNoop(d) {
+		t.Fatalf("New(none, rate 16) = %T, want the noop detector unwrapped", d)
+	}
+	if _, wrapped := d.(*Sampled); wrapped {
+		t.Fatal("the none detector was wrapped in a sampling gate")
+	}
+	if _, err := New("fasttrack", WithSampleRate(-1)); err == nil {
+		t.Fatal("negative sample rate did not error")
+	}
+}
+
+// TestStatsPassthroughCarriesAdaptiveCounters drives a promoting,
+// demoting event stream through every wrapper combination and checks
+// nobody zeroes the inner detector's counters — the "no zero-value
+// lies" contract.
+func TestStatsPassthroughCarriesAdaptiveCounters(t *testing.T) {
+	// g1 and g2 read addr 1 concurrently (promotion), then g1 writes
+	// it (demotion + two report pairs).
+	stream := func(l trace.Listener) {
+		emit := func(op trace.Op, g vclock.TID) {
+			l.HandleEvent(trace.Event{Op: op, G: g, Addr: 1})
+		}
+		l.HandleEvent(trace.Event{Op: trace.OpFork, G: 0, Child: 1})
+		l.HandleEvent(trace.Event{Op: trace.OpFork, G: 0, Child: 2})
+		emit(trace.OpRead, 1)
+		emit(trace.OpRead, 2)
+		emit(trace.OpWrite, 1)
+	}
+	check := func(name string, d Detector, wantDemotions bool) {
+		t.Helper()
+		stream(d)
+		st := d.Stats()
+		if st.Promotions == 0 {
+			t.Fatalf("%s: promotions = 0 after a concurrent-read stream\nstats: %v", name, st)
+		}
+		if wantDemotions && st.Demotions == 0 {
+			t.Fatalf("%s: demotions = 0 after a dominating write\nstats: %v", name, st)
+		}
+		if st.CheckedAccesses == 0 {
+			t.Fatalf("%s: checked accesses = 0\nstats: %v", name, st)
+		}
+	}
+	check("fasttrack", NewFastTrack(), true)
+	check("counting(epoch)", NewCounting(NewEpoch()), true)
+	// DJIT keeps full histories for the cell's whole life, so it
+	// promotes but never demotes within a run.
+	check("counting(djit)", NewCounting(NewDJIT()), false)
+	check("sampled(fasttrack)", NewSampled(NewFastTrack(), 1), true)
+	check("sampled(counting(epoch))", NewSampled(NewCounting(NewEpoch()), 1), true)
+
+	// Under a real gate the full-stream counters must stay honest:
+	// checked + skipped == accesses, and the event-shape counters
+	// describe the pre-gate stream.
+	s := NewSampled(NewFastTrack(), 3)
+	s.SetRunSeed(7)
+	stream(s)
+	st := s.Stats()
+	if st.Accesses != 3 {
+		t.Fatalf("sampled stats lost the full stream: accesses = %d, want 3", st.Accesses)
+	}
+	if st.CheckedAccesses+st.SkippedAccesses != st.Accesses {
+		t.Fatalf("checked %d + skipped %d != accesses %d",
+			st.CheckedAccesses, st.SkippedAccesses, st.Accesses)
+	}
+	if st.SkippedAccesses == 0 {
+		t.Fatal("rate-3 gate over 3 accesses skipped nothing")
+	}
+}
+
+// TestNoopStatsStayZero: the none detector reports all-zero stats, and
+// IsNoop sees through a hypothetical sampled wrapping.
+func TestNoopStatsStayZero(t *testing.T) {
+	if got := (Noop{}).Stats(); got != (Stats{}) {
+		t.Fatalf("Noop stats = %v, want zero", got)
+	}
+	if !IsNoop(NewSampled(Noop{}, 8)) {
+		t.Fatal("IsNoop failed to unwrap a sampled noop")
+	}
+	if IsNoop(NewFastTrack()) {
+		t.Fatal("IsNoop claimed fasttrack is the none detector")
 	}
 }

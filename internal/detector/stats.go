@@ -10,6 +10,13 @@ import (
 // the overhead story: TSan's cost scales with instrumented accesses
 // and the shadow state they allocate ("memory usage increases by
 // 5×-10×", §1).
+//
+// The adaptive-representation counters (Promotions, Demotions,
+// FastPathReads) expose how often the epoch↔vector-clock shadow
+// machinery left the cheap epoch form; the sampling counters
+// (CheckedAccesses, SkippedAccesses) expose how much of the access
+// stream a sampled run actually inspected. docs/DETECTORS.md glosses
+// every field and how to read anomalies in them.
 type Stats struct {
 	Events     int // total events consumed
 	Accesses   int // plain + atomic memory accesses
@@ -18,12 +25,40 @@ type Stats struct {
 	SyncClocks int // synchronization-object clocks allocated
 	Goroutines int // goroutine clocks allocated
 	Reports    int // races reported (or counted)
+
+	// Promotions counts epoch→vector-clock shadow-cell promotions: a
+	// cell's read history left the one-word epoch form because a
+	// second goroutine read it in the same write-free span.
+	Promotions int
+	// Demotions counts vector-clock→epoch demotions: a write
+	// dominated a promoted cell's read history and collapsed it back
+	// to epoch form, releasing the clock to the pool.
+	Demotions int
+	// FastPathReads counts read-history updates absorbed in epoch
+	// form (first read, or a repeat read by the owning goroutine) —
+	// FastTrack's O(1) common case. Healthy workloads keep this well
+	// above 90% of reads; see docs/DETECTORS.md for tuning.
+	FastPathReads int
+
+	// CheckedAccesses counts accesses the detection logic actually
+	// inspected. Without sampling it equals Accesses; under a
+	// sample:<n> gate it is roughly Accesses/n.
+	CheckedAccesses int
+	// SkippedAccesses counts accesses the sampling gate dropped
+	// before they reached the detector (zero without sampling).
+	SkippedAccesses int
 }
 
 // String renders the counters on one line for logs and CLI output.
 func (s Stats) String() string {
-	return fmt.Sprintf("events=%d accesses=%d syncs=%d cells=%d objclocks=%d goroutines=%d reports=%d",
+	line := fmt.Sprintf("events=%d accesses=%d syncs=%d cells=%d objclocks=%d goroutines=%d reports=%d",
 		s.Events, s.Accesses, s.SyncOps, s.Cells, s.SyncClocks, s.Goroutines, s.Reports)
+	line += fmt.Sprintf(" promotions=%d demotions=%d fastreads=%d",
+		s.Promotions, s.Demotions, s.FastPathReads)
+	if s.SkippedAccesses > 0 {
+		line += fmt.Sprintf(" checked=%d skipped=%d", s.CheckedAccesses, s.SkippedAccesses)
+	}
+	return line
 }
 
 // statCounter wraps the event-shape counters shared by detectors.
@@ -41,6 +76,26 @@ func (c *statCounter) note(ev trace.Event) {
 	}
 }
 
+// adaptCounter tracks the adaptive shadow-representation transitions
+// shared by the epoch-based detectors (fasttrack, epoch, djit).
+type adaptCounter struct {
+	promotions, demotions, fastReads int
+}
+
+// fill copies the shared counters into a Stats snapshot, defaulting
+// CheckedAccesses to the full access count (no sampling at this
+// layer; the Sampled wrapper overrides the split).
+func fill(s Stats, c statCounter, a adaptCounter) Stats {
+	s.Events = c.events
+	s.Accesses = c.accesses
+	s.SyncOps = c.syncOps
+	s.Promotions = a.promotions
+	s.Demotions = a.demotions
+	s.FastPathReads = a.fastReads
+	s.CheckedAccesses = c.accesses
+	return s
+}
+
 // Stats reports the FastTrack detector's work counters.
 func (ft *FastTrack) Stats() Stats {
 	gor := 0
@@ -49,15 +104,12 @@ func (ft *FastTrack) Stats() Stats {
 			gor++
 		}
 	}
-	return Stats{
-		Events:     ft.stats.events,
-		Accesses:   ft.stats.accesses,
-		SyncOps:    ft.stats.syncOps,
+	return fill(Stats{
 		Cells:      ft.cellCount,
 		SyncClocks: ft.objCount,
 		Goroutines: gor,
 		Reports:    len(ft.races),
-	}
+	}, ft.stats, ft.adapt)
 }
 
 // Stats reports the Epoch detector's work counters.
@@ -68,18 +120,17 @@ func (e *Epoch) Stats() Stats {
 			gor++
 		}
 	}
-	return Stats{
-		Events:     e.stats.events,
-		Accesses:   e.stats.accesses,
-		SyncOps:    e.stats.syncOps,
+	return fill(Stats{
 		Cells:      e.cellCount,
 		SyncClocks: e.objCount,
 		Goroutines: gor,
 		Reports:    e.count,
-	}
+	}, e.stats, e.adapt)
 }
 
-// Stats reports the DJIT detector's work counters.
+// Stats reports the DJIT detector's work counters. DJIT never clears
+// a cell's history, so its Demotions stay zero within a run — the
+// contrast with FastTrack's demotion stream is the ablation's point.
 func (d *DJIT) Stats() Stats {
 	gor := 0
 	for _, c := range d.clocks {
@@ -87,40 +138,32 @@ func (d *DJIT) Stats() Stats {
 			gor++
 		}
 	}
-	return Stats{
-		Events:     d.stats.events,
-		Accesses:   d.stats.accesses,
-		SyncOps:    d.stats.syncOps,
+	return fill(Stats{
 		Cells:      d.cellCount,
 		SyncClocks: d.objCount,
 		Goroutines: gor,
 		Reports:    d.count,
-	}
+	}, d.stats, d.adapt)
 }
 
 // Stats reports the Hybrid detector's combined work counters. Both
 // sides consume the same event stream, so the event-shape counters
-// come from the HB side; shadow state and reports are summed.
+// come from the HB side; shadow state and reports are summed. The
+// adaptive counters come from the HB side alone (Eraser keeps lockset
+// state, not clock histories).
 func (h *Hybrid) Stats() Stats {
 	hb, ls := h.HB.Stats(), h.LS.Stats()
-	return Stats{
-		Events:     hb.Events,
-		Accesses:   hb.Accesses,
-		SyncOps:    hb.SyncOps,
-		Cells:      hb.Cells + ls.Cells,
-		SyncClocks: hb.SyncClocks,
-		Goroutines: hb.Goroutines,
-		Reports:    hb.Reports + ls.Reports,
-	}
+	hb.Cells += ls.Cells
+	hb.Reports += ls.Reports
+	return hb
 }
 
-// Stats reports the Eraser detector's work counters.
+// Stats reports the Eraser detector's work counters. Eraser tracks
+// locksets, not clocks, so the adaptive promotion counters are always
+// zero.
 func (e *Eraser) Stats() Stats {
-	return Stats{
-		Events:   e.stats.events,
-		Accesses: e.stats.accesses,
-		SyncOps:  e.stats.syncOps,
-		Cells:    e.cellCount,
-		Reports:  len(e.races),
-	}
+	return fill(Stats{
+		Cells:   e.cellCount,
+		Reports: len(e.races),
+	}, e.stats, adaptCounter{})
 }

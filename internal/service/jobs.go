@@ -39,6 +39,10 @@ type JobSpec struct {
 	Seeds int `json:"seeds,omitempty"`
 	// BaseSeed offsets the seed range (default 0).
 	BaseSeed int64 `json:"baseSeed,omitempty"`
+	// Sample checks 1 in N accesses via the deterministic sampling
+	// gate (0 or 1 = every access; docs/DETECTORS.md has the
+	// tradeoff). Results stay reproducible at any parallelism.
+	Sample int `json:"sample,omitempty"`
 }
 
 // Job states, reported in JobStatus.State.
@@ -273,6 +277,9 @@ func (m *jobManager) validate(spec *JobSpec) error {
 	if spec.Seeds > m.maxSeeds {
 		return fmt.Errorf("seeds %d exceeds the server cap of %d", spec.Seeds, m.maxSeeds)
 	}
+	if spec.Sample < 0 {
+		return fmt.Errorf("sample %d is negative (want ≥ 1, 1 = no sampling)", spec.Sample)
+	}
 	return nil
 }
 
@@ -436,13 +443,14 @@ func campaignUnits(spec JobSpec) []sweep.Unit {
 		}
 		for _, strat := range spec.Strategies {
 			units = append(units, sweep.Unit{
-				ID:       id + "/" + strat,
-				Program:  prog,
-				Detector: spec.Detector,
-				Strategy: strat,
-				BaseSeed: spec.BaseSeed,
-				Runs:     spec.Seeds,
-				MaxSteps: 1 << 16,
+				ID:         id + "/" + strat,
+				Program:    prog,
+				Detector:   spec.Detector,
+				Strategy:   strat,
+				BaseSeed:   spec.BaseSeed,
+				Runs:       spec.Seeds,
+				MaxSteps:   1 << 16,
+				SampleRate: spec.Sample,
 				// Recording feeds the classifier's hints; corpus
 				// programs are small and nothing survives the run.
 				Record: true,

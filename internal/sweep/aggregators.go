@@ -274,3 +274,111 @@ func (t *Tally) Counts(keep func(report.Race) bool) map[taxonomy.Category]int {
 	})
 	return counts
 }
+
+// UnitWork is one unit's accumulated detector work, the overhead side
+// of the detection-probability-vs-overhead tradeoff a sample-rate
+// sweep measures. All counters are sums over the unit's runs, taken
+// from each Outcome's detector.Stats.
+type UnitWork struct {
+	Unit       string // Unit.ID
+	Detector   string // resolved detector name, from the first outcome
+	SampleRate int    // the unit's sampling rate (0/1 = unsampled)
+	Runs       int    // executions observed
+	Detected   int    // executions with at least one race
+	Events     int    // events consumed (full stream, pre-gate)
+	Accesses   int    // memory accesses in the stream
+	Checked    int    // accesses the detector actually inspected
+	Skipped    int    // accesses the sampling gate dropped
+	Promotions int    // epoch→VC shadow promotions inside the detector
+	Demotions  int    // VC→epoch demotions
+	FastReads  int    // reads absorbed on the epoch fast path
+}
+
+// Probability returns the unit's detection-probability estimate.
+func (w UnitWork) Probability() float64 {
+	if w.Runs == 0 {
+		return 0
+	}
+	return float64(w.Detected) / float64(w.Runs)
+}
+
+// CheckedFraction returns the fraction of accesses inspected — the
+// direct overhead proxy a sampling rate buys down.
+func (w UnitWork) CheckedFraction() float64 {
+	if w.Accesses == 0 {
+		return 0
+	}
+	return float64(w.Checked) / float64(w.Accesses)
+}
+
+// Overhead accumulates per-unit detector work counters. Paired with
+// Prob over rate-expanded units it yields the campaign's
+// P(detect)-vs-overhead table (see cmd/racedetect -sweep-rates).
+type Overhead struct {
+	units []*UnitWork // indexed by UnitIdx
+}
+
+// NewOverhead returns an empty Overhead aggregator.
+func NewOverhead() *Overhead { return &Overhead{} }
+
+func (o *Overhead) unit(idx int) *UnitWork {
+	for len(o.units) <= idx {
+		o.units = append(o.units, nil)
+	}
+	if o.units[idx] == nil {
+		o.units[idx] = &UnitWork{}
+	}
+	return o.units[idx]
+}
+
+// Observe implements Aggregator.
+func (o *Overhead) Observe(r Run) {
+	w := o.unit(r.UnitIdx)
+	w.Unit = r.Unit.ID
+	w.Detector = r.Outcome.Detector
+	w.SampleRate = r.Unit.SampleRate
+	w.Runs++
+	if r.Outcome.HasRace() {
+		w.Detected++
+	}
+	st := r.Outcome.Stats
+	w.Events += st.Events
+	w.Accesses += st.Accesses
+	w.Checked += st.CheckedAccesses
+	w.Skipped += st.SkippedAccesses
+	w.Promotions += st.Promotions
+	w.Demotions += st.Demotions
+	w.FastReads += st.FastPathReads
+}
+
+// Merge implements Aggregator.
+func (o *Overhead) Merge(next Aggregator) {
+	for idx, ow := range next.(*Overhead).units {
+		if ow == nil {
+			continue
+		}
+		w := o.unit(idx)
+		w.Unit, w.Detector, w.SampleRate = ow.Unit, ow.Detector, ow.SampleRate
+		w.Runs += ow.Runs
+		w.Detected += ow.Detected
+		w.Events += ow.Events
+		w.Accesses += ow.Accesses
+		w.Checked += ow.Checked
+		w.Skipped += ow.Skipped
+		w.Promotions += ow.Promotions
+		w.Demotions += ow.Demotions
+		w.FastReads += ow.FastReads
+	}
+}
+
+// Work returns the per-unit work counters in unit order (units that
+// executed no runs are skipped).
+func (o *Overhead) Work() []UnitWork {
+	out := make([]UnitWork, 0, len(o.units))
+	for _, w := range o.units {
+		if w != nil {
+			out = append(out, *w)
+		}
+	}
+	return out
+}

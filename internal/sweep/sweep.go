@@ -64,6 +64,10 @@ type Unit struct {
 	MaxSteps int
 	// Record keeps each run's event trace on its Outcome.
 	Record bool
+	// SampleRate gates the detector behind a deterministic 1-in-N
+	// access-sampling filter (core.WithSampleRate). 0 or 1 means
+	// check every access.
+	SampleRate int
 	// HaltOnRace stops the unit's sweep at the first run that
 	// detects a race (a bounded seed *search* rather than a full
 	// sweep). Halting units are never split across shards, so the
@@ -309,7 +313,7 @@ func configKey(u *Unit, unitIdx int) string {
 	if u.StrategyFactory != nil {
 		return fmt.Sprintf("factory/%d", unitIdx)
 	}
-	return fmt.Sprintf("%s\x00%s\x00%d\x00%t", u.Detector, u.Strategy, u.MaxSteps, u.Record)
+	return fmt.Sprintf("%s\x00%s\x00%d\x00%t\x00%d", u.Detector, u.Strategy, u.MaxSteps, u.Record, u.SampleRate)
 }
 
 // runShard executes one shard on the calling worker goroutine,
@@ -329,6 +333,7 @@ func (e *Engine) runShard(ctx context.Context, units []Unit, sh shard, idx int, 
 			core.WithDetector(u.Detector),
 			core.WithMaxSteps(u.MaxSteps),
 			core.WithRecord(u.Record),
+			core.WithSampleRate(u.SampleRate),
 		}
 		if u.StrategyFactory != nil {
 			opts = append(opts, core.WithStrategyFactory(u.StrategyFactory))

@@ -211,30 +211,32 @@ func (r *ReadSet) Epoch() Epoch { return r.epoch }
 
 // Note records a read at epoch e by goroutine e.TID() whose current
 // clock is cur. It inflates to a VC when the new read is concurrent
-// with the recorded one.
-func (r *ReadSet) Note(e Epoch, cur *VC) {
-	r.note(e, cur, nil)
+// with the recorded one, and reports whether this note performed that
+// epoch→VC promotion — the signal adaptive detectors count.
+func (r *ReadSet) Note(e Epoch, cur *VC) bool {
+	return r.note(e, cur, nil)
 }
 
 // NotePooled is Note drawing the inflated clock from p, so a detector
 // that recycles its read histories (ReleaseTo) inflates without
-// allocating in the steady state.
-func (r *ReadSet) NotePooled(e Epoch, cur *VC, p *Pool) {
-	r.note(e, cur, p)
+// allocating in the steady state. Like Note, it reports whether the
+// history was promoted from epoch to vector-clock form.
+func (r *ReadSet) NotePooled(e Epoch, cur *VC, p *Pool) bool {
+	return r.note(e, cur, p)
 }
 
-func (r *ReadSet) note(e Epoch, cur *VC, p *Pool) {
+func (r *ReadSet) note(e Epoch, cur *VC, p *Pool) bool {
 	if r.inflated != nil {
 		r.inflated.Set(e.TID(), e.Time())
-		return
+		return false
 	}
 	if r.epoch.IsNone() || r.epoch.TID() == e.TID() || r.epoch.LeqVC(cur) {
 		// Same reader, or previous read happens before this one:
 		// stay in the cheap epoch representation.
 		r.epoch = e
-		return
+		return false
 	}
-	// Concurrent reads: inflate.
+	// Concurrent reads: promote to a full clock.
 	if p != nil {
 		r.inflated = p.Acquire()
 	} else {
@@ -242,6 +244,7 @@ func (r *ReadSet) note(e Epoch, cur *VC, p *Pool) {
 	}
 	r.inflated.Set(r.epoch.TID(), r.epoch.Time())
 	r.inflated.Set(e.TID(), e.Time())
+	return true
 }
 
 // AllLeq reports whether every recorded read happens before or equals cur.
@@ -277,13 +280,18 @@ func (r *ReadSet) Reset() {
 }
 
 // ReleaseTo clears the history like Reset, returning any inflated
-// clock to p for reuse by the next inflation.
-func (r *ReadSet) ReleaseTo(p *Pool) {
-	if r.inflated != nil {
+// clock to p for reuse by the next inflation. It reports whether an
+// inflated clock was actually released — a genuine VC→epoch demotion,
+// as opposed to clearing a history that never left epoch form — so
+// adaptive detectors can count demotions without peeking inside.
+func (r *ReadSet) ReleaseTo(p *Pool) bool {
+	demoted := r.inflated != nil
+	if demoted {
 		p.Release(r.inflated)
 		r.inflated = nil
 	}
 	r.epoch = NoEpoch
+	return demoted
 }
 
 // ForEach calls fn for every recorded reader epoch, in TID order for
@@ -301,6 +309,100 @@ func (r *ReadSet) ForEach(fn func(Epoch)) {
 	if !r.epoch.IsNone() {
 		fn(r.epoch)
 	}
+}
+
+// AdaptiveClock is an adaptively-represented history clock: a single
+// packed (TID, time) epoch while one goroutine owns the history — by
+// far the common case for per-cell access histories — inflated to a
+// pooled full vector clock on the first touch by a second goroutine,
+// and demoted back to epoch form when the history is released.
+//
+// Unlike ReadSet, which follows FastTrack's read-share rule (ordered
+// reads by different goroutines collapse into one epoch),
+// AdaptiveClock preserves *every* goroutine's latest component exactly
+// like a full VC does — it is a representation change only, so a
+// DJIT-style detector that counts each concurrent component sees
+// identical verdicts. The zero value is an empty history.
+type AdaptiveClock struct {
+	// epoch == 0 means empty: logical times start at 1, so a real
+	// MakeEpoch(tid, t) is never the zero word.
+	epoch    Epoch
+	inflated *VC
+}
+
+// IsInflated reports whether the history holds a full vector clock.
+func (a *AdaptiveClock) IsInflated() bool { return a.inflated != nil }
+
+// Get returns the recorded time for tid (zero if never set).
+func (a *AdaptiveClock) Get(tid TID) uint32 {
+	if a.inflated != nil {
+		return a.inflated.Get(tid)
+	}
+	if a.epoch != 0 && a.epoch.TID() == tid {
+		return a.epoch.Time()
+	}
+	return 0
+}
+
+// SetPooled records time t for tid, drawing the inflated clock from p
+// on promotion. It reports whether this set promoted the history from
+// epoch to vector-clock form (first second-goroutine touch).
+func (a *AdaptiveClock) SetPooled(tid TID, t uint32, p *Pool) bool {
+	if a.inflated != nil {
+		a.inflated.Set(tid, t)
+		return false
+	}
+	if a.epoch == 0 || a.epoch.TID() == tid {
+		a.epoch = MakeEpoch(tid, t)
+		return false
+	}
+	if p != nil {
+		a.inflated = p.Acquire()
+	} else {
+		a.inflated = New()
+	}
+	a.inflated.Set(a.epoch.TID(), a.epoch.Time())
+	a.inflated.Set(tid, t)
+	return true
+}
+
+// Set is SetPooled without a pool (promotion allocates).
+func (a *AdaptiveClock) Set(tid TID, t uint32) bool { return a.SetPooled(tid, t, nil) }
+
+// ForEachTime calls fn for every nonzero component, in TID order for
+// the inflated form. It allocates nothing, so detection hot paths can
+// walk the history per access.
+func (a *AdaptiveClock) ForEachTime(fn func(TID, uint32)) {
+	if a.inflated != nil {
+		for i := 0; i < a.inflated.Len(); i++ {
+			if t := a.inflated.Get(TID(i)); t != 0 {
+				fn(TID(i), t)
+			}
+		}
+		return
+	}
+	if a.epoch != 0 {
+		fn(a.epoch.TID(), a.epoch.Time())
+	}
+}
+
+// ReleaseTo empties the history, returning any inflated clock to p.
+// Like ReadSet.ReleaseTo it reports whether a clock was actually
+// released — a genuine VC→epoch demotion.
+func (a *AdaptiveClock) ReleaseTo(p *Pool) bool {
+	demoted := a.inflated != nil
+	if demoted {
+		p.Release(a.inflated)
+		a.inflated = nil
+	}
+	a.epoch = 0
+	return demoted
+}
+
+// Reset empties the history without pooling the inflated clock.
+func (a *AdaptiveClock) Reset() {
+	a.epoch = 0
+	a.inflated = nil
 }
 
 // Readers returns the recorded reader epochs, sorted by TID, mainly for

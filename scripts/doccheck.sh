@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # doccheck.sh — fail when a package or exported identifier under
-# internal/ or cmd/ lacks a doc comment, or when docs/CLI.md has gone
-# stale against the commands under cmd/. CI runs this as a blocking
-# step; run it locally before sending a PR:
+# internal/ or cmd/ lacks a doc comment, when docs/CLI.md has gone
+# stale against the commands under cmd/, or when docs/DETECTORS.md no
+# longer covers every registered detector and exported Stats field.
+# CI runs this as a blocking step; run it locally before sending a PR:
 #
 #   scripts/doccheck.sh
 #
@@ -10,4 +11,6 @@
 # parses the source with go/ast (no deps beyond the stdlib).
 set -euo pipefail
 cd "$(dirname "$0")/.."
-exec go run ./scripts/doccheck -clidoc docs/CLI.md -cmds cmd internal cmd
+exec go run ./scripts/doccheck -clidoc docs/CLI.md -cmds cmd \
+	-detdoc docs/DETECTORS.md -detsrc internal/detector \
+	internal cmd

@@ -17,6 +17,13 @@
 // the given markdown file, and every "## <name>" section must name a
 // real command — so docs/CLI.md cannot silently go stale when a
 // command is added or removed.
+//
+// With -detdoc, doccheck cross-checks the detector design reference
+// the same way: every detector name registered in -detsrc (the string
+// literals passed to Register) and every exported field of the
+// detector Stats struct must appear backticked in the given markdown
+// file — so docs/DETECTORS.md cannot silently go stale when a
+// detector or counter is added.
 package main
 
 import (
@@ -41,6 +48,8 @@ type violation struct {
 func main() {
 	cliDoc := flag.String("clidoc", "", "markdown CLI reference to cross-check against -cmds (e.g. docs/CLI.md)")
 	cmds := flag.String("cmds", "cmd", "command tree the -clidoc reference must cover")
+	detDoc := flag.String("detdoc", "", "markdown detector reference to cross-check against -detsrc (e.g. docs/DETECTORS.md)")
+	detSrc := flag.String("detsrc", "internal/detector", "detector package the -detdoc reference must cover")
 	flag.Parse()
 	roots := flag.Args()
 	if len(roots) == 0 {
@@ -50,6 +59,14 @@ func main() {
 	var violations []violation
 	if *cliDoc != "" {
 		v, err := checkCLIDoc(*cliDoc, *cmds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		violations = append(violations, v...)
+	}
+	if *detDoc != "" {
+		v, err := checkDetectorDoc(*detDoc, *detSrc)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -285,6 +302,82 @@ func checkCLIDoc(docPath, cmdRoot string) ([]violation, error) {
 			out = append(out, violation{
 				pos:  token.Position{Filename: docPath, Line: 1},
 				what: fmt.Sprintf("command %s/%s is missing from the command table", cmdRoot, name),
+			})
+		}
+	}
+	return out, nil
+}
+
+// checkDetectorDoc cross-checks the detector design reference against
+// the detector package: every registered detector name (the string
+// literal in each Register call) and every exported field of the
+// Stats struct must appear backticked in the doc, so neither a new
+// detector nor a new counter can ship undocumented.
+func checkDetectorDoc(docPath, srcDir string) ([]violation, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, srcDir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, fmt.Errorf("doccheck: %s: %w", srcDir, err)
+	}
+	var wanted []string // identifiers the doc must mention, with their origin
+	var origins []string
+	addWant := func(name, origin string) {
+		wanted = append(wanted, name)
+		origins = append(origins, origin)
+	}
+	for _, pkg := range pkgs {
+		files := make([]string, 0, len(pkg.Files))
+		for name := range pkg.Files {
+			files = append(files, name)
+		}
+		sort.Strings(files)
+		for _, fname := range files {
+			ast.Inspect(pkg.Files[fname], func(n ast.Node) bool {
+				switch d := n.(type) {
+				case *ast.CallExpr:
+					id, ok := d.Fun.(*ast.Ident)
+					if !ok || id.Name != "Register" || len(d.Args) < 1 {
+						return true
+					}
+					if lit, ok := d.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						addWant(strings.Trim(lit.Value, `"`), "registered detector")
+					}
+				case *ast.TypeSpec:
+					if d.Name.Name != "Stats" {
+						return true
+					}
+					st, ok := d.Type.(*ast.StructType)
+					if !ok {
+						return true
+					}
+					for _, fld := range st.Fields.List {
+						for _, nm := range fld.Names {
+							if nm.IsExported() {
+								addWant(nm.Name, "exported Stats field")
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(wanted) == 0 {
+		return nil, fmt.Errorf("doccheck: %s: found no registered detectors or Stats fields (wrong -detsrc?)", srcDir)
+	}
+	data, err := os.ReadFile(docPath)
+	if err != nil {
+		return nil, fmt.Errorf("doccheck: %s: %w", docPath, err)
+	}
+	doc := string(data)
+	var out []violation
+	for i, name := range wanted {
+		if !strings.Contains(doc, "`"+name+"`") {
+			out = append(out, violation{
+				pos:  token.Position{Filename: docPath, Line: 1},
+				what: fmt.Sprintf("%s %q from %s is not mentioned (backticked) in the detector reference", origins[i], name, srcDir),
 			})
 		}
 	}
