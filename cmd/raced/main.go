@@ -13,9 +13,19 @@
 //	      [-nightly-services 4] [-nightly-tests 4]
 //	      [-nightly-racy 0.4] [-nightly-seed 1]
 //
+// Distributed mode (see docs/SERVICE.md "Distributed mode"): one
+// coordinator owns the store and the jobs API and dispatches campaign
+// shards to joined workers; workers are store-less, execute shards,
+// and serve reads from snapshots replicated off the coordinator.
+//
+//	raced -db corpus.db -coordinator [-shard-runs 16] [-inflight 2]
+//	      [-heartbeat 2s] [-dead-after 10s]
+//	raced -worker -join http://coordinator:8077 [-advertise URL]
+//	      [-shard-parallel N] [-pull 2s] [-heartbeat 2s]
+//
 // Endpoints (see docs/SERVICE.md for schemas and examples):
 //
-//	GET  /healthz            liveness + snapshot generation + job load
+//	GET  /healthz            liveness + role + snapshot generation + job load
 //	GET  /v1/stats           corpus summary
 //	GET  /v1/races           defect listing (unit=, category=, run=, sort=count, limit=)
 //	GET  /v1/races/{id}      one defect by dedup key
@@ -25,6 +35,11 @@
 //	GET  /v1/jobs/{id}       job status and live progress
 //	GET  /v1/jobs/{id}/results  finished results as JSON Lines
 //	POST /v1/nightly         run a monorepo nightly and append it to the store
+//	POST /v1/cluster/join    (coordinator) worker registration
+//	POST /v1/cluster/heartbeat  (coordinator) worker liveness beat
+//	GET  /v1/cluster         (coordinator) worker registry status
+//	GET  /v1/replica?since=  (coordinator) binary snapshot for replicas
+//	POST /v1/shards          (worker) execute one dispatched shard
 //
 // On SIGINT/SIGTERM the server drains gracefully: the listener stops,
 // in-flight requests and queued jobs finish (bounded by -drain), and
@@ -41,6 +56,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,7 +73,7 @@ func fatal(err error) {
 func main() {
 	var (
 		addr     = flag.String("addr", ":8077", "listen address")
-		db       = flag.String("db", "", "corpus store file (created if missing; required)")
+		db       = flag.String("db", "", "corpus store file (created if missing; required except with -worker)")
 		workers  = flag.Int("workers", 2, "concurrent campaign-job executors")
 		queue    = flag.Int("queue", 16, "pending-job queue bound (full queue answers 429)")
 		parallel = flag.Int("parallel", 0, "sweep workers per campaign (default GOMAXPROCS)")
@@ -69,13 +85,19 @@ func main() {
 		nTest = flag.Int("nightly-tests", 4, "unit tests per monorepo service")
 		nRacy = flag.Float64("nightly-racy", 0.4, "fraction of monorepo tests embedding a racy pattern")
 		nSeed = flag.Int64("nightly-seed", 1, "monorepo generation seed (fixes which tests are racy)")
+
+		coordinator = flag.Bool("coordinator", false, "run as a cluster coordinator: dispatch campaigns to joined workers")
+		worker      = flag.Bool("worker", false, "run as a store-less worker node (requires -join)")
+		join        = flag.String("join", "", "coordinator base URL a -worker node joins")
+		advertise   = flag.String("advertise", "", "base URL this worker advertises to the coordinator (default derived from -addr)")
+		shardRuns   = flag.Int("shard-runs", 0, "seeds per dispatched shard on the coordinator (default 16)")
+		inflight    = flag.Int("inflight", 0, "concurrent shard dispatches per worker (default 2)")
+		heartbeat   = flag.Duration("heartbeat", 0, "heartbeat period (default 2s)")
+		deadAfter   = flag.Duration("dead-after", 0, "heartbeat staleness after which the coordinator declares a worker dead (default 10s)")
+		pull        = flag.Duration("pull", 0, "replica snapshot pull period on workers (default 2s)")
+		shardPar    = flag.Int("shard-parallel", 0, "concurrent shard executions per worker (default GOMAXPROCS)")
 	)
 	flag.Parse()
-	if *db == "" {
-		fmt.Fprintln(os.Stderr, "raced: -db is required")
-		flag.Usage()
-		os.Exit(2)
-	}
 
 	logger := log.New(os.Stderr, "raced ", log.LstdFlags)
 	reqLogger := logger
@@ -83,33 +105,103 @@ func main() {
 		reqLogger = log.New(io.Discard, "", 0)
 	}
 
-	store, err := corpus.Open(*db)
-	if err != nil {
-		fatal(err)
-	}
-	defer store.Close()
-
-	svc, err := service.New(service.Config{
-		Store:          store,
-		Repo:           monorepo.Generate(*nSvc, *nTest, *nRacy, *nSeed),
-		JobWorkers:     *workers,
-		QueueDepth:     *queue,
-		JobParallelism: *parallel,
-		MaxSeeds:       *maxSeeds,
-		Logger:         reqLogger,
-	})
-	if err != nil {
-		fatal(err)
+	var svc *service.Server
+	var store *corpus.Store
+	switch {
+	case *worker:
+		if *join == "" {
+			fmt.Fprintln(os.Stderr, "raced: -worker requires -join <coordinator URL>")
+			os.Exit(2)
+		}
+		if *db != "" {
+			fmt.Fprintln(os.Stderr, "raced: -worker nodes are store-less; drop -db")
+			os.Exit(2)
+		}
+		adv := *advertise
+		if adv == "" {
+			// ":8078" has no host to dial back; assume loopback, the
+			// single-machine (and CI) topology.
+			if strings.HasPrefix(*addr, ":") {
+				adv = "http://127.0.0.1" + *addr
+			} else {
+				adv = "http://" + *addr
+			}
+		}
+		var err error
+		svc, err = service.New(service.Config{
+			Worker: &service.WorkerConfig{
+				Coordinator:      *join,
+				Advertise:        adv,
+				ShardParallelism: *shardPar,
+				PullEvery:        *pull,
+				HeartbeatEvery:   *heartbeat,
+			},
+			MaxSeeds: *maxSeeds,
+			Logger:   reqLogger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		if *db == "" {
+			fmt.Fprintln(os.Stderr, "raced: -db is required")
+			flag.Usage()
+			os.Exit(2)
+		}
+		var err error
+		store, err = corpus.Open(*db)
+		if err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+		cfg := service.Config{
+			Store:          store,
+			Repo:           monorepo.Generate(*nSvc, *nTest, *nRacy, *nSeed),
+			JobWorkers:     *workers,
+			QueueDepth:     *queue,
+			JobParallelism: *parallel,
+			MaxSeeds:       *maxSeeds,
+			Logger:         reqLogger,
+		}
+		if *coordinator {
+			cfg.Cluster = &service.ClusterConfig{
+				ShardRuns:      *shardRuns,
+				MaxInflight:    *inflight,
+				HeartbeatEvery: *heartbeat,
+				DeadAfter:      *deadAfter,
+			}
+		}
+		svc, err = service.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 	go func() {
-		logger.Printf("serving corpus %s (%d defects, generation %d) on %s",
-			*db, svc.View().Len(), svc.View().Generation(), *addr)
+		if *worker {
+			logger.Printf("worker serving on %s, joining %s", *addr, *join)
+		} else {
+			logger.Printf("serving corpus %s (%d defects, generation %d) on %s",
+				*db, svc.View().Len(), svc.View().Generation(), *addr)
+		}
 		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)
 		}
 	}()
+
+	workerCtx, stopWorker := context.WithCancel(context.Background())
+	defer stopWorker()
+	if *worker {
+		// In a goroutine: StartWorker retries joining until the
+		// coordinator appears, and a signal must still drain us while
+		// it waits.
+		go func() {
+			if err := svc.StartWorker(workerCtx); err != nil {
+				logger.Printf("worker: %v", err)
+			}
+		}()
+	}
 
 	// Graceful drain: stop the listener, finish in-flight requests,
 	// then finish (or cancel at the deadline) queued campaigns, then
@@ -118,6 +210,7 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	logger.Printf("draining (budget %s)...", *drain)
+	stopWorker() // stop heartbeats first so the coordinator retires us promptly
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {

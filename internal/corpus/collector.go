@@ -3,6 +3,7 @@ package corpus
 import (
 	"fmt"
 	"os"
+	"strings"
 
 	"gorace/internal/classify"
 	"gorace/internal/detector"
@@ -80,6 +81,44 @@ func NewCollector(runID string, opts ...CollectorOption) *Collector {
 	}
 	return c
 }
+
+// NewCollectorFromRecords reconstructs a collector from transported
+// shard records — the corpus half of remote-result folding. A
+// distributed worker ships its shard's Records() (plus execution and
+// report counts) as a binary delta; the coordinator rebuilds the
+// collector here and folds it into the campaign root with Merge, in
+// shard order, yielding exactly the corpus a local run of the same
+// shards would have collected. unitIdx maps each record's Unit id
+// back to its campaign unit index (the coordinate Merge folds by);
+// an unknown unit is an error — it means the two nodes disagree about
+// the campaign spec. Traces are not transported: reconstructed
+// defects carry no retained trace.
+func NewCollectorFromRecords(runID string, executions, reports int, recs []Record, unitIdx map[string]int) (*Collector, error) {
+	c := &Collector{runID: runID, executions: executions, reports: reports}
+	for _, rec := range recs {
+		idx, ok := unitIdx[rec.Unit]
+		if !ok {
+			return nil, fmt.Errorf("corpus: shard record for unknown unit %q", rec.Unit)
+		}
+		h := strings.TrimPrefix(rec.Key, rec.Unit+"/")
+		ua := c.unit(idx)
+		if _, dup := ua.defs[h]; dup {
+			return nil, fmt.Errorf("corpus: duplicate shard record %q", rec.Key)
+		}
+		ua.counts[h] += rec.Count
+		ua.order = append(ua.order, h)
+		ua.defs[h] = &defining{
+			unit:     rec.Unit,
+			race:     rec.Race,
+			detector: rec.Detector,
+			labels:   rec.Labels,
+		}
+	}
+	return c, nil
+}
+
+// RunID returns the run id this collector attributes its defects to.
+func (c *Collector) RunID() string { return c.runID }
 
 func (c *Collector) unit(idx int) *unitAgg {
 	for len(c.units) <= idx {

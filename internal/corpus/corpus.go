@@ -19,9 +19,12 @@
 // temp-file rename.
 //
 // Run ids are ordered by string comparison, so choose ids that sort
-// chronologically (ISO timestamps, zero-padded counters). Merging two
-// stores unions run-id sets and sums occurrence counts; merge stores
-// with disjoint run histories, or counts double.
+// chronologically (ISO timestamps, zero-padded counters). Merging
+// (Merge, ApplyDelta) unions run-id sets and sums occurrence counts,
+// skipping runs already in the history — so re-merging the same
+// per-run delta is a no-op and merge order does not matter, the
+// property the distributed service's corpus federation is built on
+// (see delta.go).
 package corpus
 
 import (
@@ -58,7 +61,8 @@ type Record struct {
 	// TracePath optionally points at a saved binary trace of the
 	// defining run, replayable with trace.Load (racedb replay).
 	TracePath string
-	// Race is the defining (first observed) report.
+	// Race is the defining report: the first manifestation observed in
+	// the defect's earliest run.
 	Race report.Race
 }
 
@@ -119,7 +123,14 @@ type Store struct {
 	path  string
 	f     *os.File
 	byKey map[string]*Record
-	runs  map[string]*RunInfo
+	// defRun tracks, per key, the run id the record's defining fields
+	// (Category, Labels, Detector, TracePath, Race) came from. The
+	// fold keeps the fields of the *earliest* run — not the first
+	// appended — so folding the same per-run records in any order
+	// converges on one state, which is what lets distributed deltas
+	// merge commutatively (see fold).
+	defRun map[string]string
+	runs   map[string]*RunInfo
 	// runOrder preserves first-append order of run ids, the order
 	// Runs returns (append order is chronological in normal use).
 	runOrder []string
@@ -139,10 +150,11 @@ func Open(path string) (*Store, error) {
 		return nil, fmt.Errorf("corpus: open %s: %w", path, err)
 	}
 	s := &Store{
-		path:  path,
-		f:     f,
-		byKey: make(map[string]*Record),
-		runs:  make(map[string]*RunInfo),
+		path:   path,
+		f:      f,
+		byKey:  make(map[string]*Record),
+		defRun: make(map[string]string),
+		runs:   make(map[string]*RunInfo),
 	}
 	if err := s.load(); err != nil {
 		f.Close()
@@ -272,7 +284,14 @@ func (s *Store) apply(payload []byte) error {
 }
 
 // fold merges rec into the in-memory state: run-id sets union, counts
-// add, and the earliest-appended defining report and labels win.
+// add, and the defect's *earliest run* supplies the defining report
+// and labels (ties keep the record already in place). Earliest-run-
+// wins — rather than first-appended-wins — makes the fold commutative
+// at run granularity: appending the same per-run records in any order
+// converges on identical folded state, the property distributed
+// corpus merging (Merge, ApplyDelta) relies on. In the common
+// chronological-append case (nightlies appended in run-id order) the
+// two rules agree.
 func (s *Store) fold(rec Record) {
 	s.gen++
 	cur, ok := s.byKey[rec.Key]
@@ -281,21 +300,47 @@ func (s *Store) fold(rec Record) {
 		cp.RunIDs = append([]string(nil), rec.RunIDs...)
 		sort.Strings(cp.RunIDs)
 		s.byKey[rec.Key] = &cp
+		s.defRun[rec.Key] = cp.FirstSeen()
 		return
+	}
+	recRun := ""
+	if len(rec.RunIDs) > 0 {
+		ids := append([]string(nil), rec.RunIDs...)
+		sort.Strings(ids)
+		recRun = ids[0]
+	}
+	curRun := s.defRun[rec.Key]
+	if recRun != "" && (curRun == "" || recRun < curRun) {
+		// rec comes from a strictly earlier run: its defining fields
+		// win, with cur's old fields only filling what rec left empty.
+		old := *cur
+		cur.Category, cur.Labels = rec.Category, rec.Labels
+		cur.Detector, cur.TracePath = rec.Detector, rec.TracePath
+		cur.Race = rec.Race
+		s.defRun[rec.Key] = recRun
+		fillDefining(cur, &old)
+	} else {
+		fillDefining(cur, &rec)
 	}
 	cur.RunIDs = mergeRuns(cur.RunIDs, rec.RunIDs)
 	cur.Count += rec.Count
+}
+
+// fillDefining fills cur's empty defining fields from other, so a
+// defining record that lacks (say) a trace path still picks one up
+// from a later sighting — in either fold order.
+func fillDefining(cur, other *Record) {
 	if cur.Category == "" {
-		cur.Category = rec.Category
+		cur.Category = other.Category
 	}
 	if len(cur.Labels) == 0 {
-		cur.Labels = rec.Labels
+		cur.Labels = other.Labels
 	}
 	if cur.Detector == "" {
-		cur.Detector = rec.Detector
+		cur.Detector = other.Detector
 	}
 	if cur.TracePath == "" {
-		cur.TracePath = rec.TracePath
+		cur.TracePath = other.TracePath
 	}
 }
 
@@ -367,21 +412,19 @@ func (s *Store) AppendRun(info RunInfo) error {
 	return nil
 }
 
-// Merge folds every record and run marker of other into s, appending
-// them to s's log and syncing at the end. The stores' run histories
-// must be disjoint, or occurrence counts double.
+// Merge folds other's record and run-marker history into s, appending
+// to s's log and syncing at the end. Merging is idempotent and
+// order-independent at *run* granularity: run markers already in s's
+// history are skipped, and so is any record all of whose run ids are
+// already recorded — merging the same delta twice, or two deltas in
+// either order, yields identical folded state (the defining report is
+// resolved by earliest run id, not append order). The one ambiguity
+// left is a record spanning several runs of which only some are new:
+// its occurrence count cannot be split per run, so it folds whole and
+// over-counts. Per-run deltas — what Collector, ExportDelta, and the
+// distributed shard protocol produce — never hit that case.
 func (s *Store) Merge(other *Store) error {
-	for _, id := range other.runOrder {
-		if err := s.AppendRun(*other.runs[id]); err != nil {
-			return err
-		}
-	}
-	for _, rec := range other.Records() {
-		if err := s.Append(rec); err != nil {
-			return err
-		}
-	}
-	return s.Sync()
+	return s.ApplyDelta(Export{Runs: other.Runs(), Records: other.Records()})
 }
 
 // Sync fsyncs the log: appends made so far survive power loss, not

@@ -1,0 +1,447 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gorace/internal/corpus"
+	"gorace/internal/patterns"
+)
+
+// emptyStore opens a fresh store: campaigns do not read the store, so
+// distributed/standalone comparisons don't need seeded state.
+func emptyStore(t testing.TB) *corpus.Store {
+	t.Helper()
+	s, err := corpus.Open(filepath.Join(t.TempDir(), "corpus.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// newCoordinator boots a coordinator with a watchdog that cannot
+// misfire mid-test (workers joined by hand never heartbeat).
+func newCoordinator(t testing.TB, shardRuns int) (*Server, *httptest.Server) {
+	t.Helper()
+	return newTestServer(t, Config{
+		Store:      emptyStore(t),
+		JobWorkers: 1,
+		Cluster: &ClusterConfig{
+			ShardRuns:      shardRuns,
+			HeartbeatEvery: 50 * time.Millisecond,
+			DeadAfter:      time.Hour,
+		},
+	})
+}
+
+// newWorkerNode boots a store-less worker node. Joining is the
+// caller's move (tests POST the httptest URL straight to the
+// coordinator, sidestepping the advertise-before-listen chicken and
+// egg), and the handler may be wrapped to inject failures.
+func newWorkerNode(t testing.TB, coordURL string, wrap func(http.Handler) http.Handler) (*Server, *httptest.Server) {
+	t.Helper()
+	svc, err := New(Config{
+		Worker: &WorkerConfig{Coordinator: coordURL},
+		Logger: log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := http.Handler(svc.Handler())
+	if wrap != nil {
+		h = wrap(h)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+func joinWorker(t testing.TB, coordURL, workerURL string) {
+	t.Helper()
+	status, body, _ := post(t, coordURL+"/v1/cluster/join", fmt.Sprintf(`{"url":%q}`, workerURL))
+	if status != http.StatusOK {
+		t.Fatalf("join = %d %s", status, body)
+	}
+}
+
+// distSpec is a campaign over 40 units (10 patterns × the 4 registered
+// strategies) — wide enough that any shard size exercises out-of-order
+// folding across two workers.
+func distSpec(t testing.TB) string {
+	t.Helper()
+	ids := patterns.IDs()
+	if len(ids) < 10 {
+		t.Fatalf("corpus has %d patterns, want >= 10", len(ids))
+	}
+	spec, err := json.Marshal(JobSpec{Patterns: ids[:10], Seeds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(spec)
+}
+
+// runJobToDone submits a spec and returns the finished job's results
+// stream bytes.
+func runJobToDone(t testing.TB, base, spec string) []byte {
+	t.Helper()
+	status, body, _ := post(t, base+"/v1/jobs", spec)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit = %d %s", status, body)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if st := waitForJob(t, base, sub.ID); st.State != StateDone {
+		t.Fatalf("job state = %s (%s)", st.State, st.Error)
+	}
+	_, res, _ := get(t, base+"/v1/jobs/"+sub.ID+"/results")
+	return res
+}
+
+// stripShardCount masks the summary's shard count: shard granularity
+// is a dispatch tuning knob (the one field allowed to vary with shard
+// size), while every race hash, count, and probability must not.
+var shardCountRe = regexp.MustCompile(`"shards":\d+`)
+
+func stripShardCount(res []byte) []byte {
+	return shardCountRe.ReplaceAll(res, []byte(`"shards":0`))
+}
+
+// TestDistributedMatchesSingleNode is the distributed-determinism
+// acceptance test: a two-worker campaign over 40 units produces a
+// results stream byte-identical to a single-node run of the same spec
+// — race-hash sequences, per-unit probability tables, category
+// tallies, everything but the shard count — at every shard size.
+func TestDistributedMatchesSingleNode(t *testing.T) {
+	spec := distSpec(t)
+	_, standalone := newTestServer(t, Config{Store: emptyStore(t), JobWorkers: 1})
+	baseline := runJobToDone(t, standalone.URL, spec)
+	if !strings.Contains(string(baseline), `"type":"defect"`) {
+		t.Fatalf("baseline campaign found no defects; the comparison would be vacuous:\n%s", baseline)
+	}
+
+	// 40 units × 4 seeds: per-unit shard count is ceil(4/shardRuns).
+	for _, tc := range []struct{ shardRuns, wantShards int }{
+		{1, 160}, {5, 40}, {16, 40},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("shardRuns=%d", tc.shardRuns), func(t *testing.T) {
+			_, coord := newCoordinator(t, tc.shardRuns)
+			for i := 0; i < 2; i++ {
+				_, wts := newWorkerNode(t, coord.URL, nil)
+				joinWorker(t, coord.URL, wts.URL)
+			}
+			res := runJobToDone(t, coord.URL, spec)
+			if !bytes.Equal(stripShardCount(res), stripShardCount(baseline)) {
+				t.Errorf("distributed results differ from single-node:\n got %s\nwant %s", res, baseline)
+			}
+			if want := fmt.Sprintf(`"shards":%d`, tc.wantShards); !strings.Contains(string(res), want) {
+				t.Errorf("summary lacks %s:\n%s", want, res[:min(len(res), 200)])
+			}
+		})
+	}
+}
+
+// TestWorkerCrashRedispatches kills one of two workers after its first
+// shard and checks the campaign still completes with results
+// byte-identical to single-node: the dead worker's shards re-dispatch
+// to the survivor, and the duplicate guard keeps any half-delivered
+// work from folding twice.
+func TestWorkerCrashRedispatches(t *testing.T) {
+	spec := distSpec(t)
+	_, standalone := newTestServer(t, Config{Store: emptyStore(t), JobWorkers: 1})
+	baseline := runJobToDone(t, standalone.URL, spec)
+
+	coordSvc, coord := newCoordinator(t, 4)
+	_, healthy := newWorkerNode(t, coord.URL, nil)
+
+	var served atomic.Int32
+	_, flaky := newWorkerNode(t, coord.URL, func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/shards" && served.Add(1) > 1 {
+				http.Error(w, "injected crash", http.StatusInternalServerError)
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	})
+	joinWorker(t, coord.URL, healthy.URL)
+	joinWorker(t, coord.URL, flaky.URL)
+
+	res := runJobToDone(t, coord.URL, spec)
+	if !bytes.Equal(stripShardCount(res), stripShardCount(baseline)) {
+		t.Errorf("results after worker crash differ from single-node:\n got %s\nwant %s", res, baseline)
+	}
+	if served.Load() < 2 {
+		t.Fatalf("flaky worker served %d shard requests; the crash never triggered", served.Load())
+	}
+	// The coordinator retired the crashed worker.
+	var status clusterResponse
+	_, body, _ := get(t, coord.URL+"/v1/cluster")
+	if err := json.Unmarshal(body, &status); err != nil {
+		t.Fatal(err)
+	}
+	for _, ws := range status.Workers {
+		if ws.URL == flaky.URL && ws.Live {
+			t.Errorf("crashed worker %s still listed live", ws.URL)
+		}
+		if ws.URL == healthy.URL && !ws.Live {
+			t.Errorf("healthy worker %s listed dead", ws.URL)
+		}
+	}
+	if n := coordSvc.cluster.reg.liveCount(); n != 1 {
+		t.Errorf("liveCount = %d, want 1", n)
+	}
+}
+
+// TestDuplicateShardResultsDropped pins the dedup guard at the queue
+// level: the second delivery of a shard id is dropped, and a requeue
+// of a delivered shard is a no-op.
+func TestDuplicateShardResultsDropped(t *testing.T) {
+	q := newDispatchQueue(2)
+	ctx := context.Background()
+	if idx, ok := q.take(ctx); !ok || idx != 0 {
+		t.Fatalf("first take = %d,%v", idx, ok)
+	}
+	if idx, ok := q.take(ctx); !ok || idx != 1 {
+		t.Fatalf("second take = %d,%v", idx, ok)
+	}
+	resp := &shardResponse{ShardIdx: 1}
+	if !q.deliver(1, resp) {
+		t.Fatal("first delivery dropped")
+	}
+	if q.deliver(1, resp) {
+		t.Fatal("duplicate delivery accepted")
+	}
+	q.requeue(1) // late failure report for a delivered shard: no-op
+	if !q.deliver(0, &shardResponse{ShardIdx: 0}) {
+		t.Fatal("shard 0 delivery dropped")
+	}
+	if len(q.results) != 2 {
+		t.Fatalf("results buffered = %d, want 2 (duplicate folded in)", len(q.results))
+	}
+	if _, ok := q.take(ctx); ok {
+		t.Fatal("take succeeded on a finished campaign")
+	}
+}
+
+// TestNoLiveWorkersFailsFast: a coordinator with an empty (or fully
+// dead) fleet rejects submissions with 503 at the door, and a fleet
+// that dies mid-campaign fails the job instead of hanging it.
+func TestNoLiveWorkersFailsFast(t *testing.T) {
+	_, coord := newCoordinator(t, 4)
+	status, body, _ := post(t, coord.URL+"/v1/jobs", `{"patterns":["capture-loop-index"],"seeds":2}`)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("submit with no workers = %d %s, want 503", status, body)
+	}
+
+	// A "worker" that always crashes: the whole fleet dies on the first
+	// dispatch and the job must finish failed, promptly.
+	crash := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer crash.Close()
+	joinWorker(t, coord.URL, crash.URL)
+
+	status, body, _ = post(t, coord.URL+"/v1/jobs", `{"patterns":["capture-loop-index"],"seeds":2}`)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit = %d %s", status, body)
+	}
+	var sub submitResponse
+	json.Unmarshal(body, &sub)
+	st := waitForJob(t, coord.URL, sub.ID)
+	if st.State != StateFailed || !strings.Contains(st.Error, "every worker died") {
+		t.Fatalf("job = %s (%q), want failed with every-worker-died", st.State, st.Error)
+	}
+}
+
+// TestHealthzRoles pins the role field and the worker node's jobs-API
+// refusal.
+func TestHealthzRoles(t *testing.T) {
+	_, standalone := newTestServer(t, Config{Store: emptyStore(t)})
+	if _, body, _ := get(t, standalone.URL+"/healthz"); !strings.Contains(string(body), `"role": "standalone"`) {
+		t.Errorf("standalone healthz: %s", body)
+	}
+	_, coord := newCoordinator(t, 4)
+	if _, body, _ := get(t, coord.URL+"/healthz"); !strings.Contains(string(body), `"role": "coordinator"`) {
+		t.Errorf("coordinator healthz: %s", body)
+	}
+	_, wts := newWorkerNode(t, coord.URL, nil)
+	if _, body, _ := get(t, wts.URL+"/healthz"); !strings.Contains(string(body), `"role": "worker"`) {
+		t.Errorf("worker healthz: %s", body)
+	}
+	if status, _, _ := post(t, wts.URL+"/v1/jobs", `{}`); status != http.StatusServiceUnavailable {
+		t.Errorf("worker jobs submit = %d, want 503", status)
+	}
+	if status, _, _ := get(t, wts.URL+"/v1/jobs/job-000001"); status != http.StatusServiceUnavailable {
+		t.Errorf("worker job get = %d, want 503", status)
+	}
+	// Cluster endpoints exist only on coordinators.
+	if status, _, _ := get(t, standalone.URL+"/v1/cluster"); status != http.StatusNotFound {
+		t.Errorf("standalone /v1/cluster = %d, want 404", status)
+	}
+	if status, _, _ := post(t, standalone.URL+"/v1/shards", `{}`); status != http.StatusNotFound {
+		t.Errorf("standalone /v1/shards = %d, want 404", status)
+	}
+}
+
+// TestReplicaReads replicates a seeded coordinator's snapshot onto a
+// worker and checks the read API answers byte-identically, that the
+// steady-state pull is a 304, and that a campaign publish (JobSpec
+// RunID) moves the generation the replica then catches up to.
+func TestReplicaReads(t *testing.T) {
+	store, _ := seedStore(t)
+	_, coord := newTestServer(t, Config{
+		Store:      store,
+		JobWorkers: 1,
+		Cluster:    &ClusterConfig{ShardRuns: 4, DeadAfter: time.Hour},
+	})
+	workerSvc, wts := newWorkerNode(t, coord.URL, nil)
+	joinWorker(t, coord.URL, wts.URL)
+
+	if moved, err := workerSvc.PullReplica(); err != nil || !moved {
+		t.Fatalf("initial pull = %v, %v (want moved)", moved, err)
+	}
+	if moved, err := workerSvc.PullReplica(); err != nil || moved {
+		t.Fatalf("steady-state pull = %v, %v (want 304, no move)", moved, err)
+	}
+
+	for _, path := range []string{
+		"/v1/stats",
+		"/v1/races?sort=count&limit=5",
+		"/v1/races?unit=svc-a/TestLoop",
+		"/v1/diff?a=run-001&b=run-002",
+	} {
+		_, origin, _ := get(t, coord.URL+path)
+		_, replica, _ := get(t, wts.URL+path)
+		if !bytes.Equal(origin, replica) {
+			t.Errorf("%s differs between origin and replica:\n got %s\nwant %s", path, replica, origin)
+		}
+	}
+
+	// A distributed campaign published under a run id moves the
+	// coordinator's generation; the replica catches up on next pull and
+	// serves the new run.
+	gen := workerSvc.View().Generation()
+	spec, _ := json.Marshal(JobSpec{Patterns: patterns.IDs()[:2], Seeds: 4, RunID: "dist-run-1"})
+	runJobToDone(t, coord.URL, string(spec))
+	if moved, err := workerSvc.PullReplica(); err != nil || !moved {
+		t.Fatalf("post-publish pull = %v, %v (want moved)", moved, err)
+	}
+	if g := workerSvc.View().Generation(); g <= gen {
+		t.Errorf("replica generation %d did not advance past %d", g, gen)
+	}
+	if !workerSvc.View().HasRun("dist-run-1") {
+		t.Error("replica missing published run dist-run-1")
+	}
+	// Duplicate run ids bounce at submit.
+	if status, body, _ := post(t, coord.URL+"/v1/jobs", string(spec)); status != http.StatusBadRequest {
+		t.Errorf("duplicate runId submit = %d %s, want 400", status, body)
+	}
+	_, origin, _ := get(t, coord.URL+"/v1/stats")
+	_, replica, _ := get(t, wts.URL+"/v1/stats")
+	if !bytes.Equal(origin, replica) {
+		t.Errorf("post-publish stats differ:\n got %s\nwant %s", replica, origin)
+	}
+}
+
+// TestShardEndpointValidation pins the worker's door checks: malformed
+// bodies, unknown specs, and out-of-range shard coordinates all answer
+// 400 without executing anything.
+func TestShardEndpointValidation(t *testing.T) {
+	_, coord := newCoordinator(t, 4)
+	_, wts := newWorkerNode(t, coord.URL, nil)
+	for _, bad := range []string{
+		`{`,
+		`{"bogus":true}`,
+		`{"runId":"","spec":{},"shardIdx":0,"shard":{"unitIdx":0,"lo":0,"n":1}}`,
+		`{"runId":"r","spec":{"patterns":["no-such"]},"shardIdx":0,"shard":{"unitIdx":0,"lo":0,"n":1}}`,
+		`{"runId":"r","spec":{"patterns":["capture-loop-index"],"seeds":4},"shardIdx":0,"shard":{"unitIdx":99,"lo":0,"n":1}}`,
+		`{"runId":"r","spec":{"patterns":["capture-loop-index"],"seeds":4},"shardIdx":0,"shard":{"unitIdx":0,"lo":3,"n":4}}`,
+	} {
+		if status, body, _ := post(t, wts.URL+"/v1/shards", bad); status != http.StatusBadRequest {
+			t.Errorf("shard request %s = %d %s, want 400", bad, status, body)
+		}
+	}
+}
+
+// TestStaleHeartbeatRetiresWorker drives the watchdog end to end: a
+// worker that hangs without heartbeating is declared dead mid-campaign
+// and its shards finish on the survivor.
+func TestStaleHeartbeatRetiresWorker(t *testing.T) {
+	spec := distSpec(t)
+	_, standalone := newTestServer(t, Config{Store: emptyStore(t), JobWorkers: 1})
+	baseline := runJobToDone(t, standalone.URL, spec)
+
+	_, coord := newTestServer(t, Config{
+		Store:      emptyStore(t),
+		JobWorkers: 1,
+		Cluster: &ClusterConfig{
+			ShardRuns:      4,
+			HeartbeatEvery: 20 * time.Millisecond,
+			DeadAfter:      200 * time.Millisecond,
+			ShardTimeout:   time.Minute,
+		},
+	})
+	_, healthy := newWorkerNode(t, coord.URL, nil)
+
+	// A worker that accepts shard dispatches and then hangs forever —
+	// only the stale-heartbeat watchdog can unstick the campaign.
+	// Defer order matters: close(hang) must release the stuck handlers
+	// before hung.Close waits them out (defers run last-in-first-out).
+	hang := make(chan struct{})
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-hang
+	}))
+	defer hung.Close()
+	defer close(hang)
+
+	joinWorker(t, coord.URL, healthy.URL)
+	joinWorker(t, coord.URL, hung.URL)
+
+	// Keep the healthy worker's heartbeat fresh for the duration. The
+	// wait is registered before close(stop) so the stop lands first.
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	stop := make(chan struct{})
+	defer close(stop)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(50 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				resp, err := http.Post(coord.URL+"/v1/cluster/heartbeat", "application/json",
+					strings.NewReader(fmt.Sprintf(`{"url":%q}`, healthy.URL)))
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+
+	res := runJobToDone(t, coord.URL, spec)
+	if !bytes.Equal(stripShardCount(res), stripShardCount(baseline)) {
+		t.Errorf("results after stale-worker retirement differ from single-node:\n got %s\nwant %s", res, baseline)
+	}
+}

@@ -1,0 +1,385 @@
+package service
+
+// The shard dispatcher: how a coordinator executes one campaign across
+// its workers while keeping the results byte-identical to a local run.
+//
+// The local sweep engine already splits campaigns into shards and
+// folds them into root aggregators in shard-index order. The
+// dispatcher preserves exactly that contract over HTTP: shards are
+// dispatched to any live worker in any order (bounded in-flight per
+// worker), results arrive as transportable aggregates (IndexedUnitStat
+// slices plus a binary corpus delta), and the merge loop buffers
+// out-of-order arrivals so the fold happens in shard-index order. A
+// shard is a pure function of (spec, coordinates): when a worker dies
+// mid-shard, the shard is re-dispatched to a live worker and the
+// duplicate-result guard (by shard id) keeps a late answer from the
+// dead worker from folding twice.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gorace/internal/corpus"
+	"gorace/internal/sweep"
+)
+
+// shardCoord is the wire form of sweep.Shard.
+type shardCoord struct {
+	UnitIdx int `json:"unitIdx"`
+	Lo      int `json:"lo"`
+	N       int `json:"n"`
+}
+
+// shardRequest is the POST /v1/shards body: everything a worker needs
+// to execute one shard, self-contained so any worker can serve it.
+type shardRequest struct {
+	// RunID labels the shard's collected records (the campaign's
+	// effective run id).
+	RunID string `json:"runId"`
+	// Spec is the validated, normalized campaign spec; the worker
+	// expands it to the same unit list the coordinator planned over.
+	Spec JobSpec `json:"spec"`
+	// ShardIdx is the shard's index in the campaign plan (echoed back;
+	// the coordinate results fold by).
+	ShardIdx int `json:"shardIdx"`
+	// Shard locates the seed slice within the campaign's units.
+	Shard shardCoord `json:"shard"`
+}
+
+// shardResponse is the worker's answer: the shard's aggregates in
+// transportable form.
+type shardResponse struct {
+	// ShardIdx echoes the request.
+	ShardIdx int `json:"shardIdx"`
+	// Runs and Racy are the shard's execution counts.
+	Runs int `json:"runs"`
+	Racy int `json:"racy"`
+	// Stats is the shard's per-unit Prob state.
+	Stats []sweep.IndexedUnitStat `json:"stats"`
+	// Executions and Reports are the shard collector's raw counts.
+	Executions int `json:"executions"`
+	Reports    int `json:"reports"`
+	// Corpus is a binary corpus delta (delta.go framing) holding the
+	// shard's deduplicated records — the exact-fidelity transport for
+	// stacks and race hashes.
+	Corpus []byte `json:"corpus"`
+}
+
+// remoteShard pairs a delivered response with its shard index.
+type remoteShard struct {
+	idx  int
+	resp *shardResponse
+}
+
+// dispatchQueue coordinates shard hand-out and result delivery for one
+// campaign. Pending shards are taken by worker goroutines, failed ones
+// are requeued (re-dispatch after a worker death), and deliveries are
+// deduplicated by shard id so a shard folds exactly once no matter how
+// many workers ultimately answered it.
+type dispatchQueue struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pending   []int
+	delivered []bool
+	done      int
+	total     int
+	failErr   error
+	failCh    chan struct{}
+	results   chan remoteShard
+}
+
+func newDispatchQueue(total int) *dispatchQueue {
+	q := &dispatchQueue{
+		pending:   make([]int, total),
+		delivered: make([]bool, total),
+		total:     total,
+		failCh:    make(chan struct{}),
+		results:   make(chan remoteShard, total),
+	}
+	for i := range q.pending {
+		q.pending[i] = i
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// take blocks until a shard is available and claims it; ok=false means
+// the campaign is over for this taker (all shards delivered, the
+// campaign failed, or ctx — the taker's node context — ended).
+func (q *dispatchQueue) take(ctx context.Context) (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.pending) == 0 && q.done < q.total && q.failErr == nil && ctx.Err() == nil {
+		q.cond.Wait()
+	}
+	if q.failErr != nil || q.done == q.total || ctx.Err() != nil {
+		return 0, false
+	}
+	idx := q.pending[0]
+	q.pending = q.pending[1:]
+	return idx, true
+}
+
+// requeue returns a failed shard to the pending set (unless some other
+// dispatch already delivered it).
+func (q *dispatchQueue) requeue(idx int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.delivered[idx] {
+		return
+	}
+	q.pending = append(q.pending, idx)
+	q.cond.Broadcast()
+}
+
+// deliver records a shard result; a duplicate (same shard id already
+// delivered, e.g. a slow worker answering after its shard was
+// re-dispatched) is dropped and reported false.
+func (q *dispatchQueue) deliver(idx int, resp *shardResponse) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.delivered[idx] {
+		return false
+	}
+	q.delivered[idx] = true
+	q.done++
+	q.results <- remoteShard{idx: idx, resp: resp} // buffered to total: never blocks
+	q.cond.Broadcast()
+	return true
+}
+
+// fail ends the campaign with err (first failure wins) and wakes every
+// blocked taker.
+func (q *dispatchQueue) fail(err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.failErr == nil {
+		q.failErr = err
+		close(q.failCh)
+	}
+	q.cond.Broadcast()
+}
+
+// wake re-checks every blocked taker's exit conditions (called after a
+// node context is cancelled, which cond.Wait cannot observe).
+func (q *dispatchQueue) wake() {
+	q.mu.Lock()
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// runJob executes one campaign across the live workers and returns
+// root aggregators and stats shaped exactly like the local engine's:
+// aggs[0] a *sweep.Prob, aggs[1] a *corpus.Collector, both folded in
+// shard-index order — so buildResult renders a byte-identical JobResult
+// for a distributed and a single-node run of the same spec.
+func (c *cluster) runJob(ctx context.Context, runID string, spec JobSpec, units []sweep.Unit, onProgress func(sweep.Progress)) ([]sweep.Aggregator, sweep.Stats, error) {
+	shards := sweep.Plan(units, c.cfg.ShardRuns)
+	stats := sweep.Stats{Units: len(units), Shards: len(shards)}
+	probRoot := sweep.NewProb()
+	collRoot := corpus.NewCollector(runID)
+	roots := []sweep.Aggregator{probRoot, collRoot}
+	if len(shards) == 0 {
+		return roots, stats, nil
+	}
+	nodes := c.reg.liveURLs()
+	if len(nodes) == 0 {
+		return nil, stats, ErrNoWorkers
+	}
+	unitIdx := make(map[string]int, len(units))
+	for i := range units {
+		unitIdx[units[i].ID] = i
+	}
+
+	q := newDispatchQueue(len(shards))
+	jobCtx, cancelAll := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	// One defer, one order: cancel every context, then broadcast so
+	// takers blocked in cond.Wait re-check (cond.Wait cannot observe a
+	// context), then join the goroutines. Splitting these into separate
+	// defers would run them LIFO — wg.Wait before the cancel that lets
+	// the watchdog exit — and deadlock every return path.
+	defer func() {
+		cancelAll()
+		q.wake()
+		wg.Wait()
+	}()
+
+	// Per-node contexts let the watchdog abort a dead node's in-flight
+	// dispatches without touching the rest of the campaign. The maps
+	// are fully built before any goroutine starts and read-only after.
+	ctxs := make(map[string]context.Context, len(nodes))
+	cancels := make(map[string]context.CancelFunc, len(nodes))
+	for _, u := range nodes {
+		nodeCtx, nodeCancel := context.WithCancel(jobCtx)
+		ctxs[u], cancels[u] = nodeCtx, nodeCancel
+	}
+
+	live := int32(len(nodes))
+	// retire handles a node death exactly once (markDead serializes
+	// racing callers): abort its in-flight dispatches, wake its blocked
+	// takers, and fail the campaign if nobody is left to execute it.
+	retire := func(nodeURL string, cause error) {
+		if !c.reg.markDead(nodeURL) {
+			return
+		}
+		c.log.Printf("cluster: worker %s dead, re-dispatching its shards: %v", nodeURL, cause)
+		cancels[nodeURL]()
+		q.wake()
+		if atomic.AddInt32(&live, -1) == 0 {
+			q.fail(fmt.Errorf("service: every worker died mid-campaign (last %s: %v)", nodeURL, cause))
+		}
+	}
+
+	for _, nodeURL := range nodes {
+		nodeURL := nodeURL
+		nodeCtx := ctxs[nodeURL]
+		for k := 0; k < c.cfg.MaxInflight; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					idx, ok := q.take(nodeCtx)
+					if !ok {
+						return
+					}
+					resp, err := c.postShard(nodeCtx, nodeURL, runID, spec, shards[idx], idx)
+					if err != nil {
+						q.requeue(idx)
+						if jobCtx.Err() == nil {
+							retire(nodeURL, err)
+						}
+						return
+					}
+					if q.deliver(idx, resp) {
+						c.reg.addDone(nodeURL)
+					}
+				}
+			}()
+		}
+	}
+
+	// Heartbeat watchdog: a worker that stops beating while holding
+	// shards is retired, which requeues its shards onto live workers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(c.cfg.HeartbeatEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-jobCtx.Done():
+				return
+			case <-t.C:
+				for _, u := range c.reg.staleLive(time.Now()) {
+					if _, inJob := cancels[u]; inJob {
+						retire(u, fmt.Errorf("heartbeat stale"))
+					}
+				}
+			}
+		}
+	}()
+
+	// Deterministic merge loop: buffer out-of-order deliveries and fold
+	// in shard-index order, exactly like the local engine.
+	buffered := make(map[int]*shardResponse)
+	folded := 0
+	for folded < len(shards) {
+		select {
+		case <-ctx.Done():
+			q.fail(ctx.Err())
+			return nil, stats, ctx.Err()
+		case <-q.failCh:
+			return nil, stats, q.failErr
+		case rs := <-q.results:
+			buffered[rs.idx] = rs.resp
+			for {
+				resp, ok := buffered[folded]
+				if !ok {
+					break
+				}
+				delete(buffered, folded)
+				if err := foldShard(probRoot, collRoot, runID, resp, unitIdx, &stats); err != nil {
+					err = fmt.Errorf("service: shard %d result: %w", folded, err)
+					q.fail(err)
+					return nil, stats, err
+				}
+				folded++
+				if onProgress != nil {
+					onProgress(sweep.Progress{
+						DoneShards:  folded,
+						TotalShards: len(shards),
+						Runs:        stats.Runs,
+						Racy:        stats.Racy,
+					})
+				}
+			}
+		}
+	}
+	return roots, stats, nil
+}
+
+// foldShard reconstructs a transported shard result as local
+// aggregators and folds it into the campaign roots — the remote
+// mirror of the engine's per-shard Merge.
+func foldShard(prob *sweep.Prob, coll *corpus.Collector, runID string, resp *shardResponse, unitIdx map[string]int, stats *sweep.Stats) error {
+	x, err := corpus.ReadDelta(bytes.NewReader(resp.Corpus))
+	if err != nil {
+		return err
+	}
+	shardColl, err := corpus.NewCollectorFromRecords(runID, resp.Executions, resp.Reports, x.Records, unitIdx)
+	if err != nil {
+		return err
+	}
+	prob.Merge(sweep.NewProbFromStats(resp.Stats))
+	coll.Merge(shardColl)
+	stats.Runs += resp.Runs
+	stats.Racy += resp.Racy
+	return nil
+}
+
+// postShard dispatches one shard to a worker and decodes the result.
+func (c *cluster) postShard(ctx context.Context, nodeURL, runID string, spec JobSpec, sh sweep.Shard, idx int) (*shardResponse, error) {
+	body, err := json.Marshal(shardRequest{
+		RunID:    runID,
+		Spec:     spec,
+		ShardIdx: idx,
+		Shard:    shardCoord{UnitIdx: sh.UnitIdx, Lo: sh.Lo, N: sh.N},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.ShardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, nodeURL+"/v1/shards", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("worker %s shard %d: status %d: %s",
+			nodeURL, idx, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var sr shardResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("worker %s shard %d: decode: %w", nodeURL, idx, err)
+	}
+	if sr.ShardIdx != idx {
+		return nil, fmt.Errorf("worker %s answered shard %d for shard %d", nodeURL, sr.ShardIdx, idx)
+	}
+	return &sr, nil
+}

@@ -28,6 +28,15 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJobByID)
 	mux.HandleFunc("/v1/nightly", s.handleNightly)
+	if s.cluster != nil {
+		mux.HandleFunc("/v1/cluster", s.handleCluster)
+		mux.HandleFunc("/v1/cluster/join", s.handleClusterJoin)
+		mux.HandleFunc("/v1/cluster/heartbeat", s.handleClusterBeat)
+		mux.HandleFunc("/v1/replica", s.handleReplica)
+	}
+	if s.worker != nil {
+		mux.HandleFunc("/v1/shards", s.handleShards)
+	}
 	return mux
 }
 
@@ -100,11 +109,15 @@ func (s *Server) cached(w http.ResponseWriter, r *http.Request, v *corpus.View, 
 // healthResponse is the /healthz payload.
 type healthResponse struct {
 	Status      string `json:"status"`
+	Role        string `json:"role"`
 	Generation  uint64 `json:"generation"`
 	Defects     int    `json:"defects"`
 	Runs        int    `json:"runs"`
 	QueuedJobs  int    `json:"queuedJobs"`
 	RunningJobs int    `json:"runningJobs"`
+	// LiveWorkers is the coordinator's live-worker count (coordinator
+	// mode only).
+	LiveWorkers int `json:"liveWorkers,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -112,12 +125,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v := s.View()
-	queued, running := s.jobs.Counts()
-	writeJSON(w, http.StatusOK, healthResponse{
-		Status: "ok", Generation: v.Generation(),
+	resp := healthResponse{
+		Status: "ok", Role: s.role(), Generation: v.Generation(),
 		Defects: v.Len(), Runs: len(v.Runs()),
-		QueuedJobs: queued, RunningJobs: running,
-	})
+	}
+	if s.jobs != nil {
+		resp.QueuedJobs, resp.RunningJobs = s.jobs.Counts()
+	}
+	if s.cluster != nil {
+		resp.LiveWorkers = s.cluster.reg.liveCount()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // runJSON is the wire form of one recorded run.
@@ -395,6 +413,10 @@ type jobsResponse struct {
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeError(w, http.StatusServiceUnavailable, "worker node: submit jobs to the coordinator")
+		return
+	}
 	switch r.Method {
 	case http.MethodGet:
 		writeJSON(w, http.StatusOK, jobsResponse{Jobs: s.jobs.List()})
@@ -415,6 +437,10 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusTooManyRequests, "job queue full; retry later")
 		case err == ErrDraining:
 			writeError(w, http.StatusServiceUnavailable, "server is draining; no new jobs")
+		case err == ErrNoWorkers:
+			// Coordinator with an empty fleet: fail fast at the door
+			// instead of queueing work nothing can execute.
+			writeError(w, http.StatusServiceUnavailable, "no live workers joined; campaign cannot execute")
 		case err != nil:
 			writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
 		default:
@@ -428,6 +454,10 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeError(w, http.StatusServiceUnavailable, "worker node: query jobs on the coordinator")
+		return
+	}
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}

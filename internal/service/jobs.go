@@ -43,6 +43,11 @@ type JobSpec struct {
 	// gate (0 or 1 = every access; docs/DETECTORS.md has the
 	// tradeoff). Results stay reproducible at any parallelism.
 	Sample int `json:"sample,omitempty"`
+	// RunID, when set, publishes the finished campaign's defect corpus
+	// into the live store under that run id (and a fresh snapshot).
+	// Submission fails if the id is already on record. Empty means the
+	// job's results stay job-scoped, as before.
+	RunID string `json:"runId,omitempty"`
 }
 
 // Job states, reported in JobStatus.State.
@@ -185,6 +190,12 @@ var (
 	ErrDraining = fmt.Errorf("service: server is draining")
 )
 
+// remoteRunner executes a campaign on a worker fleet instead of the
+// local sweep engine, returning the same root aggregators and stats
+// the engine would. The coordinator's cluster.runJob is the one
+// implementation (see dispatch.go).
+type remoteRunner func(ctx context.Context, runID string, spec JobSpec, units []sweep.Unit, onProgress func(sweep.Progress)) ([]sweep.Aggregator, sweep.Stats, error)
+
 // jobManager owns the bounded queue and the worker pool that executes
 // campaigns over the sweep engine. Finished jobs are retained up to a
 // bound and then evicted oldest-first, so a long-running daemon's job
@@ -195,6 +206,17 @@ type jobManager struct {
 	maxSeeds    int
 	retain      int // finished jobs kept before oldest-first eviction
 	log         *log.Logger
+
+	// remote, when set, replaces the local engine: campaigns dispatch
+	// to the cluster's workers. liveWorkers backs the submit-time
+	// fail-fast (coordinator mode only).
+	remote      remoteRunner
+	liveWorkers func() int
+	// publish appends a finished campaign's collector to the live
+	// store; hasRun answers run-id dup checks at submit. Both are set
+	// by New whenever a store is present.
+	publish func(*corpus.Collector) error
+	hasRun  func(string) bool
 
 	ctx    context.Context // cancelled to abort campaigns on forced drain
 	cancel context.CancelFunc
@@ -227,10 +249,12 @@ func newJobManager(workers, depth, parallelism, maxSeeds, retain int, logger *lo
 	return m
 }
 
-// validate normalizes and checks a spec against the registries, so a
-// bad submission fails with 400 at the door instead of failing a
-// worker later.
-func (m *jobManager) validate(spec *JobSpec) error {
+// validateSpec normalizes and checks a spec against the registries, so
+// a bad submission fails with 400 at the door instead of failing a
+// worker later. Worker nodes run the same validation on dispatched
+// shards (handleShards): a shard request is self-contained, so it is
+// revalidated where it executes.
+func validateSpec(spec *JobSpec, maxSeeds int) error {
 	switch spec.Variant {
 	case "":
 		spec.Variant = "racy"
@@ -274,8 +298,8 @@ func (m *jobManager) validate(spec *JobSpec) error {
 	if spec.Seeds <= 0 {
 		spec.Seeds = 20
 	}
-	if spec.Seeds > m.maxSeeds {
-		return fmt.Errorf("seeds %d exceeds the server cap of %d", spec.Seeds, m.maxSeeds)
+	if spec.Seeds > maxSeeds {
+		return fmt.Errorf("seeds %d exceeds the server cap of %d", spec.Seeds, maxSeeds)
 	}
 	if spec.Sample < 0 {
 		return fmt.Errorf("sample %d is negative (want ≥ 1, 1 = no sampling)", spec.Sample)
@@ -284,11 +308,23 @@ func (m *jobManager) validate(spec *JobSpec) error {
 }
 
 // Submit validates the spec and enqueues a job. It returns
-// ErrQueueFull when the bounded queue is out of room and ErrDraining
-// once drain has begun; both leave no trace in the job table.
+// ErrQueueFull when the bounded queue is out of room, ErrDraining once
+// drain has begun, and ErrNoWorkers on a coordinator with an empty
+// live-worker set; all leave no trace in the job table.
 func (m *jobManager) Submit(spec JobSpec) (*Job, error) {
-	if err := m.validate(&spec); err != nil {
+	if err := validateSpec(&spec, m.maxSeeds); err != nil {
 		return nil, err
+	}
+	if spec.RunID != "" {
+		if m.publish == nil {
+			return nil, fmt.Errorf("runId %q: this node has no store to publish into", spec.RunID)
+		}
+		if m.hasRun(spec.RunID) {
+			return nil, fmt.Errorf("runId %q already recorded", spec.RunID)
+		}
+	}
+	if m.remote != nil && m.liveWorkers() == 0 {
+		return nil, ErrNoWorkers
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -358,28 +394,51 @@ func (m *jobManager) worker() {
 	}
 }
 
-// run executes one job's campaign on the calling worker goroutine.
+// run executes one job's campaign on the calling worker goroutine —
+// on the local sweep engine, or on the worker fleet when the manager
+// has a remote runner. Either way the roots, the fold order, and the
+// rendered result are identical (the distributed-determinism
+// contract, pinned by TestDistributedMatchesSingleNode).
 func (m *jobManager) run(job *Job) {
 	job.mu.Lock()
 	job.state = StateRunning
 	job.started = time.Now()
 	job.mu.Unlock()
 
+	// The collector's run id doubles as the corpus run id when the
+	// spec asks for a publish; otherwise it is just provenance.
+	runID := job.Spec.RunID
+	if runID == "" {
+		runID = job.ID
+	}
 	units := campaignUnits(job.Spec)
-	engine := sweep.New(sweep.WithParallelism(m.parallelism))
-	aggs, stats, err := engine.RunContext(m.ctx, units,
-		func(p sweep.Progress) {
-			job.mu.Lock()
-			job.progress = JobProgress(p)
-			job.mu.Unlock()
-		},
-		func() sweep.Aggregator { return sweep.NewProb() },
-		// The Collector classifies each defect's first manifestation
-		// while its trace is still on the worker — the same labels a
-		// corpus append would persist, so job results and nightly
-		// records never disagree about the same race.
-		func() sweep.Aggregator { return corpus.NewCollector(job.ID) },
+	onProgress := func(p sweep.Progress) {
+		job.mu.Lock()
+		job.progress = JobProgress(p)
+		job.mu.Unlock()
+	}
+
+	var (
+		aggs  []sweep.Aggregator
+		stats sweep.Stats
+		err   error
 	)
+	if m.remote != nil {
+		aggs, stats, err = m.remote(m.ctx, runID, job.Spec, units, onProgress)
+	} else {
+		engine := sweep.New(sweep.WithParallelism(m.parallelism))
+		aggs, stats, err = engine.RunContext(m.ctx, units, onProgress,
+			func() sweep.Aggregator { return sweep.NewProb() },
+			// The Collector classifies each defect's first manifestation
+			// while its trace is still on the worker — the same labels a
+			// corpus append would persist, so job results and nightly
+			// records never disagree about the same race.
+			func() sweep.Aggregator { return corpus.NewCollector(runID) },
+		)
+	}
+	if err == nil && job.Spec.RunID != "" {
+		err = m.publish(aggs[1].(*corpus.Collector))
+	}
 
 	job.mu.Lock()
 	job.finished = time.Now()

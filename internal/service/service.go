@@ -50,13 +50,25 @@ import (
 )
 
 // Config configures a Server. The zero value of every optional field
-// selects a sensible default; Store is required.
+// selects a sensible default; Store is required except in worker mode.
 type Config struct {
 	// Store is the open corpus store the service serves and appends
 	// to. The server becomes the store's single writer; the caller
 	// must not mutate it while the server is running (closing it
-	// after Drain is the caller's job).
+	// after Drain is the caller's job). Required unless Worker is set:
+	// worker nodes are store-less and serve reads from replicated
+	// snapshots.
 	Store *corpus.Store
+	// Cluster, when set, runs this server as a distributed
+	// coordinator: campaigns dispatch to joined workers instead of the
+	// local sweep engine, and /v1/cluster* + /v1/replica are served.
+	// Mutually exclusive with Worker.
+	Cluster *ClusterConfig
+	// Worker, when set, runs this server as a store-less worker node:
+	// it executes POST /v1/shards dispatches and serves the read API
+	// from snapshots replicated off Worker.Coordinator. Excludes
+	// Store, Repo, and Cluster; the jobs API answers 503.
+	Worker *WorkerConfig
 	// Repo, when set, enables POST /v1/nightly: a monorepo nightly
 	// run appended into the live store.
 	Repo *monorepo.Repo
@@ -88,18 +100,28 @@ type Config struct {
 type Server struct {
 	cfg      Config
 	log      *log.Logger
-	mu       sync.Mutex // serializes store mutations (nightly appends)
+	mu       sync.Mutex // serializes store mutations (nightly + campaign publishes)
 	draining atomic.Bool
 	snap     atomic.Pointer[corpus.View]
 	cache    *cache
-	jobs     *jobManager
+	jobs     *jobManager // nil on worker nodes
+	cluster  *cluster    // coordinator mode only
+	worker   *workerRuntime
 	handler  http.Handler
 }
 
-// New builds a Server over an open store and publishes the initial
-// snapshot.
+// New builds a Server and publishes the initial snapshot — the store's
+// in standalone and coordinator mode, an empty replica view in worker
+// mode (StartWorker pulls the real one from the coordinator).
 func New(cfg Config) (*Server, error) {
-	if cfg.Store == nil {
+	if cfg.Worker != nil {
+		if cfg.Store != nil || cfg.Repo != nil || cfg.Cluster != nil {
+			return nil, fmt.Errorf("service: worker mode excludes Store, Repo, and Cluster")
+		}
+		if cfg.Worker.Coordinator == "" {
+			return nil, fmt.Errorf("service: Config.Worker.Coordinator is required")
+		}
+	} else if cfg.Store == nil {
 		return nil, fmt.Errorf("service: Config.Store is required")
 	}
 	if cfg.JobWorkers <= 0 {
@@ -128,10 +150,37 @@ func New(cfg Config) (*Server, error) {
 		log:   cfg.Logger,
 		cache: newCache(cfg.CacheEntries),
 	}
+	if cfg.Worker != nil {
+		// Store-less worker: start from an empty generation-0 view;
+		// the replica loop replaces it with the coordinator's.
+		s.snap.Store(corpus.ViewFromExport(0, "", corpus.Export{}))
+		s.worker = newWorkerRuntime(cfg.Worker.withDefaults())
+		s.handler = withRecovery(s.log, withLogging(s.log, s.routes()))
+		return s, nil
+	}
 	s.snap.Store(cfg.Store.Snapshot())
 	s.jobs = newJobManager(cfg.JobWorkers, cfg.QueueDepth, cfg.JobParallelism, cfg.MaxSeeds, cfg.JobsRetained, cfg.Logger)
+	s.jobs.publish = s.publishCollector
+	s.jobs.hasRun = func(id string) bool { return s.View().HasRun(id) }
+	if cfg.Cluster != nil {
+		s.cluster = newCluster(cfg.Cluster.withDefaults(), s.log)
+		s.jobs.remote = s.cluster.runJob
+		s.jobs.liveWorkers = s.cluster.reg.liveCount
+	}
 	s.handler = withRecovery(s.log, withLogging(s.log, s.routes()))
 	return s, nil
+}
+
+// role names what kind of node this server is, for /healthz and logs.
+func (s *Server) role() string {
+	switch {
+	case s.worker != nil:
+		return "worker"
+	case s.cluster != nil:
+		return "coordinator"
+	default:
+		return "standalone"
+	}
 }
 
 // Handler returns the service's HTTP handler (all /v1 endpoints plus
@@ -182,6 +231,30 @@ func (s *Server) PublishNightly(runID string, seed int64) (*monorepo.Nightly, er
 	return n, nil
 }
 
+// publishCollector appends a finished campaign's defect corpus to the
+// live store under the collector's run id and publishes the resulting
+// snapshot — the JobSpec.RunID path, sharing the nightly publish's
+// single-writer discipline. It carries no draining check on purpose:
+// jobs drain to completion before Drain syncs the store, and a
+// gracefully drained job should still land its publish.
+func (s *Server) publishCollector(coll *corpus.Collector) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.View().HasRun(coll.RunID()) {
+		// Submit checks too, but two jobs may race to the same id.
+		return fmt.Errorf("service: run id %q already recorded", coll.RunID())
+	}
+	if err := coll.AppendTo(s.cfg.Store); err != nil {
+		return err
+	}
+	snap := s.cfg.Store.Snapshot()
+	s.snap.Store(snap)
+	s.cache.prune(snap.Generation())
+	s.log.Printf("campaign %s published: generation %d, %d defects on record",
+		coll.RunID(), snap.Generation(), snap.Len())
+	return nil
+}
+
 // Drain gracefully shuts the write paths down: job intake and nightly
 // publishes stop (both answer 503), queued and running jobs finish —
 // if ctx expires first the remaining campaigns are cancelled and
@@ -193,14 +266,20 @@ func (s *Server) PublishNightly(runID string, seed int64) (*monorepo.Nightly, er
 // quiesce covers exactly that case).
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
-	err := s.jobs.drain(ctx)
+	var err error
+	if s.jobs != nil {
+		err = s.jobs.drain(ctx)
+	}
 	// Quiesce the writer: taking the mutex waits for an in-flight
 	// PublishNightly to finish its append; the draining flag keeps
-	// any later call from starting a new one.
+	// any later call from starting a new one. Worker nodes have no
+	// store to sync.
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if syncErr := s.cfg.Store.Sync(); syncErr != nil && err == nil {
-		err = syncErr
+	if s.cfg.Store != nil {
+		if syncErr := s.cfg.Store.Sync(); syncErr != nil && err == nil {
+			err = syncErr
+		}
 	}
 	return err
 }

@@ -159,10 +159,47 @@ func New(opts ...Option) *Engine {
 	return e
 }
 
-// shard is a contiguous slice of one unit's seed range.
-type shard struct {
-	unitIdx int
-	lo, n   int // seed indices [lo, lo+n)
+// Shard is a contiguous slice of one unit's seed range — the unit of
+// work distribution, both across the engine's local workers and (via
+// internal/service's coordinator) across machines. A shard is a pure
+// function of (units, Shard): executing it anywhere, any number of
+// times, yields the same aggregates, which is what makes re-dispatch
+// after a node failure safe.
+type Shard struct {
+	// UnitIdx indexes into the campaign's unit slice.
+	UnitIdx int
+	// Lo and N delimit seed indices [Lo, Lo+N) within the unit.
+	Lo, N int
+}
+
+// Plan splits a campaign's units into shards of at most shardRuns
+// seeds each (values < 1 mean 1). The plan is deterministic and
+// unit-major: all of unit 0's shards precede unit 1's, in ascending
+// seed order — the shard-index order every merger folds in.
+// HaltOnRace units are never split (see Unit.HaltOnRace).
+func Plan(units []Unit, shardRuns int) []Shard {
+	if shardRuns < 1 {
+		shardRuns = 1
+	}
+	var shards []Shard
+	for ui := range units {
+		runs := units[ui].Runs
+		if runs <= 0 {
+			continue
+		}
+		if units[ui].HaltOnRace {
+			shards = append(shards, Shard{UnitIdx: ui, Lo: 0, N: runs})
+			continue
+		}
+		for lo := 0; lo < runs; lo += shardRuns {
+			n := shardRuns
+			if lo+n > runs {
+				n = runs - lo
+			}
+			shards = append(shards, Shard{UnitIdx: ui, Lo: lo, N: n})
+		}
+	}
+	return shards
 }
 
 // shardResult is what one executed shard hands to the merger.
@@ -172,6 +209,85 @@ type shardResult struct {
 	runs int
 	racy int
 	err  error
+}
+
+// workerSource is where runShard gets (and returns) recycled
+// core.Workers. The engine's per-goroutine pool is a plain map (no
+// locking: one goroutine); WorkerCache is the locked form remote shard
+// executors share across concurrent requests.
+type workerSource interface {
+	// acquire checks a worker for key out of the source (a second
+	// acquire before release must not return the same worker).
+	acquire(key string) (*core.Worker, bool)
+	// release returns a worker (possibly freshly created) for reuse.
+	release(key string, wk *core.Worker)
+}
+
+// mapPool is the engine's single-goroutine worker pool.
+type mapPool map[string]*core.Worker
+
+func (p mapPool) acquire(key string) (*core.Worker, bool) {
+	wk, ok := p[key]
+	if ok {
+		delete(p, key)
+	}
+	return wk, ok
+}
+
+func (p mapPool) release(key string, wk *core.Worker) { p[key] = wk }
+
+// WorkerCache is a concurrency-safe pool of recycled core.Workers
+// keyed by unit configuration, for callers that execute shards from
+// concurrent goroutines (a service node running several RunShard
+// requests at once). Detector shadow state is allocated once per
+// (cached worker, config) and reset between seeds, not reallocated
+// per shard.
+type WorkerCache struct {
+	mu   sync.Mutex
+	free map[string][]*core.Worker
+}
+
+// NewWorkerCache returns an empty cache.
+func NewWorkerCache() *WorkerCache {
+	return &WorkerCache{free: make(map[string][]*core.Worker)}
+}
+
+func (c *WorkerCache) acquire(key string) (*core.Worker, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	stack := c.free[key]
+	if len(stack) == 0 {
+		return nil, false
+	}
+	wk := stack[len(stack)-1]
+	c.free[key] = stack[:len(stack)-1]
+	return wk, true
+}
+
+func (c *WorkerCache) release(key string, wk *core.Worker) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.free[key] = append(c.free[key], wk)
+}
+
+// RunShard executes one shard on the calling goroutine and returns
+// one aggregator per factory, fed the shard's runs in seed order,
+// plus the shard's run/racy counts. It is the remote half of the
+// engine: a distributed worker node answers a shard dispatch with
+// exactly this call, and because per-seed outcomes are deterministic,
+// the result is identical to what the local engine would have folded
+// for the same shard. cache may be nil (no cross-call recycling).
+func RunShard(ctx context.Context, units []Unit, sh Shard, cache *WorkerCache, factories ...Factory) ([]Aggregator, Stats, error) {
+	var src workerSource = mapPool{}
+	if cache != nil {
+		src = cache
+	}
+	res := runShard(ctx, units, sh, 0, src, factories)
+	stats := Stats{Units: 1, Shards: 1, Runs: res.runs, Racy: res.racy}
+	if res.err != nil {
+		return nil, stats, res.err
+	}
+	return res.aggs, stats, nil
 }
 
 // Run executes the campaign and returns one merged root aggregator
@@ -198,24 +314,7 @@ func (e *Engine) RunContext(ctx context.Context, units []Unit, onProgress func(P
 		roots[i] = f()
 	}
 
-	var shards []shard
-	for ui := range units {
-		runs := units[ui].Runs
-		if runs <= 0 {
-			continue
-		}
-		if units[ui].HaltOnRace {
-			shards = append(shards, shard{unitIdx: ui, lo: 0, n: runs})
-			continue
-		}
-		for lo := 0; lo < runs; lo += e.shardRuns {
-			n := e.shardRuns
-			if lo+n > runs {
-				n = runs - lo
-			}
-			shards = append(shards, shard{unitIdx: ui, lo: lo, n: n})
-		}
-	}
+	shards := Plan(units, e.shardRuns)
 	stats.Shards = len(shards)
 	if len(shards) == 0 {
 		return roots, stats, nil
@@ -237,7 +336,7 @@ func (e *Engine) RunContext(ctx context.Context, units []Unit, onProgress func(P
 			// per distinct unit configuration, so a campaign over
 			// thousands of seeds allocates detector shadow memory
 			// once per (worker, config), not once per run.
-			pool := make(map[string]*core.Worker)
+			pool := mapPool{}
 			for {
 				// A failed shard (or a cancelled campaign) dooms the
 				// result, so don't burn the remaining shards;
@@ -249,7 +348,7 @@ func (e *Engine) RunContext(ctx context.Context, units []Unit, onProgress func(P
 				if si >= len(shards) {
 					return
 				}
-				res := e.runShard(ctx, units, shards[si], si, pool, factories)
+				res := runShard(ctx, units, shards[si], si, pool, factories)
 				if res.err != nil {
 					failed.Store(true)
 				}
@@ -316,18 +415,19 @@ func configKey(u *Unit, unitIdx int) string {
 	return fmt.Sprintf("%s\x00%s\x00%d\x00%t\x00%d", u.Detector, u.Strategy, u.MaxSteps, u.Record, u.SampleRate)
 }
 
-// runShard executes one shard on the calling worker goroutine,
-// feeding fresh aggregator instances in seed order. The context is
-// checked between seeds, so a cancelled campaign stops within one
-// program execution per worker.
-func (e *Engine) runShard(ctx context.Context, units []Unit, sh shard, idx int, pool map[string]*core.Worker, factories []Factory) shardResult {
+// runShard executes one shard on the calling goroutine, feeding fresh
+// aggregator instances in seed order. The context is checked between
+// seeds, so a cancelled campaign stops within one program execution
+// per worker. The core.Worker is checked out of pool for the shard's
+// duration and returned on every exit path.
+func runShard(ctx context.Context, units []Unit, sh Shard, idx int, pool workerSource, factories []Factory) shardResult {
 	res := shardResult{idx: idx, aggs: make([]Aggregator, len(factories))}
 	for i, f := range factories {
 		res.aggs[i] = f()
 	}
-	u := &units[sh.unitIdx]
-	key := configKey(u, sh.unitIdx)
-	wk, ok := pool[key]
+	u := &units[sh.UnitIdx]
+	key := configKey(u, sh.UnitIdx)
+	wk, ok := pool.acquire(key)
 	if !ok {
 		opts := []core.Option{
 			core.WithDetector(u.Detector),
@@ -346,9 +446,9 @@ func (e *Engine) runShard(ctx context.Context, units []Unit, sh shard, idx int, 
 			res.err = fmt.Errorf("sweep: unit %q: %w", u.ID, err)
 			return res
 		}
-		pool[key] = wk
 	}
-	for si := sh.lo; si < sh.lo+sh.n; si++ {
+	defer pool.release(key, wk)
+	for si := sh.Lo; si < sh.Lo+sh.N; si++ {
 		if err := ctx.Err(); err != nil {
 			res.err = err
 			return res
@@ -364,7 +464,7 @@ func (e *Engine) runShard(ctx context.Context, units []Unit, sh shard, idx int, 
 		if racy {
 			res.racy++
 		}
-		r := Run{Unit: u, UnitIdx: sh.unitIdx, SeedIdx: si, Seed: seed, Outcome: out}
+		r := Run{Unit: u, UnitIdx: sh.UnitIdx, SeedIdx: si, Seed: seed, Outcome: out}
 		for _, a := range res.aggs {
 			a.Observe(r)
 		}

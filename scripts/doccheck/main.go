@@ -16,7 +16,11 @@
 // -cmds must have a "## <name>" section and a command-table row in
 // the given markdown file, and every "## <name>" section must name a
 // real command — so docs/CLI.md cannot silently go stale when a
-// command is added or removed.
+// command is added or removed. Flags are covered too: every flag a
+// command registers (package-level flag.String/Bool/... calls) must
+// appear backticked (`-name`) inside that command's section, so a new
+// flag cannot ship undocumented. Subcommand flag.NewFlagSet flags are
+// out of scope — they are documented per-subcommand.
 //
 // With -detdoc, doccheck cross-checks the detector design reference
 // the same way: every detector name registered in -detsrc (the string
@@ -240,8 +244,9 @@ func checkFile(fset *token.FileSet, f *ast.File, exportedTypes map[string]bool) 
 
 // checkCLIDoc cross-checks the CLI reference against the command
 // tree: every command directory needs a "## <name>" section and a
-// table row linking to it, and every "## <name>" heading must name a
-// command that still exists.
+// table row linking to it, every "## <name>" heading must name a
+// command that still exists, and every flag a command registers must
+// appear backticked in that command's section.
 func checkCLIDoc(docPath, cmdRoot string) ([]violation, error) {
 	entries, err := os.ReadDir(cmdRoot)
 	if err != nil {
@@ -264,13 +269,17 @@ func checkCLIDoc(docPath, cmdRoot string) ([]violation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("doccheck: %s: %w", docPath, err)
 	}
-	sections := map[string]bool{}
+	sections := map[string]*strings.Builder{}
+	sectionLine := map[string]int{}
 	tableRows := map[string]bool{}
+	var current *strings.Builder
 	var out []violation
 	for i, line := range strings.Split(string(data), "\n") {
 		if name, ok := strings.CutPrefix(line, "## "); ok {
 			name = strings.TrimSpace(name)
-			sections[name] = true
+			current = &strings.Builder{}
+			sections[name] = current
+			sectionLine[name] = i + 1
 			if !commands[name] {
 				out = append(out, violation{
 					pos:  token.Position{Filename: docPath, Line: i + 1},
@@ -278,6 +287,10 @@ func checkCLIDoc(docPath, cmdRoot string) ([]violation, error) {
 				})
 			}
 			continue
+		}
+		if current != nil {
+			current.WriteString(line)
+			current.WriteByte('\n')
 		}
 		// Command-table rows look like "| [name](#name) | ... |".
 		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "| ["); ok {
@@ -292,7 +305,8 @@ func checkCLIDoc(docPath, cmdRoot string) ([]violation, error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		if !sections[name] {
+		body, hasSection := sections[name]
+		if !hasSection {
 			out = append(out, violation{
 				pos:  token.Position{Filename: docPath, Line: 1},
 				what: fmt.Sprintf("command %s/%s has no \"## %s\" section", cmdRoot, name, name),
@@ -304,8 +318,98 @@ func checkCLIDoc(docPath, cmdRoot string) ([]violation, error) {
 				what: fmt.Sprintf("command %s/%s is missing from the command table", cmdRoot, name),
 			})
 		}
+		if !hasSection {
+			continue
+		}
+		flags, err := commandFlags(filepath.Join(cmdRoot, name))
+		if err != nil {
+			return nil, err
+		}
+		for _, fl := range flags {
+			if !flagDocumented(body.String(), fl) {
+				out = append(out, violation{
+					pos:  token.Position{Filename: docPath, Line: sectionLine[name]},
+					what: fmt.Sprintf("flag -%s of %s/%s is not mentioned (`-%s`) in its section", fl, cmdRoot, name, fl),
+				})
+			}
+		}
 	}
 	return out, nil
+}
+
+// flagRegistrars are the package-level flag constructors whose first
+// argument names a command-line flag.
+var flagRegistrars = map[string]bool{
+	"Bool": true, "Duration": true, "Float64": true,
+	"Int": true, "Int64": true, "String": true,
+	"Uint": true, "Uint64": true,
+}
+
+// commandFlags returns the flag names a command registers: the string
+// literals passed to package-level flag.String/Bool/Int/... calls.
+// Flags on flag.NewFlagSet subcommand sets are deliberately skipped —
+// those are documented per-subcommand, not in the command's flag
+// table.
+func commandFlags(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, fmt.Errorf("doccheck: %s: %w", dir, err)
+	}
+	seen := map[string]bool{}
+	var names []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) < 1 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !flagRegistrars[sel.Sel.Name] {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "flag" {
+					return true
+				}
+				if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					name := strings.Trim(lit.Value, `"`)
+					if !seen[name] {
+						seen[name] = true
+						names = append(names, name)
+					}
+				}
+				return true
+			})
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// flagDocumented reports whether the section text mentions the flag
+// backticked: a "`-name" occurrence whose next character cannot extend
+// the flag name (so documenting -shard does not satisfy -shard-runs).
+func flagDocumented(section, name string) bool {
+	marker := "`-" + name
+	for i := 0; ; {
+		j := strings.Index(section[i:], marker)
+		if j < 0 {
+			return false
+		}
+		end := i + j + len(marker)
+		if end >= len(section) || !isFlagNameChar(section[end]) {
+			return true
+		}
+		i = end
+	}
+}
+
+// isFlagNameChar reports whether c could continue a flag name.
+func isFlagNameChar(c byte) bool {
+	return c == '-' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
 }
 
 // checkDetectorDoc cross-checks the detector design reference against

@@ -5,10 +5,23 @@
 // it against a race-detector build of raced, so the soak doubles as a
 // -race pass over the live service.
 //
+// Connections are pooled and kept alive (one transport, idle pool
+// sized to the client count), so the measured latencies are request
+// costs, not TCP handshakes.
+//
 // Usage:
 //
 //	go run ./scripts/serviceload -addr http://127.0.0.1:8077 \
 //	    [-clients 64] [-requests 25] [-timeout 30s]
+//
+// Distributed mode: -addrs takes a comma-separated node list — the
+// coordinator first, then replicas. Reads spread over all nodes
+// round-robin (replicas serve the same snapshots), submits go to the
+// coordinator, and the report breaks requests out per node on top of
+// the fleet-wide aggregate:
+//
+//	go run ./scripts/serviceload \
+//	    -addrs http://coord:8077,http://w1:8078,http://w2:8079
 //
 // Exit status is non-zero when any request errors or returns an
 // unexpected status (429 on submits is expected backpressure, not a
@@ -24,13 +37,16 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// sample is one completed request's latency.
+// sample is one completed request's latency, tagged with the node that
+// served it.
 type sample struct {
+	node string
 	path string
 	d    time.Duration
 }
@@ -38,17 +54,43 @@ type sample struct {
 func main() {
 	var (
 		addr     = flag.String("addr", "http://127.0.0.1:8077", "base URL of the raced instance")
+		addrs    = flag.String("addrs", "", "comma-separated node URLs, coordinator first (overrides -addr; reads round-robin over all nodes)")
 		clients  = flag.Int("clients", 64, "concurrent clients")
 		requests = flag.Int("requests", 25, "requests per client")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	)
 	flag.Parse()
 
-	client := &http.Client{Timeout: *timeout}
+	nodes := []string{*addr}
+	if *addrs != "" {
+		nodes = nodes[:0]
+		for _, a := range strings.Split(*addrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				nodes = append(nodes, strings.TrimRight(a, "/"))
+			}
+		}
+		if len(nodes) == 0 {
+			fmt.Fprintln(os.Stderr, "serviceload: -addrs has no usable URLs")
+			os.Exit(2)
+		}
+	}
+	coordinator := nodes[0]
+
+	// One pooled transport for the whole run: keep-alive across all
+	// clients and nodes, idle pool sized so no client ever redials.
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *clients * len(nodes),
+			MaxIdleConnsPerHost: *clients,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
 
 	// Discover a real race key so the by-key and replay endpoints get
-	// genuine traffic.
-	raceKey, replayable := discover(client, *addr)
+	// genuine traffic. Discovery goes to the coordinator: replicas
+	// serve the same snapshot.
+	raceKey, replayable := discover(client, coordinator)
 	paths := []string{
 		"/healthz",
 		"/v1/stats",
@@ -57,7 +99,7 @@ func main() {
 		"/v1/diff",
 		"/v1/jobs",
 	}
-	if a, b := runPair(client, *addr); a != "" {
+	if a, b := runPair(client, coordinator); a != "" {
 		paths[4] = fmt.Sprintf("/v1/diff?a=%s&b=%s", a, b)
 	} else {
 		paths[4] = "/v1/stats" // single-run store: nothing to diff
@@ -65,7 +107,9 @@ func main() {
 	if raceKey != "" {
 		paths = append(paths, "/v1/races/"+raceKey)
 	}
-	if replayable != "" {
+	if replayable != "" && len(nodes) == 1 {
+		// Replays open the trace file server-side; replicas don't have
+		// the coordinator's trace files on disk.
 		paths = append(paths, "/v1/replay/"+replayable)
 	}
 	jobSpec := []byte(`{"patterns":["capture-loop-index"],"strategies":["random"],"seeds":3}`)
@@ -77,9 +121,9 @@ func main() {
 		accepted atomic.Int64
 		backoff  atomic.Int64
 	)
-	record := func(path string, d time.Duration) {
+	record := func(node, path string, d time.Duration) {
 		mu.Lock()
-		samples = append(samples, sample{path, d})
+		samples = append(samples, sample{node, path, d})
 		mu.Unlock()
 	}
 
@@ -92,7 +136,7 @@ func main() {
 			for i := 0; i < *requests; i++ {
 				if (c+i)%10 == 9 {
 					t0 := time.Now()
-					resp, err := client.Post(*addr+"/v1/jobs", "application/json", bytes.NewReader(jobSpec))
+					resp, err := client.Post(coordinator+"/v1/jobs", "application/json", bytes.NewReader(jobSpec))
 					if err != nil {
 						fmt.Fprintf(os.Stderr, "client %d: submit: %v\n", c, err)
 						failures.Add(1)
@@ -103,10 +147,10 @@ func main() {
 					switch resp.StatusCode {
 					case http.StatusAccepted:
 						accepted.Add(1)
-						record("POST /v1/jobs", time.Since(t0))
+						record(coordinator, "POST /v1/jobs", time.Since(t0))
 					case http.StatusTooManyRequests:
 						backoff.Add(1) // expected backpressure
-						record("POST /v1/jobs", time.Since(t0))
+						record(coordinator, "POST /v1/jobs", time.Since(t0))
 					default:
 						// Failures stay out of the ok count and the
 						// latency percentiles.
@@ -115,22 +159,28 @@ func main() {
 					}
 					continue
 				}
+				node := nodes[(c+i)%len(nodes)]
 				path := paths[(c*13+i)%len(paths)]
+				if strings.HasPrefix(path, "/v1/jobs") {
+					// The jobs table lives on the coordinator; worker
+					// nodes answer it 503 by design.
+					node = coordinator
+				}
 				t0 := time.Now()
-				resp, err := client.Get(*addr + path)
+				resp, err := client.Get(node + path)
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "client %d: GET %s: %v\n", c, path, err)
+					fmt.Fprintf(os.Stderr, "client %d: GET %s%s: %v\n", c, node, path, err)
 					failures.Add(1)
 					continue
 				}
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
 				if resp.StatusCode != http.StatusOK {
-					fmt.Fprintf(os.Stderr, "client %d: GET %s = %d\n", c, path, resp.StatusCode)
+					fmt.Fprintf(os.Stderr, "client %d: GET %s%s = %d\n", c, node, path, resp.StatusCode)
 					failures.Add(1)
 					continue
 				}
-				record("GET "+path, time.Since(t0))
+				record(node, "GET "+path, time.Since(t0))
 			}
 		}(c)
 	}
@@ -138,11 +188,14 @@ func main() {
 	elapsed := time.Since(start)
 
 	lat := make([]time.Duration, len(samples))
+	perNode := make(map[string][]time.Duration, len(nodes))
 	for i, s := range samples {
 		lat[i] = s.d
+		perNode[s.node] = append(perNode[s.node], s.d)
 	}
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	fmt.Printf("serviceload: %d clients x %d requests against %s\n", *clients, *requests, *addr)
+	fmt.Printf("serviceload: %d clients x %d requests against %s\n",
+		*clients, *requests, strings.Join(nodes, ", "))
 	fmt.Printf("requests: %d ok in %s (%.0f req/s), %d failures\n",
 		len(samples), elapsed.Round(time.Millisecond),
 		float64(len(samples))/elapsed.Seconds(), failures.Load())
@@ -150,6 +203,13 @@ func main() {
 	if len(lat) > 0 {
 		fmt.Printf("latency: p50=%s p95=%s p99=%s max=%s\n",
 			pct(lat, 50), pct(lat, 95), pct(lat, 99), lat[len(lat)-1].Round(time.Microsecond))
+	}
+	if len(nodes) > 1 {
+		for _, n := range nodes {
+			nl := perNode[n]
+			sort.Slice(nl, func(i, j int) bool { return nl[i] < nl[j] })
+			fmt.Printf("node %s: %d ok, p50=%s p95=%s\n", n, len(nl), pct(nl, 50), pct(nl, 95))
+		}
 	}
 	if failures.Load() > 0 {
 		os.Exit(1)
