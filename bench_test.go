@@ -6,8 +6,11 @@ package gorace_test
 
 import (
 	"bytes"
+	"context"
 	"runtime"
+	"runtime/debug"
 	"testing"
+	"time"
 
 	"gorace/internal/core"
 	"gorace/internal/corpusgen"
@@ -20,6 +23,7 @@ import (
 	"gorace/internal/sched"
 	"gorace/internal/staticcount"
 	"gorace/internal/staticrace"
+	"gorace/internal/stream"
 	"gorace/internal/study"
 	"gorace/internal/sweep"
 	"gorace/internal/trace"
@@ -538,6 +542,82 @@ func BenchmarkTraceCodecBinary(b *testing.B) {
 	benchCodecRoundTrip(b, func(r *trace.Recorder, buf *bytes.Buffer) error {
 		return r.Save(buf)
 	})
+}
+
+// --- Extension: online streaming ingest under a memory ceiling ---
+
+// BenchmarkStreamIngest streams a pre-encoded synthetic trace through
+// a ceilinged online Ingestor, one 100k-event stream per op — under
+// CI's -benchtime 100x that is the paper-scale 10M events per bench
+// run. Throughput is the ns/op number; the ceiling contract is the
+// assertion: peak HeapAlloc sampled across the whole run must stay
+// under the 64 MiB ceiling (skipped under -race, whose shadow words
+// void any absolute heap figure), and every op must detect at least
+// 90% of the planted races. The full ceiling-degradation table lives
+// in `racedetect -stream-bench`; this benchmark pins the one point CI
+// gates on.
+func BenchmarkStreamIngest(b *testing.B) {
+	const ceilingMiB = 64
+	spec := stream.SynthSpec{
+		Events:     100_000,
+		Goroutines: 8,
+		Addrs:      1 << 13, // working set sized to fit the ceiling's page budget
+		Planted:    10,
+		Seed:       1,
+	}
+	var buf bytes.Buffer
+	if err := spec.Write(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	// Same pairing RunCeilingSweep documents: the page budget bounds
+	// shadow state, the soft limit (with headroom) bounds decode churn.
+	prev := debug.SetMemoryLimit(ceilingMiB << 20 * 3 / 4)
+	defer debug.SetMemoryLimit(prev)
+	runtime.GC()
+	stop := make(chan struct{})
+	peak := make(chan uint64, 1)
+	go func() {
+		var ms runtime.MemStats
+		max := uint64(0)
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > max {
+				max = ms.HeapAlloc
+			}
+			select {
+			case <-stop:
+				peak <- max
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}()
+
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ing, err := stream.NewIngestor(stream.Config{MemCeilingMiB: ceilingMiB})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := ing.Ingest(context.Background(), bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := spec.DetectedPlanted(res.Races); got*10 < spec.Planted*9 {
+			b.Fatalf("detected %d/%d planted races, need >=90%%", got, spec.Planted)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	peakMiB := float64(<-peak) / (1 << 20)
+	b.ReportMetric(peakMiB, "peak-heap-MiB")
+	if !raceEnabled && peakMiB >= ceilingMiB {
+		b.Fatalf("peak heap %.1f MiB broke the %d MiB ceiling", peakMiB, ceilingMiB)
+	}
 }
 
 // --- Extension: the streaming sweep campaign engine ---

@@ -10,6 +10,7 @@
 //
 //	raced -db corpus.db [-addr :8077] [-workers 2] [-queue 16]
 //	      [-parallel N] [-max-seeds 512] [-drain 30s] [-quiet]
+//	      [-ingest-streams 4] [-ingest-window 1024] [-ingest-ceiling 64]
 //	      [-nightly-services 4] [-nightly-tests 4]
 //	      [-nightly-racy 0.4] [-nightly-seed 1]
 //
@@ -34,6 +35,7 @@
 //	POST /v1/jobs            submit a campaign spec; 202 + job id (429 when full)
 //	GET  /v1/jobs/{id}       job status and live progress
 //	GET  /v1/jobs/{id}/results  finished results as JSON Lines
+//	POST /v1/ingest?run=     detect a binary trace stream online and fold it in
 //	POST /v1/nightly         run a monorepo nightly and append it to the store
 //	POST /v1/cluster/join    (coordinator) worker registration
 //	POST /v1/cluster/heartbeat  (coordinator) worker liveness beat
@@ -80,6 +82,10 @@ func main() {
 		maxSeeds = flag.Int("max-seeds", 512, "per-job seed cap")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight work")
 		quiet    = flag.Bool("quiet", false, "suppress per-request logging")
+
+		ingStreams = flag.Int("ingest-streams", 0, "concurrent /v1/ingest streams (default 4; past it: 429 + Retry-After)")
+		ingWindow  = flag.Int("ingest-window", 0, "per-goroutine retained-event window for ingests (0 = default 1024, <0 = none)")
+		ingCeiling = flag.Int("ingest-ceiling", 0, "shadow-memory ceiling per ingest stream in MiB (0 = unbounded; engages the paged detector)")
 
 		nSvc  = flag.Int("nightly-services", 4, "monorepo services for /v1/nightly runs")
 		nTest = flag.Int("nightly-tests", 4, "unit tests per monorepo service")
@@ -155,13 +161,16 @@ func main() {
 		}
 		defer store.Close()
 		cfg := service.Config{
-			Store:          store,
-			Repo:           monorepo.Generate(*nSvc, *nTest, *nRacy, *nSeed),
-			JobWorkers:     *workers,
-			QueueDepth:     *queue,
-			JobParallelism: *parallel,
-			MaxSeeds:       *maxSeeds,
-			Logger:         reqLogger,
+			Store:            store,
+			Repo:             monorepo.Generate(*nSvc, *nTest, *nRacy, *nSeed),
+			JobWorkers:       *workers,
+			QueueDepth:       *queue,
+			JobParallelism:   *parallel,
+			MaxSeeds:         *maxSeeds,
+			IngestStreams:    *ingStreams,
+			IngestWindow:     *ingWindow,
+			IngestCeilingMiB: *ingCeiling,
+			Logger:           reqLogger,
 		}
 		if *coordinator {
 			cfg.Cluster = &service.ClusterConfig{

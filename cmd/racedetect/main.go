@@ -14,6 +14,9 @@
 //	           [-corpus store.db] [-run-id id] [-corpus-traces dir]
 //	racedetect -sweep-rates 1,4,16,64 [-seeds 20] [-detector fasttrack]
 //	           [-strategy random] [-parallel 8] [-markdown]
+//	racedetect -stream trace.bin [-mem-ceiling 64] [-window 1024]
+//	           [-detector fasttrack] [-json] [-suppressions file]
+//	racedetect -stream-bench 0,16,64,256 [-stream-events 10000000] [-markdown]
 //
 // Alongside the synthetic pattern corpus, racedetect runs instrumented
 // programs: real packages rewritten onto the sched/trace event model
@@ -52,6 +55,16 @@
 // -markdown renders the summary table as GitHub-flavored markdown for
 // CI job summaries. docs/DETECTORS.md explains how to read the table
 // and choose a rate.
+//
+// -stream replays a recorded binary trace (or stdin with "-") through
+// the online ingest path of internal/stream — the offline twin of
+// raced's POST /v1/ingest. -mem-ceiling bounds shadow memory in MiB
+// (engaging the evictable fasttrack-paged detector) and -window bounds
+// per-goroutine trace retention. -stream-bench runs the
+// ceiling-vs-missed-races study over a synthetic production-shaped
+// stream of -stream-events events and prints coverage, eviction churn,
+// and peak heap per ceiling; docs/STREAMING.md explains the soundness
+// tradeoff the table quantifies.
 package main
 
 import (
@@ -118,7 +131,12 @@ func main() {
 		corpusTr   = flag.String("corpus-traces", "", "with -corpus, save each defect's defining trace into this directory")
 		sample     = flag.Int("sample", 1, "check 1 in N accesses (deterministic per seed; 1 = every access)")
 		sweepRates = flag.String("sweep-rates", "", "comma-separated sample rates (e.g. 1,4,16,64): sweep rates × corpus and print the P(detect)-vs-overhead table")
-		markdown   = flag.Bool("markdown", false, "with -sweep-rates, print the summary table as GitHub-flavored markdown")
+		markdown   = flag.Bool("markdown", false, "with -sweep-rates or -stream-bench, print the summary table as GitHub-flavored markdown")
+		streamIn   = flag.String("stream", "", "replay a recorded binary trace stream through the online detector (\"-\" = stdin)")
+		memCeiling = flag.Int("mem-ceiling", 0, "with -stream, shadow-memory ceiling in MiB (0 = unbounded; engages the paged detector)")
+		window     = flag.Int("window", 0, "with -stream, per-goroutine retained-event window (0 = default, <0 = none)")
+		streamBn   = flag.String("stream-bench", "", "comma-separated MiB ceilings (0 = unbounded): sweep one synthetic stream per ceiling and print the coverage-vs-memory table")
+		streamEv   = flag.Int("stream-events", 10_000_000, "with -stream-bench, synthetic stream length in events")
 	)
 	flag.Parse()
 
@@ -146,6 +164,16 @@ func main() {
 	}
 
 	supp := loadSuppressions(*suppFile)
+
+	if *streamBn != "" {
+		runStreamBench(*streamBn, *streamEv, *markdown)
+		return
+	}
+
+	if *streamIn != "" {
+		runStream(*streamIn, *det, *memCeiling, *window, supp, *jsonOut)
+		return
+	}
 
 	if *sweepRates != "" {
 		runRateSweep(*det, *strategy, *variant, *seeds, *parallel, *sweepRates, *markdown)

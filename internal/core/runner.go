@@ -25,6 +25,7 @@ type Runner struct {
 	seed            int64
 	maxSteps        int
 	record          bool
+	window          int
 	parallelism     int
 	sampleRate      int
 }
@@ -67,6 +68,17 @@ func WithMaxSteps(n int) Option {
 // analysis (Outcome.Trace).
 func WithRecord(record bool) Option {
 	return func(r *Runner) { r.record = record }
+}
+
+// WithWindow keeps a windowed trace on each run's Outcome instead of
+// a full recording: only the most recent n events per goroutine are
+// retained (trace.WindowRecorder), merged in Seq order at run end.
+// This is the sweep shape of streaming detection's bounded retention —
+// a manifested race still carries classify-able recent context, but
+// trace memory no longer scales with run length. n > 0 overrides
+// WithRecord's full trace; 0 disables windowing.
+func WithWindow(n int) Option {
+	return func(r *Runner) { r.window = n }
 }
 
 // WithParallelism sets the worker count for RunBatch (default 1,
@@ -144,10 +156,11 @@ func (r *Runner) RunSeed(prog func(*sched.G), seed int64) (*Outcome, error) {
 // allocating a thousand detectors' worth of shadow memory.
 type runState struct {
 	det    detector.Detector
-	reset  detector.Resetter // nil when det must be rebuilt per run
-	buf    *trace.Recorder   // lazily created, record mode only
-	used   bool              // det has consumed a run since (re)build
-	shared bool              // state is recycled across runs (batch worker)
+	reset  detector.Resetter     // nil when det must be rebuilt per run
+	buf    *trace.Recorder       // lazily created, record mode only
+	wbuf   *trace.WindowRecorder // lazily created, window mode only
+	used   bool                  // det has consumed a run since (re)build
+	shared bool                  // state is recycled across runs (batch worker)
 }
 
 // newDetector builds the Runner's detector, sampling gate included.
@@ -217,7 +230,14 @@ func (r *Runner) runSeed(st *runState, prog func(*sched.G), seed int64) (*Outcom
 
 	out := &Outcome{Detector: det.Name(), Strategy: strat.Name(), Seed: seed}
 	var listeners []trace.Listener
-	if r.record {
+	switch {
+	case r.window > 0:
+		if st.wbuf == nil {
+			st.wbuf = trace.NewWindowRecorder(r.window)
+		}
+		st.wbuf.Reset()
+		listeners = append(listeners, st.wbuf)
+	case r.record:
 		if st.buf == nil {
 			st.buf = &trace.Recorder{}
 		}
@@ -237,7 +257,12 @@ func (r *Runner) runSeed(st *runState, prog func(*sched.G), seed int64) (*Outcom
 		Listeners: listeners,
 	})
 
-	if r.record {
+	switch {
+	case r.window > 0:
+		// Snapshot merges the per-goroutine rings into a fresh
+		// Recorder, so windowed traces never alias recycled state.
+		out.Trace = st.wbuf.Snapshot()
+	case r.record:
 		if st.shared {
 			out.Trace = st.buf.Snapshot()
 		} else {

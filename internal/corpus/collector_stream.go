@@ -1,0 +1,69 @@
+package corpus
+
+import (
+	"gorace/internal/classify"
+	"gorace/internal/detector"
+	"gorace/internal/report"
+	"gorace/internal/trace"
+)
+
+// NoteExecution counts one program execution (or ingested stream)
+// against the run marker without routing it through a sweep.Run.
+// Streaming ingest (internal/stream) calls it once per stream, since
+// its races arrive incrementally via FoldRaces rather than as one
+// Outcome at run end.
+func (c *Collector) NoteExecution() { c.executions++ }
+
+// FoldRaces folds race reports that manifested mid-stream into the
+// collector, deduplicating and classifying exactly as Observe does for
+// batch outcomes: every report counts toward the unit's occurrence
+// tallies, and a hash seen for the first time becomes the defect's
+// defining report, classified against window — the recent-events
+// window retained at manifestation time (may be nil; classification
+// then runs without trace hints). With a trace dir configured, the
+// first manifestation also retains a snapshot of the window so the
+// stored defect stays replayable.
+//
+// unitID and detName attribute the defect; detName must be a registry
+// name (empty selects detector.DefaultName). It returns the number of
+// defects newly defined by this fold, so callers can log only on
+// first manifestation.
+//
+// Like the rest of Collector, FoldRaces is not concurrency-safe; the
+// service serializes folds under its writer lock.
+func (c *Collector) FoldRaces(unitIdx int, unitID, detName string, seed int64, races []report.Race, window []trace.Event) int {
+	c.reports += len(races)
+	if len(races) == 0 {
+		return 0
+	}
+	if detName == "" {
+		detName = detector.DefaultName
+	}
+	ua := c.unit(unitIdx)
+	for _, race := range races {
+		ua.counts[race.Hash()]++
+	}
+	fresh := 0
+	for _, race := range report.UniqueByHash(races) {
+		h := race.Hash()
+		if _, ok := ua.defs[h]; ok {
+			continue
+		}
+		d := &defining{
+			unit:     unitID,
+			seed:     seed,
+			race:     race,
+			detector: detName,
+			labels:   classify.Classify(race, classify.HintsFromTrace(window)),
+		}
+		if c.traceDir != "" && len(window) > 0 {
+			snap := &trace.Recorder{Events: make([]trace.Event, len(window))}
+			copy(snap.Events, window)
+			d.trace = snap
+		}
+		ua.order = append(ua.order, h)
+		ua.defs[h] = d
+		fresh++
+	}
+	return fresh
+}

@@ -1,0 +1,117 @@
+package detector
+
+import (
+	"testing"
+
+	"gorace/internal/progen"
+	"gorace/internal/sched"
+	"gorace/internal/trace"
+	"gorace/internal/vclock"
+)
+
+// TestPagedFastTrackUnboundedMatchesPlain pins the tentpole identity:
+// with no page budget, the paged detector must produce the exact
+// ordered report sequence of plain FastTrack over a broad program
+// sample — paging is a retention policy, not an algorithm change.
+func TestPagedFastTrackUnboundedMatchesPlain(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		prog := progen.Generate(seed, progen.Params{})
+		plain := NewFastTrack()
+		paged := NewPagedFastTrack()
+		sched.Run(prog.Main(), sched.Options{
+			Strategy: sched.NewRandom(), Seed: seed, MaxSteps: 1 << 18,
+			Listeners: []trace.Listener{plain, paged},
+		})
+		got, want := raceHashes(paged.Races()), raceHashes(plain.Races())
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: paged reported %d races, plain %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: report %d diverged:\npaged %s\nplain %s", seed, i, got[i], want[i])
+			}
+		}
+		st := paged.Stats()
+		if st.Evictions != 0 || st.Reloads != 0 {
+			t.Fatalf("seed %d: unbounded paged detector evicted (evictions=%d reloads=%d)",
+				seed, st.Evictions, st.Reloads)
+		}
+	}
+}
+
+// TestPagedFastTrackEvicts drives a paged detector with a tiny budget
+// over a wide address walk and verifies (a) the budget holds, (b)
+// evictions and reloads are observed, and (c) every surviving report
+// is one the unpaged detector also makes — eviction may only lose
+// races, never invent them.
+func TestPagedFastTrackEvicts(t *testing.T) {
+	plain := NewFastTrack()
+	paged := NewPagedFastTrack()
+	paged.SetPageBudget(2)
+
+	feed := func(l trace.Listener) {
+		seq := uint64(0)
+		emit := func(g int, op trace.Op, addr uint64) {
+			seq++
+			l.HandleEvent(trace.Event{Seq: seq, G: vclock.TID(g), Op: op, Addr: trace.Addr(addr)})
+		}
+		// Walk far past two pages of addresses, twice, so cold pages
+		// evict and re-fault; plant a same-page racing pair (write by
+		// g1, write by g2, no sync) that stays hot.
+		for pass := 0; pass < 2; pass++ {
+			for a := uint64(1); a <= 4*pagedCellsPerPage; a++ {
+				emit(1, trace.OpWrite, a)
+				emit(2, trace.OpWrite, 7) // hot racing cell, always touched
+			}
+		}
+	}
+	feed(trace.Multi{plain, paged})
+
+	if got := paged.LivePages(); got > 2 {
+		t.Fatalf("LivePages() = %d, exceeds budget 2", got)
+	}
+	st := paged.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("wide address walk under a 2-page budget never evicted")
+	}
+	if st.Reloads == 0 {
+		t.Fatal("second pass over evicted pages never re-faulted")
+	}
+	if len(paged.Races()) == 0 {
+		t.Fatal("hot racing cell went unreported under eviction")
+	}
+	plainSet := make(map[string]bool)
+	for _, h := range raceHashes(plain.Races()) {
+		plainSet[h] = true
+	}
+	for _, h := range raceHashes(paged.Races()) {
+		if !plainSet[h] {
+			t.Fatalf("paged detector reported race %s that plain FastTrack did not", h)
+		}
+	}
+	if pb := paged.PageBytes(); pb <= 0 {
+		t.Fatalf("PageBytes() = %d, want positive", pb)
+	}
+}
+
+// TestPagedFastTrackResetRewindsPaging verifies Reset clears eviction
+// state so a recycled detector starts its next run cold.
+func TestPagedFastTrackResetRewindsPaging(t *testing.T) {
+	paged := NewPagedFastTrack()
+	paged.SetPageBudget(1)
+	for a := uint64(1); a <= 3*pagedCellsPerPage; a++ {
+		paged.HandleEvent(trace.Event{Seq: a, G: 1, Op: trace.OpWrite, Addr: trace.Addr(a)})
+	}
+	if paged.Stats().Evictions == 0 {
+		t.Fatal("setup walk never evicted")
+	}
+	paged.Reset()
+	st := paged.Stats()
+	if st.Evictions != 0 || st.Reloads != 0 || paged.LivePages() != 0 {
+		t.Fatalf("Reset left paging state: evictions=%d reloads=%d live=%d",
+			st.Evictions, st.Reloads, paged.LivePages())
+	}
+	if paged.maxPages != 1 {
+		t.Fatal("Reset must keep the configured budget")
+	}
+}

@@ -62,6 +62,7 @@ func Names() []string { return reg.Names() }
 
 func init() {
 	Register("fasttrack", func() Detector { return NewFastTrack() })
+	Register("fasttrack-paged", func() Detector { return NewPagedFastTrack() })
 	Register("epoch", func() Detector { return NewCounting(NewEpoch()) })
 	Register("djit", func() Detector { return NewCounting(NewDJIT()) })
 	Register("eraser", func() Detector { return NewEraser() })

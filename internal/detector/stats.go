@@ -47,6 +47,19 @@ type Stats struct {
 	// SkippedAccesses counts accesses the sampling gate dropped
 	// before they reached the detector (zero without sampling).
 	SkippedAccesses int
+
+	// Evictions counts shadow pages reclaimed by a memory-ceilinged
+	// detector (fasttrack-paged): every cell on an evicted page loses
+	// its access history, so races against those prior accesses can no
+	// longer be reported — the documented soundness tradeoff of
+	// bounded-memory streaming (docs/STREAMING.md). Zero for unpaged
+	// detectors and for paged runs that never hit their budget.
+	Evictions int
+	// Reloads counts evicted pages that were re-faulted by a later
+	// access: the cells restart with empty (epoch-form) histories. A
+	// high Reloads/Evictions ratio means the ceiling is evicting hot
+	// pages and the stream is likely missing races.
+	Reloads int
 }
 
 // String renders the counters on one line for logs and CLI output.
@@ -57,6 +70,9 @@ func (s Stats) String() string {
 		s.Promotions, s.Demotions, s.FastPathReads)
 	if s.SkippedAccesses > 0 {
 		line += fmt.Sprintf(" checked=%d skipped=%d", s.CheckedAccesses, s.SkippedAccesses)
+	}
+	if s.Evictions > 0 || s.Reloads > 0 {
+		line += fmt.Sprintf(" evictions=%d reloads=%d", s.Evictions, s.Reloads)
 	}
 	return line
 }

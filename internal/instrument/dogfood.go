@@ -32,6 +32,10 @@ type DogfoodProgram struct {
 	// OutRacy and OutFixed are the repo-relative generated files.
 	OutRacy  string
 	OutFixed string
+	// Skip names subject-directory files left out of the instrumented
+	// package: infrastructure sharing the directory without being part
+	// of the bug shape.
+	Skip []string
 }
 
 // DogfoodPrograms returns the curated instrumentation targets, sorted
@@ -53,6 +57,9 @@ func DogfoodPrograms() []DogfoodProgram {
 			Name:       "stack-trace",
 			Desc:       "unsynchronized push/capture on a shared frame stack (internal/stack)",
 			SubjectDir: "internal/stack",
+			// The interning depot is detector infrastructure that shares
+			// the package, not part of the push/capture bug shape.
+			Skip:       []string{"depot.go"},
 			Harness:    "internal/instrument/testdata/harness/stack_harness.go",
 			RacyEntry:  "RacyTrace",
 			FixedEntry: "FixedTrace",
@@ -101,11 +108,11 @@ func GenerateDogfood(root string, p DogfoodProgram) (racy, fixed *Output, err er
 		extra["zz_harness.go"] = string(src)
 	}
 	dir := filepath.Join(root, filepath.FromSlash(p.SubjectDir))
-	racy, err = Dir(dir, Options{ProgName: p.RacyProg, Entry: p.RacyEntry, Coalesce: true, ExtraFiles: extra})
+	racy, err = Dir(dir, Options{ProgName: p.RacyProg, Entry: p.RacyEntry, Coalesce: true, ExtraFiles: extra, SkipFiles: p.Skip})
 	if err != nil {
 		return nil, nil, fmt.Errorf("dogfood %s (racy): %w", p.Name, err)
 	}
-	fixed, err = Dir(dir, Options{ProgName: p.FixedProg, Entry: p.FixedEntry, Coalesce: true, ExtraFiles: extra})
+	fixed, err = Dir(dir, Options{ProgName: p.FixedProg, Entry: p.FixedEntry, Coalesce: true, ExtraFiles: extra, SkipFiles: p.Skip})
 	if err != nil {
 		return nil, nil, fmt.Errorf("dogfood %s (fixed): %w", p.Name, err)
 	}

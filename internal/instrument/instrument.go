@@ -62,6 +62,10 @@ type Options struct {
 	// ExtraFiles adds sources (filename → content) on top of the
 	// package directory — typically a harness defining Entry.
 	ExtraFiles map[string]string
+	// SkipFiles names package files Dir leaves out of the subject —
+	// infrastructure that shares a directory with the bug shape but is
+	// not part of it (and may use constructs the rewriter rejects).
+	SkipFiles []string
 }
 
 // Output is the product of one instrumentation run.
@@ -90,9 +94,13 @@ func Dir(dir string, opts Options) (*Output, error) {
 		return nil, err
 	}
 	files := map[string]string{}
+	skip := map[string]bool{}
+	for _, name := range opts.SkipFiles {
+		skip[name] = true
+	}
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") || skip[name] {
 			continue
 		}
 		src, err := os.ReadFile(filepath.Join(dir, name))

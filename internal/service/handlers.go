@@ -28,6 +28,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJobByID)
 	mux.HandleFunc("/v1/nightly", s.handleNightly)
+	mux.HandleFunc("/v1/ingest", s.handleIngest)
 	if s.cluster != nil {
 		mux.HandleFunc("/v1/cluster", s.handleCluster)
 		mux.HandleFunc("/v1/cluster/join", s.handleClusterJoin)

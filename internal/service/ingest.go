@@ -1,0 +1,174 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"gorace/internal/corpus"
+	"gorace/internal/stream"
+)
+
+// ingestResponse summarizes one ingested event stream.
+type ingestResponse struct {
+	Run        string `json:"run"`
+	Detector   string `json:"detector"`
+	Events     uint64 `json:"events"`
+	Reports    int    `json:"reports"`
+	NewDefects int    `json:"new_defects"`
+	Evictions  int    `json:"evictions"`
+	Reloads    int    `json:"reloads"`
+	Generation uint64 `json:"generation"`
+}
+
+// handleIngest serves POST /v1/ingest: the request body is a binary
+// trace stream (the codec cmd/racedetect records and trace.Encoder
+// writes), detected online under the server's ingest configuration
+// and folded into the corpus as one run. Query parameters:
+//
+//	run      run id to record the stream under (required, must be new)
+//	unit     unit id defects are attributed to (default "stream")
+//	detector registry detector name (default fasttrack, upgraded to
+//	         fasttrack-paged under a ceiling)
+//	seed     opaque stream id recorded as the defects' seed
+//
+// Concurrency is bounded by Config.IngestStreams: past it the server
+// answers 429 + Retry-After — backpressure, not buffering. Drain
+// lets in-flight ingests finish until its context expires, then
+// cancels them; a cancelled ingest publishes nothing.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	if s.cfg.Store == nil {
+		writeError(w, http.StatusServiceUnavailable, "worker node: ingest streams on the coordinator")
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining; no new ingests")
+		return
+	}
+	q := r.URL.Query()
+	run := q.Get("run")
+	if run == "" {
+		writeError(w, http.StatusBadRequest, "ingest requires a run id (?run=)")
+		return
+	}
+	if s.View().HasRun(run) {
+		writeError(w, http.StatusConflict, "run id %q already recorded", run)
+		return
+	}
+	seed := int64(0)
+	if raw := q.Get("seed"); raw != "" {
+		var err error
+		if seed, err = strconv.ParseInt(raw, 10, 64); err != nil {
+			writeError(w, http.StatusBadRequest, "bad seed %q: %v", raw, err)
+			return
+		}
+	}
+
+	select {
+	case s.ingestSem <- struct{}{}:
+	default:
+		// Backpressure: a bounded number of concurrent streams, an
+		// explicit retry signal past it.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "ingest streams saturated (%d); retry later", cap(s.ingestSem))
+		return
+	}
+	defer func() { <-s.ingestSem }()
+	// Register with the drain WaitGroup under the mutex, re-checking
+	// the flag: a drain that began after the check above must either
+	// see this ingest registered or turn it away here, never miss it.
+	s.ingestMu.Lock()
+	if s.draining.Load() {
+		s.ingestMu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining; no new ingests")
+		return
+	}
+	s.ingestWG.Add(1)
+	s.ingestMu.Unlock()
+	defer s.ingestWG.Done()
+
+	coll := corpus.NewCollector(run, corpus.WithRunLabel("ingest"))
+	ing, err := stream.NewIngestor(stream.Config{
+		Detector:      q.Get("detector"),
+		MemCeilingMiB: s.cfg.IngestCeilingMiB,
+		Window:        s.cfg.IngestWindow,
+		Unit:          q.Get("unit"),
+		Seed:          seed,
+		Collector:     coll,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// The ingest obeys both the request's own lifecycle and the
+	// server-wide drain cancel. A stalled body cannot outlive either:
+	// when cancellation fires, the pipe read unblocks with the
+	// context's error and an immediate read deadline kicks the copier
+	// out of a blocked body read — the server cannot even write our
+	// response while a goroutine still sits inside r.Body.Read, so
+	// the copier must be fully joined before responding.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.ingestCtx, cancel)
+	defer stop()
+	rc := http.NewResponseController(w)
+	pr, pw := io.Pipe()
+	copied := make(chan struct{})
+	go func() {
+		defer close(copied)
+		_, err := io.Copy(pw, r.Body)
+		pw.CloseWithError(err)
+	}()
+	unblock := context.AfterFunc(ctx, func() {
+		pr.CloseWithError(ctx.Err())
+		rc.SetReadDeadline(time.Now())
+	})
+
+	res, err := ing.Ingest(ctx, pr)
+	cancelled := ctx.Err() != nil
+	// Stop the unblocker BEFORE cancelling: on a completed ingest the
+	// deferred cancel would otherwise fire it late, and its stray read
+	// deadline can poison this connection's next keep-alive request
+	// mid-body (the server reads it as a dead client and cancels that
+	// request's context). If the ingest failed with the stream only
+	// part-consumed, kick the copier out here instead.
+	if !unblock() && !cancelled {
+		// Raced with cancellation after Ingest returned; treat as done.
+		cancelled = ctx.Err() != nil
+	}
+	if err != nil {
+		pr.CloseWithError(err)
+		rc.SetReadDeadline(time.Now())
+	}
+	cancel()
+	<-copied
+	pr.Close()
+	if err != nil {
+		if cancelled {
+			writeError(w, http.StatusServiceUnavailable, "ingest cancelled after %d events: %v", res.Events, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "ingest failed after %d events: %v", res.Events, err)
+		return
+	}
+	if err := s.publishCollector(coll); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Run:        run,
+		Detector:   ing.DetectorName(),
+		Events:     res.Events,
+		Reports:    len(res.Races),
+		NewDefects: res.NewDefects,
+		Evictions:  res.Stats.Evictions,
+		Reloads:    res.Stats.Reloads,
+		Generation: s.View().Generation(),
+	})
+}

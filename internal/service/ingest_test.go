@@ -1,0 +1,252 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"gorace/internal/stream"
+	"gorace/internal/trace"
+)
+
+// synthStream renders a small synthetic trace stream for ingest tests.
+func synthStream(t testing.TB, spec stream.SynthSpec) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := spec.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// postIngest POSTs body to /v1/ingest with the given query string and
+// returns the status code and decoded error-or-result body.
+func postIngest(t testing.TB, url, query string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/ingest?"+query, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestIngestEndpoint drives the happy path end to end: a binary
+// stream POSTs in, defects land in the corpus under the given run id,
+// and the response reports what the detector saw.
+func TestIngestEndpoint(t *testing.T) {
+	store, _ := seedStore(t)
+	_, ts := newTestServer(t, Config{Store: store})
+	data := synthStream(t, stream.SynthSpec{Events: 30000, Planted: 4, Seed: 11})
+
+	status, body := postIngest(t, ts.URL, "run=ingest-001&unit=svc/stream&seed=9", data)
+	if status != http.StatusOK {
+		t.Fatalf("ingest = %d: %s", status, body)
+	}
+	var res struct {
+		Run        string `json:"run"`
+		Detector   string `json:"detector"`
+		Events     uint64 `json:"events"`
+		Reports    int    `json:"reports"`
+		NewDefects int    `json:"new_defects"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Run != "ingest-001" || res.Detector != "fasttrack" {
+		t.Fatalf("response attribution wrong: %+v", res)
+	}
+	if res.Events != 30000 || res.Reports == 0 || res.NewDefects == 0 {
+		t.Fatalf("stream not detected: %+v", res)
+	}
+
+	// The fold is queryable immediately.
+	rstatus, rbody, _ := get(t, ts.URL+"/v1/races?unit=svc/stream&limit=0")
+	if rstatus != http.StatusOK {
+		t.Fatalf("races after ingest = %d", rstatus)
+	}
+	if !bytes.Contains(rbody, []byte("svc/stream")) {
+		t.Fatalf("ingested defects not served: %s", rbody)
+	}
+
+	// Same run id again: conflict, nothing double-folded.
+	status, body = postIngest(t, ts.URL, "run=ingest-001", data)
+	if status != http.StatusConflict {
+		t.Fatalf("duplicate run = %d: %s", status, body)
+	}
+}
+
+// TestIngestEndpointValidation covers the request-shape failures: the
+// method gate, the required run id, unknown detectors, and a detector
+// that cannot hold a ceiling.
+func TestIngestEndpointValidation(t *testing.T) {
+	store, _ := seedStore(t)
+	_, ts := newTestServer(t, Config{Store: store, IngestCeilingMiB: 16})
+	data := synthStream(t, stream.SynthSpec{Events: 1000, Planted: 1, Seed: 1})
+
+	resp, err := http.Get(ts.URL + "/v1/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/ingest = %d, want 405", resp.StatusCode)
+	}
+
+	if status, body := postIngest(t, ts.URL, "", data); status != http.StatusBadRequest {
+		t.Fatalf("missing run id = %d: %s", status, body)
+	}
+	if status, body := postIngest(t, ts.URL, "run=x&detector=no-such", data); status != http.StatusBadRequest {
+		t.Fatalf("unknown detector = %d: %s", status, body)
+	}
+	if status, body := postIngest(t, ts.URL, "run=x&detector=eraser", data); status != http.StatusBadRequest {
+		t.Fatalf("non-evictable detector under ceiling = %d: %s", status, body)
+	}
+	if status, body := postIngest(t, ts.URL, "run=x&seed=abc", data); status != http.StatusBadRequest {
+		t.Fatalf("bad seed = %d: %s", status, body)
+	}
+	// And the ceilinged happy path resolves the paged detector.
+	status, body := postIngest(t, ts.URL, "run=ceil-001", data)
+	if status != http.StatusOK || !bytes.Contains(body, []byte("fasttrack-paged")) {
+		t.Fatalf("ceilinged ingest = %d: %s", status, body)
+	}
+}
+
+// TestIngestEndpointGarbage: hostile bytes answer 400 with the decode
+// error and publish nothing.
+func TestIngestEndpointGarbage(t *testing.T) {
+	store, _ := seedStore(t)
+	svc, ts := newTestServer(t, Config{Store: store})
+
+	data := synthStream(t, stream.SynthSpec{Events: 5000, Planted: 1, Seed: 2})
+	truncated := data[:len(data)/2]
+	if status, body := postIngest(t, ts.URL, "run=bad-001", truncated); status != http.StatusBadRequest {
+		t.Fatalf("truncated stream = %d: %s", status, body)
+	}
+	if status, body := postIngest(t, ts.URL, "run=bad-002", []byte("GRTB\xff\xff\xff\xff")); status != http.StatusBadRequest {
+		t.Fatalf("hostile header = %d: %s", status, body)
+	}
+	for _, run := range []string{"bad-001", "bad-002"} {
+		if svc.View().HasRun(run) {
+			t.Fatalf("failed ingest %s landed in the corpus", run)
+		}
+	}
+}
+
+// TestIngestBackpressure: with one ingest slot occupied by a stalled
+// stream, the next request answers 429 + Retry-After immediately
+// instead of queueing.
+func TestIngestBackpressure(t *testing.T) {
+	store, _ := seedStore(t)
+	_, ts := newTestServer(t, Config{Store: store, IngestStreams: 1})
+	data := synthStream(t, stream.SynthSpec{Events: 5000, Planted: 1, Seed: 3})
+
+	pr, pw := io.Pipe()
+	started := make(chan struct{})
+	finished := make(chan error, 1)
+	go func() {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/ingest?run=slow-001", pr)
+		if err != nil {
+			finished <- err
+			return
+		}
+		close(started)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		finished <- err
+	}()
+	<-started
+	// Feed the header so the handler is committed, then stall.
+	if _, err := pw.Write(data[:20]); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the slot to be taken: the next ingest must bounce.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Post(ts.URL+"/v1/ingest?run=bounced", "application/octet-stream", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("saturated server answered %d, want 429", resp.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Unstall: deliver the rest and let the slow ingest finish.
+	if _, err := pw.Write(data[20:]); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	if err := <-finished; err != nil {
+		t.Fatalf("stalled ingest: %v", err)
+	}
+}
+
+// TestIngestChunkedTransfer: the endpoint accepts chunked bodies (an
+// io.Pipe-backed request has no Content-Length), the production shape
+// of a live event stream.
+func TestIngestChunkedTransfer(t *testing.T) {
+	store, _ := seedStore(t)
+	svc, ts := newTestServer(t, Config{Store: store})
+	data := synthStream(t, stream.SynthSpec{Events: 20000, Planted: 2, Seed: 4})
+
+	pr, pw := io.Pipe()
+	go func() {
+		for len(data) > 0 {
+			n := 4096
+			if n > len(data) {
+				n = len(data)
+			}
+			if _, err := pw.Write(data[:n]); err != nil {
+				return
+			}
+			data = data[n:]
+		}
+		pw.Close()
+	}()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/ingest?run=chunked-001", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunked ingest = %d: %s", resp.StatusCode, body)
+	}
+	if !svc.View().HasRun("chunked-001") {
+		t.Fatal("chunked ingest did not land")
+	}
+}
+
+// streamedHeader returns a valid streamed-mode header with no events —
+// the smallest prefix that commits the decoder to binary mode.
+func streamedHeader(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := trace.NewEncoder(&buf)
+	if err := enc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

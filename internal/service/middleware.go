@@ -19,6 +19,11 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.ResponseWriter.WriteHeader(status)
 }
 
+// Unwrap exposes the wrapped writer to http.NewResponseController,
+// which needs the real connection underneath for per-request
+// deadlines (the ingest handler's stalled-body kick).
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // Write defaults the status to 200 like net/http does.
 func (w *statusWriter) Write(b []byte) (int, error) {
 	if w.status == 0 {

@@ -90,6 +90,18 @@ type Config struct {
 	JobsRetained int
 	// CacheEntries bounds the response cache (default 512 entries).
 	CacheEntries int
+	// IngestStreams bounds concurrent POST /v1/ingest streams
+	// (default 4). Excess requests answer 429 + Retry-After.
+	IngestStreams int
+	// IngestWindow is the per-goroutine recent-event retention for
+	// ingested streams (default stream.DefaultWindow; negative
+	// disables trace retention).
+	IngestWindow int
+	// IngestCeilingMiB bounds each ingest's detector shadow memory in
+	// MiB (default 0 = unbounded). Under a ceiling the default
+	// detector is the paged, evictable fasttrack-paged; see
+	// docs/STREAMING.md for the soundness tradeoff.
+	IngestCeilingMiB int
 	// Logger receives request and job logs (default: discard).
 	Logger *log.Logger
 }
@@ -108,6 +120,15 @@ type Server struct {
 	cluster  *cluster    // coordinator mode only
 	worker   *workerRuntime
 	handler  http.Handler
+
+	// Ingest lifecycle: a semaphore bounds concurrent streams, the
+	// WaitGroup lets Drain wait them out, and cancelling ingestCtx is
+	// Drain's deadline kill switch for whatever is still running.
+	ingestSem    chan struct{}
+	ingestMu     sync.Mutex // orders handler Add against Drain's Wait
+	ingestWG     sync.WaitGroup
+	ingestCtx    context.Context
+	ingestCancel context.CancelFunc
 }
 
 // New builds a Server and publishes the initial snapshot — the store's
@@ -145,11 +166,16 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = log.New(io.Discard, "", 0)
 	}
-	s := &Server{
-		cfg:   cfg,
-		log:   cfg.Logger,
-		cache: newCache(cfg.CacheEntries),
+	if cfg.IngestStreams <= 0 {
+		cfg.IngestStreams = 4
 	}
+	s := &Server{
+		cfg:       cfg,
+		log:       cfg.Logger,
+		cache:     newCache(cfg.CacheEntries),
+		ingestSem: make(chan struct{}, cfg.IngestStreams),
+	}
+	s.ingestCtx, s.ingestCancel = context.WithCancel(context.Background())
 	if cfg.Worker != nil {
 		// Store-less worker: start from an empty generation-0 view;
 		// the replica loop replaces it with the coordinator's.
@@ -270,6 +296,29 @@ func (s *Server) Drain(ctx context.Context) error {
 	if s.jobs != nil {
 		err = s.jobs.drain(ctx)
 	}
+	// In-flight ingest streams may finish until the drain deadline;
+	// past it they are cancelled and waited out, so no ingest touches
+	// the store after Drain returns. New ingests were already turned
+	// away by the draining flag; the mutex handshake waits out any
+	// handler that read the flag before it flipped, so no Add races
+	// the Wait below.
+	s.ingestMu.Lock()
+	s.ingestMu.Unlock() //nolint:staticcheck // empty critical section is the point
+	ingested := make(chan struct{})
+	go func() {
+		s.ingestWG.Wait()
+		close(ingested)
+	}()
+	select {
+	case <-ingested:
+	case <-ctx.Done():
+		s.ingestCancel()
+		<-ingested
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	s.ingestCancel()
 	// Quiesce the writer: taking the mutex waits for an in-flight
 	// PublishNightly to finish its append; the draining flag keeps
 	// any later call from starting a new one. Worker nodes have no

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -11,6 +13,7 @@ import (
 	"time"
 
 	"gorace/internal/monorepo"
+	"gorace/internal/stream"
 )
 
 // TestConcurrentSoak is the acceptance load test: 64+ simultaneous
@@ -127,6 +130,193 @@ func TestConcurrentSoak(t *testing.T) {
 	if err := svc.Drain(ctx); err != nil {
 		t.Fatalf("drain after soak: %v", err)
 	}
+}
+
+// TestIngestSoak extends the load test to the streaming write path:
+// 16 concurrent /v1/ingest streams race the corpus read storm and a
+// nightly append, all under `go test -race`. Ingests beyond the
+// configured stream bound must bounce with 429, never block or error;
+// everything that lands must be serveable immediately.
+func TestIngestSoak(t *testing.T) {
+	store, traced := seedStore(t)
+	svc, ts := newTestServer(t, Config{
+		Store:         store,
+		Repo:          monorepo.Generate(2, 2, 0.8, 42),
+		IngestStreams: 6,
+	})
+	data := synthStream(t, stream.SynthSpec{Events: 20000, Planted: 3, Seed: 21})
+
+	const ingesters = 16
+	var (
+		wg       sync.WaitGroup
+		failures atomic.Int64
+		landed   atomic.Int64
+		bounced  atomic.Int64
+	)
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	for c := 0; c < ingesters; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			run := fmt.Sprintf("soak-ingest-%03d", c)
+			for attempt := 0; attempt < 50; attempt++ {
+				resp, err := client.Post(
+					ts.URL+"/v1/ingest?run="+run+"&unit=soak/stream",
+					"application/octet-stream", bytes.NewReader(data))
+				if err != nil {
+					t.Errorf("ingester %d: %v", c, err)
+					failures.Add(1)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					landed.Add(1)
+					return
+				case http.StatusTooManyRequests:
+					if resp.Header.Get("Retry-After") == "" {
+						t.Errorf("ingester %d: 429 without Retry-After", c)
+					}
+					bounced.Add(1)
+					time.Sleep(2 * time.Millisecond)
+				default:
+					t.Errorf("ingester %d: status %d", c, resp.StatusCode)
+					failures.Add(1)
+					return
+				}
+			}
+			t.Errorf("ingester %d: never admitted", c)
+			failures.Add(1)
+		}(c)
+	}
+
+	// Read storm racing the ingest writers.
+	paths := []string{
+		"/v1/stats",
+		"/v1/races?limit=0",
+		"/v1/races/" + traced,
+		"/v1/replay/" + traced,
+	}
+	for c := 0; c < 16; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				path := paths[(c*5+i)%len(paths)]
+				resp, err := client.Get(ts.URL + path)
+				if err != nil {
+					t.Errorf("reader %d: GET %s: %v", c, path, err)
+					failures.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("reader %d: GET %s = %d", c, path, resp.StatusCode)
+					failures.Add(1)
+				}
+			}
+		}(c)
+	}
+
+	// The nightly writer contends for the same store mutex the ingest
+	// publishes serialize on.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(5 * time.Millisecond)
+		if _, err := svc.PublishNightly("run-003", 7); err != nil {
+			t.Errorf("nightly during ingest soak: %v", err)
+		}
+	}()
+
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d failures under ingest soak", failures.Load())
+	}
+	if landed.Load() != ingesters {
+		t.Fatalf("%d of %d ingests landed", landed.Load(), ingesters)
+	}
+	for c := 0; c < ingesters; c++ {
+		run := fmt.Sprintf("soak-ingest-%03d", c)
+		if !svc.View().HasRun(run) {
+			t.Fatalf("ingested run %s not in corpus", run)
+		}
+	}
+	if !svc.View().HasRun("run-003") {
+		t.Fatal("nightly append did not land")
+	}
+	t.Logf("ingest soak: %d landed, %d pushed back (429)", landed.Load(), bounced.Load())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatalf("drain after ingest soak: %v", err)
+	}
+}
+
+// TestDrainCancelsInFlightIngest pins the drain deadline contract: an
+// ingest stalled mid-stream survives until Drain's context expires,
+// is then cancelled (503, nothing published), and Drain returns with
+// the deadline error instead of hanging on the stuck stream.
+func TestDrainCancelsInFlightIngest(t *testing.T) {
+	store, _ := seedStore(t)
+	svc, ts := newTestServer(t, Config{Store: store})
+
+	pr, pw := io.Pipe()
+	type result struct {
+		status int
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/ingest?run=stalled-001", pr)
+		if err != nil {
+			done <- result{0, err}
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			done <- result{0, err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- result{resp.StatusCode, nil}
+	}()
+
+	// Commit the handler to the stream — header plus a few events —
+	// then stall the body forever.
+	data := synthStream(t, stream.SynthSpec{Events: 3000, Planted: 1, Seed: 8})
+	if _, err := pw.Write(data[:len(data)/2]); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := svc.Drain(ctx)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("drain with a stalled ingest returned %v, want DeadlineExceeded", err)
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Fatalf("drain blocked %v on a stalled stream", waited)
+	}
+
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("stalled ingest request: %v", res.err)
+	}
+	if res.status != http.StatusServiceUnavailable {
+		t.Fatalf("cancelled ingest = %d, want 503", res.status)
+	}
+	if svc.View().HasRun("stalled-001") {
+		t.Fatal("cancelled ingest published its partial fold")
+	}
+	pw.Close()
 }
 
 // TestFixedGenerationResponsesAreByteIdentical pins the acceptance

@@ -1,0 +1,62 @@
+package stack
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Depot interns calling contexts: structurally identical frame lists
+// resolve to one shared Context value, however many events, reports,
+// or decoded traces reference them. This is what keeps a retained race
+// report from pinning per-event stack copies — a days-long stream
+// re-observes the same few thousand distinct contexts millions of
+// times, and the depot stores each exactly once (the shape of
+// racedetector's stackdepot, §3.3).
+//
+// A Depot is not safe for concurrent use; each decoder or ingest
+// stream owns its own.
+type Depot struct {
+	m map[string]Context
+	// keyBuf is the reused scratch buffer for key construction, so a
+	// depot hit allocates nothing beyond the map probe.
+	keyBuf strings.Builder
+}
+
+// NewDepot returns an empty depot.
+func NewDepot() *Depot {
+	return &Depot{m: make(map[string]Context)}
+}
+
+// Intern returns the canonical Context for frames, copying them into a
+// new Context only on first sight. The empty frame list interns to the
+// zero Context.
+func (d *Depot) Intern(frames []Frame) Context {
+	if len(frames) == 0 {
+		return Context{}
+	}
+	d.keyBuf.Reset()
+	for _, f := range frames {
+		d.keyBuf.WriteString(f.Func)
+		d.keyBuf.WriteByte(0)
+		d.keyBuf.WriteString(f.File)
+		d.keyBuf.WriteByte(0)
+		d.keyBuf.WriteString(strconv.Itoa(f.Line))
+		d.keyBuf.WriteByte(0)
+	}
+	key := d.keyBuf.String()
+	if c, ok := d.m[key]; ok {
+		return c
+	}
+	c := NewContext(frames...)
+	d.m[key] = c
+	return c
+}
+
+// InternContext interns an existing Context's frames, returning the
+// canonical shared value.
+func (d *Depot) InternContext(c Context) Context {
+	return d.Intern(c.Frames())
+}
+
+// Size returns the number of distinct contexts interned so far.
+func (d *Depot) Size() int { return len(d.m) }

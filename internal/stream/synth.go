@@ -1,0 +1,301 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"gorace/internal/report"
+	"gorace/internal/stack"
+	"gorace/internal/trace"
+	"gorace/internal/vclock"
+)
+
+// SynthSpec describes a synthetic production-shaped event stream: many
+// goroutines sweeping wide, per-goroutine-private address ranges
+// (guaranteed race-free noise that churns shadow pages), periodic
+// private mutex traffic for sync realism, and Planted unsynchronized
+// write pairs at known addresses. The generator is a pure function of
+// the spec, so every ceiling in a sweep replays the identical stream.
+type SynthSpec struct {
+	// Events is the total stream length (default 1 << 20).
+	Events int
+	// Goroutines is the noise-goroutine count (default 8, min 2 so
+	// planted pairs have two distinct writers).
+	Goroutines int
+	// Addrs is each goroutine's private noise address-space size
+	// (default 1 << 16). Larger values touch more shadow pages and
+	// evict harder under a ceiling.
+	Addrs int
+	// Planted is the number of racy write pairs planted at known
+	// addresses (default Events/10000, min 1).
+	Planted int
+	// Gap is the event distance between a planted pair's two accesses
+	// (default 512). Under a tight ceiling the noise inside the gap
+	// can evict the first access's shadow page — exactly the false
+	// negative the ceiling sweep quantifies.
+	Gap int
+	// Seed drives the noise generator.
+	Seed int64
+}
+
+// norm returns the spec with defaults applied.
+func (s SynthSpec) norm() SynthSpec {
+	if s.Events <= 0 {
+		s.Events = 1 << 20
+	}
+	if s.Goroutines < 2 {
+		if s.Goroutines == 1 {
+			s.Goroutines = 2
+		} else if s.Goroutines == 0 {
+			s.Goroutines = 8
+		}
+	}
+	if s.Addrs <= 0 {
+		s.Addrs = 1 << 16
+	}
+	if s.Planted <= 0 {
+		s.Planted = s.Events / 10000
+		if s.Planted < 1 {
+			s.Planted = 1
+		}
+	}
+	if s.Gap <= 0 {
+		s.Gap = 512
+	}
+	return s
+}
+
+// plantedBase keeps planted addresses disjoint from every goroutine's
+// noise partition.
+const plantedBase uint64 = 1 << 40
+
+// synthAddr marks a synthetic address stable: production streams carry
+// structural-hash identities, not dense allocator indices, and the
+// StableBit routes them through the detectors' sparse side index —
+// without it a sparse 2⁴⁰-wide address space would force a dense
+// shadow slice of the same width.
+func synthAddr(a uint64) trace.Addr {
+	return trace.Addr(a | trace.StableBit)
+}
+
+// PlantedAddr returns the address of planted pair i.
+func (s SynthSpec) PlantedAddr(i int) trace.Addr {
+	return synthAddr(plantedBase + uint64(i))
+}
+
+// DetectedPlanted counts how many distinct planted pairs appear among
+// races (matched by address — synthetic stacks are unique per pair, so
+// either access identifies it).
+func (s SynthSpec) DetectedPlanted(races []report.Race) int {
+	s = s.norm()
+	seen := make(map[trace.Addr]bool)
+	for _, r := range races {
+		for _, a := range []trace.Addr{r.First.Addr, r.Second.Addr} {
+			raw := uint64(a) &^ trace.StableBit
+			if raw >= plantedBase && raw < plantedBase+uint64(s.Planted) {
+				seen[a] = true
+			}
+		}
+	}
+	return len(seen)
+}
+
+// Write streams the synthetic trace to w in the binary codec's
+// streamed framing, without materializing it: memory stays O(1) in
+// Events, so a 10M-event stream can feed an Ingestor through an
+// io.Pipe while the whole process observes the detector's ceiling.
+func (s SynthSpec) Write(w io.Writer) error {
+	s = s.norm()
+	enc := trace.NewEncoder(w)
+	rng := rand.New(rand.NewSource(s.Seed))
+
+	// Planted schedule: pair k's first write lands at position firstAt
+	// within its stride slot; the second follows Gap events later.
+	type plant struct {
+		pair  int
+		first bool
+	}
+	at := make(map[int][]plant, 2*s.Planted)
+	stride := s.Events / s.Planted
+	for k := 0; k < s.Planted; k++ {
+		firstAt := k * stride
+		secondAt := firstAt + s.Gap
+		if secondAt >= s.Events {
+			secondAt = s.Events - 1
+		}
+		at[firstAt] = append(at[firstAt], plant{k, true})
+		at[secondAt] = append(at[secondAt], plant{k, false})
+	}
+
+	noiseStack := make([]stack.Context, s.Goroutines+1)
+	for g := 1; g <= s.Goroutines; g++ {
+		noiseStack[g] = stack.NewContext(
+			stack.Frame{Func: fmt.Sprintf("synth.worker%d", g), File: "synth.go", Line: g},
+			stack.Frame{Func: "synth.main", File: "synth.go", Line: 1},
+		)
+	}
+
+	seq := uint64(0)
+	emit := func(ev trace.Event) error {
+		seq++
+		ev.Seq = seq
+		return enc.Encode(ev)
+	}
+	for i := 0; i < s.Events; i++ {
+		if ps := at[i]; len(ps) > 0 {
+			for _, p := range ps {
+				g := 1 + p.pair%s.Goroutines
+				if !p.first {
+					g = 1 + (p.pair+1)%s.Goroutines
+				}
+				err := emit(trace.Event{
+					G: vclock.TID(g), Op: trace.OpWrite,
+					Addr: s.PlantedAddr(p.pair),
+					Stack: stack.NewContext(
+						stack.Frame{Func: fmt.Sprintf("synth.planted%d", p.pair), File: "planted.go", Line: p.pair + 1},
+					),
+				})
+				if err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		g := 1 + rng.Intn(s.Goroutines)
+		ev := trace.Event{G: vclock.TID(g), Stack: noiseStack[g]}
+		switch roll := rng.Intn(32); {
+		case roll == 0:
+			ev.Op, ev.Obj, ev.Kind = trace.OpAcquire, trace.ObjID(g), trace.KindMutex
+		case roll == 1:
+			ev.Op, ev.Obj, ev.Kind = trace.OpRelease, trace.ObjID(g), trace.KindMutex
+		case roll < 12:
+			ev.Op = trace.OpRead
+			ev.Addr = synthAddr(uint64(g)*uint64(s.Addrs) + uint64(rng.Intn(s.Addrs)))
+		default:
+			ev.Op = trace.OpWrite
+			ev.Addr = synthAddr(uint64(g)*uint64(s.Addrs) + uint64(rng.Intn(s.Addrs)))
+		}
+		if err := emit(ev); err != nil {
+			return err
+		}
+	}
+	return enc.Flush()
+}
+
+// CeilingResult is one row of a ceiling sweep: what one memory ceiling
+// cost in missed planted races, and what the detector's bounded state
+// did to stay under it.
+type CeilingResult struct {
+	CeilingMiB  int     // 0 = unbounded
+	Events      uint64  // events ingested
+	Planted     int     // racy pairs planted in the stream
+	Detected    int     // planted pairs the detector reported
+	Evictions   int     // shadow pages reclaimed
+	Reloads     int     // evicted pages re-faulted
+	PeakHeapMiB float64 // max sampled runtime HeapAlloc during ingest
+}
+
+// RunCeilingSweep ingests the same synthetic stream once per ceiling
+// and reports detection coverage against the plant list — the
+// ceiling-vs-missed-races table published to CI. Ceiling 0 rows run
+// unbounded and must detect every plant (the differential baseline).
+//
+// Ceilinged rows also install a runtime soft memory limit at 3/4 of
+// the ceiling for the duration of the run: the detector's page budget
+// bounds live shadow state to ceiling/4, and the limit makes the
+// collector absorb transient decode garbage instead of letting the
+// heap coast past the ceiling between GC cycles — the same pairing a
+// production deployment under a hard budget runs with. The limit sits
+// below the ceiling because Go's limit is soft: under allocation
+// pressure the GC lets the heap overshoot it rather than stall, and
+// the 1/4 headroom absorbs that overshoot so the sampled peak stays
+// under the ceiling itself. The sweep is therefore process-global and
+// not safe to run concurrently with other heap-sensitive work.
+func RunCeilingSweep(ctx context.Context, spec SynthSpec, ceilingsMiB []int) ([]CeilingResult, error) {
+	spec = spec.norm()
+	out := make([]CeilingResult, 0, len(ceilingsMiB))
+	for _, ceil := range ceilingsMiB {
+		in, err := NewIngestor(Config{MemCeilingMiB: ceil})
+		if err != nil {
+			return out, err
+		}
+		pr, pw := io.Pipe()
+		go func() { pw.CloseWithError(spec.Write(pw)) }()
+
+		prevLimit := int64(0)
+		if ceil > 0 {
+			prevLimit = debug.SetMemoryLimit(int64(ceil) << 20 * 3 / 4)
+		}
+		runtime.GC()
+		stop := make(chan struct{})
+		peak := make(chan uint64, 1)
+		go samplePeakHeap(stop, peak)
+
+		res, err := in.Ingest(ctx, pr)
+		close(stop)
+		pr.Close()
+		if ceil > 0 {
+			debug.SetMemoryLimit(prevLimit)
+		}
+		if err != nil {
+			return out, fmt.Errorf("stream: ceiling %d MiB: %w", ceil, err)
+		}
+		out = append(out, CeilingResult{
+			CeilingMiB:  ceil,
+			Events:      res.Events,
+			Planted:     spec.Planted,
+			Detected:    spec.DetectedPlanted(res.Races),
+			Evictions:   res.Stats.Evictions,
+			Reloads:     res.Stats.Reloads,
+			PeakHeapMiB: float64(<-peak) / (1 << 20),
+		})
+	}
+	return out, nil
+}
+
+// samplePeakHeap polls runtime HeapAlloc until stop closes, then sends
+// the maximum observed. Polling (vs a single end-of-run read) catches
+// the transient high-water mark that a post-GC reading would hide.
+func samplePeakHeap(stop <-chan struct{}, out chan<- uint64) {
+	var ms runtime.MemStats
+	max := uint64(0)
+	for {
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > max {
+			max = ms.HeapAlloc
+		}
+		select {
+		case <-stop:
+			out <- max
+			return
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// MarkdownTable renders sweep rows as a GitHub-flavored markdown table
+// for CI job summaries.
+func MarkdownTable(rows []CeilingResult) string {
+	var b strings.Builder
+	b.WriteString("| ceiling | events | planted | detected | coverage | evictions | reloads | peak heap |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		ceil := "unbounded"
+		if r.CeilingMiB > 0 {
+			ceil = fmt.Sprintf("%d MiB", r.CeilingMiB)
+		}
+		cov := 100.0
+		if r.Planted > 0 {
+			cov = 100 * float64(r.Detected) / float64(r.Planted)
+		}
+		fmt.Fprintf(&b, "| %s | %d | %d | %d | %.1f%% | %d | %d | %.1f MiB |\n",
+			ceil, r.Events, r.Planted, r.Detected, cov, r.Evictions, r.Reloads, r.PeakHeapMiB)
+	}
+	return b.String()
+}

@@ -64,6 +64,12 @@ type Unit struct {
 	MaxSteps int
 	// Record keeps each run's event trace on its Outcome.
 	Record bool
+	// Window keeps only the most recent Window events per goroutine
+	// on each run's Outcome instead of a full recording
+	// (core.WithWindow) — bounded trace retention for long runs; a
+	// manifested race still carries classify-able recent context.
+	// Window > 0 overrides Record; 0 keeps full-trace semantics.
+	Window int
 	// SampleRate gates the detector behind a deterministic 1-in-N
 	// access-sampling filter (core.WithSampleRate). 0 or 1 means
 	// check every access.
@@ -412,7 +418,7 @@ func configKey(u *Unit, unitIdx int) string {
 	if u.StrategyFactory != nil {
 		return fmt.Sprintf("factory/%d", unitIdx)
 	}
-	return fmt.Sprintf("%s\x00%s\x00%d\x00%t\x00%d", u.Detector, u.Strategy, u.MaxSteps, u.Record, u.SampleRate)
+	return fmt.Sprintf("%s\x00%s\x00%d\x00%t\x00%d\x00%d", u.Detector, u.Strategy, u.MaxSteps, u.Record, u.SampleRate, u.Window)
 }
 
 // runShard executes one shard on the calling goroutine, feeding fresh
@@ -433,6 +439,7 @@ func runShard(ctx context.Context, units []Unit, sh Shard, idx int, pool workerS
 			core.WithDetector(u.Detector),
 			core.WithMaxSteps(u.MaxSteps),
 			core.WithRecord(u.Record),
+			core.WithWindow(u.Window),
 			core.WithSampleRate(u.SampleRate),
 		}
 		if u.StrategyFactory != nil {

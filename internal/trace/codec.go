@@ -36,6 +36,11 @@ import (
 //
 //	"GRTB" magic | uvarint version | uvarint event count | events...
 //
+// A writer that knows the event count up front (Recorder.Save) writes
+// it; a streaming writer (Encoder) cannot, and writes the sentinel
+// codecStreamed instead, meaning "events until EOF". Decoders accept
+// both.
+//
 // Each event:
 //
 //	op byte | uvarint G | uvarint ΔSeq
@@ -60,6 +65,20 @@ var codecMagic = [4]byte{'G', 'R', 'T', 'B'}
 // they do not know.
 const codecVersion = 1
 
+// codecStreamed is the event-count sentinel written by streaming
+// encoders: the stream holds events until EOF, with no count known up
+// front.
+const codecStreamed = ^uint64(0)
+
+// maxStringLen bounds one interned string. Real traces intern function
+// names, file names, and site labels; anything longer is corruption,
+// and rejecting it bounds what a hostile stream can make the decoder
+// allocate for a single entry.
+const maxStringLen = 1 << 20
+
+// maxStackDepth bounds one encoded call stack, for the same reason.
+const maxStackDepth = 1 << 16
+
 // gCodecState is the per-goroutine prediction context shared (in
 // shape) by the encoder and decoder.
 type gCodecState struct {
@@ -70,20 +89,50 @@ type gCodecState struct {
 
 type encoder struct {
 	w       *bufio.Writer
+	err     error
 	scratch [binary.MaxVarintLen64]byte
 	strings map[string]uint64
 	gs      map[vclock.TID]*gCodecState
 	lastSeq uint64
 }
 
+func newEncoderState(w io.Writer) *encoder {
+	return &encoder{
+		w:       bufio.NewWriter(w),
+		strings: map[string]uint64{"": 0},
+		gs:      make(map[vclock.TID]*gCodecState),
+	}
+}
+
+// write funnels every byte through one sticky-error check, so a
+// failing sink (a closed pipe, a full disk) surfaces on the next
+// Encode instead of only at Flush.
+func (e *encoder) write(p []byte) {
+	if e.err == nil {
+		_, e.err = e.w.Write(p)
+	}
+}
+
+func (e *encoder) writeByte(b byte) {
+	if e.err == nil {
+		e.err = e.w.WriteByte(b)
+	}
+}
+
+func (e *encoder) writeString(s string) {
+	if e.err == nil {
+		_, e.err = e.w.WriteString(s)
+	}
+}
+
 func (e *encoder) uvarint(v uint64) {
 	n := binary.PutUvarint(e.scratch[:], v)
-	e.w.Write(e.scratch[:n])
+	e.write(e.scratch[:n])
 }
 
 func (e *encoder) zigzag(v int64) {
 	n := binary.PutVarint(e.scratch[:], v)
-	e.w.Write(e.scratch[:n])
+	e.write(e.scratch[:n])
 }
 
 // stringRef writes an interned reference, defining the string on first
@@ -97,7 +146,7 @@ func (e *encoder) stringRef(s string) {
 	e.strings[s] = idx
 	e.uvarint(idx)
 	e.uvarint(uint64(len(s)))
-	e.w.WriteString(s)
+	e.writeString(s)
 }
 
 func (e *encoder) gstate(g vclock.TID) *gCodecState {
@@ -121,9 +170,15 @@ func sameFrames(a, b []stack.Frame) bool {
 	return true
 }
 
+func (e *encoder) header(count uint64) {
+	e.write(codecMagic[:])
+	e.uvarint(codecVersion)
+	e.uvarint(count)
+}
+
 func (e *encoder) event(ev Event) {
 	gs := e.gstate(ev.G)
-	e.w.WriteByte(byte(ev.Op))
+	e.writeByte(byte(ev.Op))
 	e.uvarint(uint64(ev.G))
 	e.zigzag(int64(ev.Seq) - int64(e.lastSeq))
 	e.lastSeq = ev.Seq
@@ -134,7 +189,7 @@ func (e *encoder) event(ev Event) {
 	case ev.Op == OpAcquire || ev.Op == OpRelease:
 		e.zigzag(int64(ev.Obj) - int64(gs.lastObj))
 		gs.lastObj = uint64(ev.Obj)
-		e.w.WriteByte(byte(ev.Kind))
+		e.writeByte(byte(ev.Kind))
 	case ev.Op == OpFork:
 		e.uvarint(uint64(ev.Child))
 	}
@@ -154,72 +209,120 @@ func (e *encoder) event(ev Event) {
 	gs.lastStack = frames
 }
 
+func (e *encoder) flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	return e.w.Flush()
+}
+
 // Save writes the recorded trace in the binary format. This is the
 // default durable form; SaveJSON remains for the legacy JSON Lines
-// format.
+// format. The event count is known up front, so Save writes a counted
+// header; Encoder is the streaming path for counts not known until
+// EOF.
 func (r *Recorder) Save(w io.Writer) error {
-	e := &encoder{
-		w:       bufio.NewWriter(w),
-		strings: map[string]uint64{"": 0},
-		gs:      make(map[vclock.TID]*gCodecState),
-	}
-	e.w.Write(codecMagic[:])
-	e.uvarint(codecVersion)
-	e.uvarint(uint64(len(r.Events)))
+	e := newEncoderState(w)
+	e.header(uint64(len(r.Events)))
 	for _, ev := range r.Events {
 		e.event(ev)
 	}
-	if err := e.w.Flush(); err != nil {
+	if err := e.flush(); err != nil {
 		return fmt.Errorf("trace: save binary: %w", err)
 	}
 	return nil
 }
 
-// decoder decodes from an in-memory buffer: traces shrink ~10× under
-// the codec, so reading the whole stream first costs little memory and
-// lets the varint hot path run over a slice instead of paying an
-// interface call per byte.
-type decoder struct {
-	buf     []byte
-	off     int
-	strings []string
-	gs      map[vclock.TID]*gCodecState
-	// stacks caches the Context built for each goroutine's current
-	// frame list, so the "same stack" marker reuses one allocation.
-	stacks  map[vclock.TID]stack.Context
-	lastSeq uint64
+// Encoder writes events incrementally in the binary codec — the
+// live-capture half of streaming detection, where a producer encodes
+// an execution as it happens and the total event count is unknown
+// until the stream ends. The header carries the codecStreamed
+// sentinel; Decoder reads such streams until EOF.
+type Encoder struct {
+	e *encoder
+}
+
+// NewEncoder starts a streamed binary trace on w. The header is
+// buffered immediately; call Flush (or encode enough events to fill
+// the buffer) to push bytes to w.
+func NewEncoder(w io.Writer) *Encoder {
+	e := newEncoderState(w)
+	e.header(codecStreamed)
+	return &Encoder{e: e}
+}
+
+// Encode appends one event to the stream. Events must arrive in
+// stream order (Seq deltas are encoded against the previous event).
+// An error is sticky: once the underlying writer fails, every later
+// Encode reports the same error.
+func (enc *Encoder) Encode(ev Event) error {
+	enc.e.event(ev)
+	return enc.e.err
+}
+
+// Flush pushes all buffered bytes to the underlying writer. Call it
+// at stream end (and at any latency boundary a live consumer needs).
+func (enc *Encoder) Flush() error {
+	return enc.e.flush()
 }
 
 var errTruncated = fmt.Errorf("unexpected end of trace")
 
-func (d *decoder) byte() (byte, error) {
-	if d.off >= len(d.buf) {
-		return 0, errTruncated
-	}
-	b := d.buf[d.off]
-	d.off++
-	return b, nil
+// binDecoder decodes the binary codec incrementally from a byte
+// stream. It holds the string table, the per-goroutine prediction
+// state, and a stack depot, so memory scales with the trace's distinct
+// strings and stacks — not with its length.
+type binDecoder struct {
+	br      *bufio.Reader
+	strings []string
+	gs      map[vclock.TID]*gCodecState
+	// stacks caches the Context built for each goroutine's current
+	// frame list, so the "same stack" marker reuses one allocation.
+	stacks map[vclock.TID]stack.Context
+	// depot interns decoded contexts across goroutines and stack
+	// switches: a stream that revisits the same call sites millions of
+	// times materializes each Context once.
+	depot   *stack.Depot
+	frames  []stack.Frame // scratch, reused across events
+	lastSeq uint64
 }
 
-func (d *decoder) uvarint() (uint64, error) {
-	v, n := binary.Uvarint(d.buf[d.off:])
-	if n <= 0 {
-		return 0, errTruncated
+func newBinDecoder(br *bufio.Reader) *binDecoder {
+	return &binDecoder{
+		br:      br,
+		strings: []string{""},
+		gs:      make(map[vclock.TID]*gCodecState),
+		stacks:  make(map[vclock.TID]stack.Context),
+		depot:   stack.NewDepot(),
 	}
-	d.off += n
+}
+
+// mid maps an EOF that interrupts an event mid-field to errTruncated;
+// a clean EOF is only legal before an event's first byte.
+func mid(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return errTruncated
+	}
+	return err
+}
+
+func (d *binDecoder) uvarint() (uint64, error) {
+	v, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return 0, mid(err)
+	}
 	return v, nil
 }
 
-func (d *decoder) zigzag() (int64, error) {
-	v, n := binary.Varint(d.buf[d.off:])
-	if n <= 0 {
-		return 0, errTruncated
+func (d *binDecoder) zigzag() (int64, error) {
+	v, err := binary.ReadVarint(d.br)
+	if err != nil {
+		return 0, mid(err)
 	}
-	d.off += n
 	return v, nil
 }
 
-func (d *decoder) stringRef() (string, error) {
+func (d *binDecoder) stringRef() (string, error) {
 	idx, err := d.uvarint()
 	if err != nil {
 		return "", err
@@ -234,16 +337,19 @@ func (d *decoder) stringRef() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if n > 1<<20 || uint64(len(d.buf)-d.off) < n {
+	if n > maxStringLen {
 		return "", fmt.Errorf("string length %d implausible", n)
 	}
-	s := string(d.buf[d.off : d.off+int(n)])
-	d.off += int(n)
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.br, buf); err != nil {
+		return "", mid(err)
+	}
+	s := string(buf)
 	d.strings = append(d.strings, s)
 	return s, nil
 }
 
-func (d *decoder) gstate(g vclock.TID) *gCodecState {
+func (d *binDecoder) gstate(g vclock.TID) *gCodecState {
 	st, ok := d.gs[g]
 	if !ok {
 		st = &gCodecState{}
@@ -252,11 +358,17 @@ func (d *decoder) gstate(g vclock.TID) *gCodecState {
 	return st
 }
 
-func (d *decoder) event() (Event, error) {
+// event decodes the next event. atEOF reports whether a clean EOF (no
+// event bytes at all) is legal here; when it is, the bare io.EOF is
+// returned untouched for the caller to translate into end-of-stream.
+func (d *binDecoder) event(atEOF bool) (Event, error) {
 	var ev Event
-	opb, err := d.byte()
+	opb, err := d.br.ReadByte()
 	if err != nil {
-		return ev, err
+		if err == io.EOF && atEOF {
+			return ev, io.EOF
+		}
+		return ev, mid(err)
 	}
 	ev.Op = Op(opb)
 	g, err := d.uvarint()
@@ -286,9 +398,9 @@ func (d *decoder) event() (Event, error) {
 		}
 		gs.lastObj = uint64(int64(gs.lastObj) + do)
 		ev.Obj = ObjID(gs.lastObj)
-		kb, err := d.byte()
+		kb, err := d.br.ReadByte()
 		if err != nil {
-			return ev, err
+			return ev, mid(err)
 		}
 		ev.Kind = ObjKind(kb)
 	case ev.Op == OpFork:
@@ -313,10 +425,13 @@ func (d *decoder) event() (Event, error) {
 		return ev, nil
 	}
 	depth--
-	if depth > 1<<16 {
+	if depth > maxStackDepth {
 		return ev, fmt.Errorf("stack depth %d implausible", depth)
 	}
-	frames := make([]stack.Frame, depth)
+	if uint64(cap(d.frames)) < depth {
+		d.frames = make([]stack.Frame, depth)
+	}
+	frames := d.frames[:depth]
 	for i := range frames {
 		if frames[i].Func, err = d.stringRef(); err != nil {
 			return ev, err
@@ -330,52 +445,8 @@ func (d *decoder) event() (Event, error) {
 		}
 		frames[i].Line = int(line)
 	}
-	ctx := stack.NewContext(frames...)
+	ctx := d.depot.Intern(frames)
 	d.stacks[ev.G] = ctx
 	ev.Stack = ctx
 	return ev, nil
-}
-
-// loadBinary decodes a binary trace whose magic has already been
-// verified by Load.
-func loadBinary(br *bufio.Reader) (*Recorder, error) {
-	if _, err := br.Discard(len(codecMagic)); err != nil {
-		return nil, err
-	}
-	data, err := io.ReadAll(br)
-	if err != nil {
-		return nil, fmt.Errorf("trace: read binary: %w", err)
-	}
-	d := &decoder{
-		buf:     data,
-		strings: []string{""},
-		gs:      make(map[vclock.TID]*gCodecState),
-		stacks:  make(map[vclock.TID]stack.Context),
-	}
-	version, err := d.uvarint()
-	if err != nil {
-		return nil, fmt.Errorf("trace: binary header: %w", err)
-	}
-	if version != codecVersion {
-		return nil, fmt.Errorf("trace: unsupported binary trace version %d (want %d)", version, codecVersion)
-	}
-	count, err := d.uvarint()
-	if err != nil {
-		return nil, fmt.Errorf("trace: binary header: %w", err)
-	}
-	// Every event costs at least six bytes (op, G, ΔSeq, two string
-	// refs, stack marker), so a count beyond remaining/6 is
-	// corruption — reject before preallocating count Events.
-	if count > uint64(len(data)-d.off)/6 {
-		return nil, fmt.Errorf("trace: event count %d implausible for %d-byte body", count, len(data)-d.off)
-	}
-	rec := &Recorder{Events: make([]Event, 0, count)}
-	for i := uint64(0); i < count; i++ {
-		ev, err := d.event()
-		if err != nil {
-			return nil, fmt.Errorf("trace: decode binary event %d: %w", i, err)
-		}
-		rec.Events = append(rec.Events, ev)
-	}
-	return rec, nil
 }

@@ -2,13 +2,11 @@ package trace
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 
 	"gorace/internal/stack"
-	"gorace/internal/vclock"
 )
 
 // The paper's deployment analyzes executions post-facto: the detector
@@ -52,34 +50,28 @@ func (r *Recorder) SaveJSON(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Load reads a trace into a fresh Recorder, auto-detecting the format:
-// a binary-codec magic header selects the binary decoder, anything
-// else falls back to the legacy JSON Lines reader.
+// Load reads a trace into a fresh Recorder by delegating to the
+// incremental Decoder, so even a multi-gigabyte trace file is decoded
+// event by event rather than slurped into one buffer first. Callers
+// that do not need the whole trace in memory should use NewDecoder
+// directly.
 func Load(r io.Reader) (*Recorder, error) {
-	br := bufio.NewReader(r)
-	head, err := br.Peek(len(codecMagic))
-	if err == nil && bytes.Equal(head, codecMagic[:]) {
-		return loadBinary(br)
+	dec, err := NewDecoder(r)
+	if err != nil {
+		return nil, err
 	}
-	return loadJSON(br)
-}
-
-// loadJSON reads the legacy JSON Lines format.
-func loadJSON(br *bufio.Reader) (*Recorder, error) {
 	rec := &Recorder{}
-	dec := json.NewDecoder(br)
+	if n, ok := dec.Count(); ok {
+		rec.Events = make([]Event, 0, min(n, maxCountPrealloc))
+	}
 	for {
-		var we wireEvent
-		if err := dec.Decode(&we); err == io.EOF {
+		ev, err := dec.Next()
+		if err == io.EOF {
 			return rec, nil
-		} else if err != nil {
-			return nil, fmt.Errorf("trace: decode: %w", err)
 		}
-		rec.Events = append(rec.Events, Event{
-			Seq: we.Seq, G: vclock.TID(we.G), GName: we.GName, Op: Op(we.Op),
-			Addr: Addr(we.Addr), Obj: ObjID(we.Obj), Kind: ObjKind(we.Kind),
-			Child: vclock.TID(we.Child), Stack: stack.NewContext(we.Stack...),
-			Label: we.Label,
-		})
+		if err != nil {
+			return nil, err
+		}
+		rec.Events = append(rec.Events, ev)
 	}
 }

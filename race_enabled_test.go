@@ -1,0 +1,9 @@
+//go:build race
+
+package gorace_test
+
+// raceEnabled reports whether the race detector instruments this
+// build. Shadow-word instrumentation multiplies every allocation, so
+// absolute-heap assertions (BenchmarkStreamIngest's ceiling check) are
+// meaningless under -race and gate themselves off on this constant.
+const raceEnabled = true

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # doccheck.sh — fail when a package or exported identifier under
 # internal/ or cmd/ lacks a doc comment, when docs/CLI.md has gone
-# stale against the commands under cmd/, or when docs/DETECTORS.md no
-# longer covers every registered detector and exported Stats field.
+# stale against the commands under cmd/, when docs/DETECTORS.md no
+# longer covers every registered detector and exported Stats field, or
+# when docs/STREAMING.md no longer covers every internal/stream export.
 # CI runs this as a blocking step; run it locally before sending a PR:
 #
 #   scripts/doccheck.sh
@@ -13,4 +14,5 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 exec go run ./scripts/doccheck -clidoc docs/CLI.md -cmds cmd \
 	-detdoc docs/DETECTORS.md -detsrc internal/detector \
+	-pkgdoc docs/STREAMING.md:internal/stream \
 	internal cmd

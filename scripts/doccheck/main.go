@@ -28,6 +28,14 @@
 // detector Stats struct must appear backticked in the given markdown
 // file — so docs/DETECTORS.md cannot silently go stale when a
 // detector or counter is added.
+//
+// With -pkgdoc (a doc.md:srcdir pair, repeatable), doccheck
+// cross-checks a package reference against the package itself: every
+// exported top-level identifier (function, type, const, var) of the
+// source directory must appear backticked in the markdown file — so a
+// new export cannot ship without its reference doc catching up.
+// scripts/doccheck.sh pins docs/STREAMING.md to internal/stream this
+// way.
 package main
 
 import (
@@ -54,6 +62,8 @@ func main() {
 	cmds := flag.String("cmds", "cmd", "command tree the -clidoc reference must cover")
 	detDoc := flag.String("detdoc", "", "markdown detector reference to cross-check against -detsrc (e.g. docs/DETECTORS.md)")
 	detSrc := flag.String("detsrc", "internal/detector", "detector package the -detdoc reference must cover")
+	var pkgDocs pkgDocList
+	flag.Var(&pkgDocs, "pkgdoc", "doc.md:srcdir pair: every exported identifier of srcdir must appear backticked in doc.md (repeatable)")
 	flag.Parse()
 	roots := flag.Args()
 	if len(roots) == 0 {
@@ -71,6 +81,14 @@ func main() {
 	}
 	if *detDoc != "" {
 		v, err := checkDetectorDoc(*detDoc, *detSrc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		violations = append(violations, v...)
+	}
+	for _, pd := range pkgDocs {
+		v, err := checkPackageDoc(pd.doc, pd.src)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -482,6 +500,109 @@ func checkDetectorDoc(docPath, srcDir string) ([]violation, error) {
 			out = append(out, violation{
 				pos:  token.Position{Filename: docPath, Line: 1},
 				what: fmt.Sprintf("%s %q from %s is not mentioned (backticked) in the detector reference", origins[i], name, srcDir),
+			})
+		}
+	}
+	return out, nil
+}
+
+// pkgDoc is one -pkgdoc pairing of a reference doc and the package
+// directory it must cover.
+type pkgDoc struct {
+	doc string
+	src string
+}
+
+// pkgDocList collects repeated -pkgdoc flags.
+type pkgDocList []pkgDoc
+
+// String renders the list for flag's usage output.
+func (l *pkgDocList) String() string {
+	parts := make([]string, len(*l))
+	for i, pd := range *l {
+		parts[i] = pd.doc + ":" + pd.src
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set parses one doc.md:srcdir pair.
+func (l *pkgDocList) Set(v string) error {
+	doc, src, ok := strings.Cut(v, ":")
+	if !ok || doc == "" || src == "" {
+		return fmt.Errorf("-pkgdoc %q: want doc.md:srcdir", v)
+	}
+	*l = append(*l, pkgDoc{doc: doc, src: src})
+	return nil
+}
+
+// checkPackageDoc cross-checks a package reference doc against the
+// package: every exported top-level identifier (function, type,
+// const, var — methods follow their receiver type and are skipped)
+// must appear backticked in the doc, so a new export cannot ship
+// without the reference catching up.
+func checkPackageDoc(docPath, srcDir string) ([]violation, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, srcDir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, fmt.Errorf("doccheck: %s: %w", srcDir, err)
+	}
+	var wanted []string
+	seen := map[string]bool{}
+	addWant := func(name string) {
+		if name != "" && !seen[name] {
+			seen[name] = true
+			wanted = append(wanted, name)
+		}
+	}
+	for _, pkg := range pkgs {
+		files := make([]string, 0, len(pkg.Files))
+		for name := range pkg.Files {
+			files = append(files, name)
+		}
+		sort.Strings(files)
+		for _, fname := range files {
+			for _, decl := range pkg.Files[fname].Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Recv == nil && d.Name.IsExported() {
+						addWant(d.Name.Name)
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() {
+								addWant(s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							for _, nm := range s.Names {
+								if nm.IsExported() {
+									addWant(nm.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(wanted) == 0 {
+		return nil, fmt.Errorf("doccheck: %s: found no exported identifiers (wrong -pkgdoc source?)", srcDir)
+	}
+	data, err := os.ReadFile(docPath)
+	if err != nil {
+		return nil, fmt.Errorf("doccheck: %s: %w", docPath, err)
+	}
+	doc := string(data)
+	var out []violation
+	sort.Strings(wanted)
+	for _, name := range wanted {
+		if !strings.Contains(doc, "`"+name+"`") && !strings.Contains(doc, "`"+name+"(") && !strings.Contains(doc, "."+name+"`") {
+			out = append(out, violation{
+				pos:  token.Position{Filename: docPath, Line: 1},
+				what: fmt.Sprintf("exported identifier %q of %s is not mentioned (backticked) in the package reference", name, srcDir),
 			})
 		}
 	}
