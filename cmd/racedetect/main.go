@@ -81,6 +81,7 @@ import (
 	"gorace/internal/instrument"
 	"gorace/internal/patterns"
 	_ "gorace/internal/progs" // registers instrumented programs
+	"gorace/internal/racegen"
 	"gorace/internal/report"
 	"gorace/internal/sched"
 	"gorace/internal/sweep"
@@ -131,12 +132,16 @@ func main() {
 		corpusTr   = flag.String("corpus-traces", "", "with -corpus, save each defect's defining trace into this directory")
 		sample     = flag.Int("sample", 1, "check 1 in N accesses (deterministic per seed; 1 = every access)")
 		sweepRates = flag.String("sweep-rates", "", "comma-separated sample rates (e.g. 1,4,16,64): sweep rates × corpus and print the P(detect)-vs-overhead table")
-		markdown   = flag.Bool("markdown", false, "with -sweep-rates or -stream-bench, print the summary table as GitHub-flavored markdown")
+		markdown   = flag.Bool("markdown", false, "with -sweep-rates, -stream-bench, or -racegen, print the summary table as GitHub-flavored markdown")
 		streamIn   = flag.String("stream", "", "replay a recorded binary trace stream through the online detector (\"-\" = stdin)")
 		memCeiling = flag.Int("mem-ceiling", 0, "with -stream, shadow-memory ceiling in MiB (0 = unbounded; engages the paged detector)")
 		window     = flag.Int("window", 0, "with -stream, per-goroutine retained-event window (0 = default, <0 = none)")
 		streamBn   = flag.String("stream-bench", "", "comma-separated MiB ceilings (0 = unbounded): sweep one synthetic stream per ceiling and print the coverage-vs-memory table")
 		streamEv   = flag.Int("stream-events", 10_000_000, "with -stream-bench, synthetic stream length in events")
+		racegenOn  = flag.Bool("racegen", false, "run the coverage-guided generation loop and print the round table (see docs/GENERATION.md)")
+		rounds     = flag.Int("rounds", 3, "with -racegen, generation rounds")
+		budget     = flag.Int("budget", 8, "with -racegen, candidate programs per round")
+		keepDir    = flag.String("keep-dir", "", "with -racegen, write each minimized keeper spec to this directory as <id>.json")
 	)
 	flag.Parse()
 
@@ -164,6 +169,11 @@ func main() {
 	}
 
 	supp := loadSuppressions(*suppFile)
+
+	if *racegenOn {
+		runRacegen(*rounds, *budget, *parallel, *corpusPath, *runID, *keepDir, *markdown)
+		return
+	}
 
 	if *streamBn != "" {
 		runStreamBench(*streamBn, *streamEv, *markdown)
@@ -609,6 +619,77 @@ func runRateSweep(det, strategy, variant string, seeds, parallel int, ratesCSV s
 
 // persistCampaign appends the collected corpus to the already-open
 // store and prints the cross-run delta against its previous run.
+// runRacegen runs the coverage-guided generation loop: scored
+// candidate programs, detector-disagreement keepers, delta-debugged
+// minimization, and (with -corpus) a fold of the keepers' races into
+// the persistent store. The loop is seeded and sweep-deterministic,
+// so the same flags print the same table at any -parallel.
+func runRacegen(rounds, budget, parallel int, corpusPath, runID, keepDir string, markdown bool) {
+	cfg := racegen.Config{
+		Rounds:      rounds,
+		Budget:      budget,
+		Parallelism: parallel,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	var store *corpus.Store
+	if corpusPath != "" {
+		if runID == "" {
+			runID = time.Now().UTC().Format("20060102-150405")
+		}
+		var err error
+		if store, err = corpus.Open(corpusPath); err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+		cfg.RunID = runID
+		// Seed the under-representation bonus with what the store
+		// already holds, so generation chases what it lacks.
+		cfg.Known = make(map[taxonomy.Category]int)
+		for _, rec := range store.Records() {
+			if rec.Category != "" {
+				cfg.Known[rec.Category]++
+			}
+		}
+	}
+	res, err := racegen.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if markdown {
+		fmt.Print(racegen.Markdown(res))
+	} else {
+		fmt.Printf("== racegen: %d rounds × %d candidates ==\n", rounds, budget)
+		fmt.Printf("%-7s %11s %12s %6s %10s %12s\n",
+			"round", "candidates", "disagreeing", "kept", "new edges", "total edges")
+		for _, r := range res.Rounds {
+			fmt.Printf("%-7d %11d %12d %6d %10d %12d\n",
+				r.Round, r.Candidates, r.Disagreeing, r.Kept, r.NewEdges, r.TotalEdges)
+		}
+		fmt.Printf("\nkeepers: %d minimized discriminating programs\n", len(res.Keepers))
+		cats := make([]string, 0, len(res.Fill))
+		for cat := range res.Fill {
+			cats = append(cats, string(cat))
+		}
+		sort.Strings(cats)
+		for _, cat := range cats {
+			fmt.Printf("  %-40s %4d\n", cat, res.Fill[taxonomy.Category(cat)])
+		}
+	}
+
+	if keepDir != "" {
+		if err := racegen.SaveKeepers(keepDir, res.Keepers); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d keeper spec(s) to %s\n", len(res.Keepers), keepDir)
+	}
+	if store != nil {
+		persistCampaign(res.Collector, store, runID)
+	}
+}
+
 func persistCampaign(coll *corpus.Collector, store *corpus.Store, runID string) {
 	prev := store.LastRun()
 	if err := coll.AppendTo(store); err != nil {

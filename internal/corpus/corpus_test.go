@@ -373,7 +373,7 @@ func TestMergeDisjointStores(t *testing.T) {
 func nightlyUnits(lo, hi int) []sweep.Unit {
 	var units []sweep.Unit
 	for i := lo; i < hi; i++ {
-		prog := progen.Generate(int64(i), progen.Params{LockedRatio: 20})
+		prog := progen.Generate(int64(i), progen.Params{LockedRatio: progen.Int(20)})
 		units = append(units, sweep.Unit{
 			ID:       fmt.Sprintf("prog-%02d", i),
 			Program:  prog.Main(),

@@ -70,7 +70,7 @@ func TestOfflineEqualsOnline(t *testing.T) {
 // possible. Constrain to one mutex: then the program must be clean.
 func TestFullyLockedProgramsAreRaceFree(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
-		prog := progen.Generate(seed, progen.Params{Mutexes: 1, RWMutexes: 1, LockedRatio: 100})
+		prog := progen.Generate(seed, progen.Params{Mutexes: 1, RWMutexes: 1, LockedRatio: progen.Int(100)})
 		// RW-guarded ops pick the single RW mutex; plain guarded ops
 		// the single mutex. Races across the two lock domains are
 		// still possible, so restrict the check to variables only

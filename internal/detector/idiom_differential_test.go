@@ -1,0 +1,94 @@
+package detector
+
+import (
+	"testing"
+
+	"gorace/internal/progen"
+	"gorace/internal/report"
+	"gorace/internal/sched"
+	"gorace/internal/trace"
+)
+
+// TestIdiomPairwiseAgreement extends the differential suite to the
+// idiom families progen grew for racegen: for every idiom the three HB
+// detectors must keep their published pairwise relations (Epoch ≡
+// FastTrack on racy addresses, DJIT ⊇ Epoch), and for the idioms built
+// on atomics the sweep must witness Eraser's documented blind spot —
+// at least one cell the HB detectors flag that the lockset detector,
+// which ignores atomic accesses, never can.
+func TestIdiomPairwiseAgreement(t *testing.T) {
+	cases := []struct {
+		name   string
+		params progen.Params
+		// expectEraserBlind: the idiom manufactures atomic/plain
+		// mixes, so some seed must show an HB-only address.
+		expectEraserBlind bool
+	}{
+		{"concurrent-maps", progen.Params{Maps: 2, MapKeys: 2}, false},
+		{"atomic-flag-publication", progen.Params{Flags: 2, LockedRatio: progen.Int(0)}, true},
+		{"ctx-cancel-tree", progen.Params{CtxDepth: 2}, false},
+		{"errgroup-fanout", progen.Params{Errgroup: true}, false},
+		{"pooled-objects", progen.Params{Pools: 1}, false},
+		{"unbuffered-chans", progen.Params{ChanCap: progen.Int(0)}, false},
+		{"everything", progen.Params{Maps: 1, Flags: 1, CtxDepth: 1, Errgroup: true, Pools: 1}, false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			eraserBlindSeen := false
+			for seed := int64(0); seed < 25; seed++ {
+				prog := progen.Generate(seed, tc.params)
+				ft := NewFastTrack()
+				ft.MaxReportsPerCell = 1 << 30
+				ep := NewEpoch()
+				dj := NewDJIT()
+				er := NewEraser()
+				sched.Run(prog.Main(), sched.Options{
+					Strategy: sched.NewRandom(), Seed: seed, MaxSteps: 1 << 18,
+					Listeners: []trace.Listener{ft, ep, dj, er},
+				})
+
+				ftAddrs := racyAddrsOf(ft.Races())
+				erAddrs := racyAddrsOf(er.Races())
+				for a := range ftAddrs {
+					if !ep.RacyAddrs()[a] {
+						t.Fatalf("seed %d: addr %d flagged by fasttrack, missed by epoch", seed, a)
+					}
+				}
+				for a := range ep.RacyAddrs() {
+					if !ftAddrs[a] {
+						t.Fatalf("seed %d: addr %d flagged by epoch, missed by fasttrack", seed, a)
+					}
+					if !dj.RacyAddrs()[a] {
+						t.Fatalf("seed %d: addr %d flagged by epoch, missed by djit", seed, a)
+					}
+					if !erAddrs[a] {
+						eraserBlindSeen = true
+					}
+				}
+
+				// Eraser never implicates a purely-atomic cell: it drops
+				// atomic accesses before lockset analysis, so any report
+				// must carry at least one plain access.
+				for _, r := range er.Races() {
+					if r.First.Op.IsAtomic() && r.Second.Op.IsAtomic() {
+						t.Fatalf("seed %d: eraser reported an atomic/atomic pair:\n%s", seed, r)
+					}
+				}
+			}
+			if tc.expectEraserBlind && !eraserBlindSeen {
+				t.Fatalf("no seed exposed eraser's atomic blind spot for %s", tc.name)
+			}
+		})
+	}
+}
+
+// racyAddrsOf collects the cells implicated in a report list.
+func racyAddrsOf(races []report.Race) map[trace.Addr]bool {
+	out := make(map[trace.Addr]bool)
+	for _, r := range races {
+		out[r.First.Addr] = true
+		out[r.Second.Addr] = true
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+package patterns
+
+import (
+	"gorace/internal/sched"
+	"gorace/internal/taxonomy"
+)
+
+// Idiom corpus: the concurrency idioms internal/racegen's generator
+// explores, distilled into hand-written corpus entries. Each one is a
+// shape the campaign loop surfaced as detector-discriminating — flag
+// publication that Eraser is blind to, context-cancellation reasons
+// read outside the Done edge, errgroup results written after Done,
+// pooled objects mutated after being returned, and check-then-insert
+// on a shared map.
+
+func init() {
+	register(Pattern{
+		ID:          "atomic-flag-publication",
+		Listing:     0,
+		Cat:         taxonomy.CatPartialAtomics,
+		Secondary:   []taxonomy.Category{taxonomy.CatMissingLock},
+		Description: "Payload published via an atomic ready flag that the reader polls with a plain load (§4.9.2)",
+		Racy:        flagPublicationRacy,
+		Fixed:       flagPublicationFixed,
+	})
+	register(Pattern{
+		ID:          "ctx-cancel-reason",
+		Listing:     0,
+		Cat:         taxonomy.CatMixedChanShared,
+		Secondary:   []taxonomy.Category{taxonomy.CatAPIContract},
+		Description: "Cancellation reason read in a select default arm, unordered with the canceller's write (§4.6)",
+		Racy:        ctxCancelReasonRacy,
+		Fixed:       ctxCancelReasonFixed,
+	})
+	register(Pattern{
+		ID:          "errgroup-late-error",
+		Listing:     0,
+		Cat:         taxonomy.CatGroupSync,
+		Secondary:   []taxonomy.Category{taxonomy.CatCaptureErr},
+		Description: "Worker records its error after wg.Done, racing the post-Wait read in the parent (§4.7)",
+		Racy:        errgroupLateErrorRacy,
+		Fixed:       errgroupLateErrorFixed,
+	})
+	register(Pattern{
+		ID:          "pool-put-then-write",
+		Listing:     0,
+		Cat:         taxonomy.CatAPIContract,
+		Secondary:   []taxonomy.Category{taxonomy.CatMixedChanShared},
+		Description: "Object mutated after being returned to a pool, racing its next borrower (§4.8)",
+		Racy:        poolPutThenWriteRacy,
+		Fixed:       poolPutThenWriteFixed,
+	})
+	register(Pattern{
+		ID:          "map-check-then-insert",
+		Listing:     0,
+		Cat:         taxonomy.CatMap,
+		Secondary:   []taxonomy.Category{taxonomy.CatMissingLock},
+		Description: "Unlocked check-then-insert on a shared map from concurrent registrars (§4.4)",
+		Racy:        mapCheckInsertRacy,
+		Fixed:       mapCheckInsertFixed,
+	})
+}
+
+// flagPublicationRacy: the writer stores the payload and then flips an
+// atomic ready flag, but the reader polls the flag with a plain load —
+// the flag itself races (atomic store vs plain load), and the payload
+// read has no happens-before edge even when the flag is observed set.
+// Eraser, being atomic-blind, sees nothing here; FastTrack and DJIT
+// report both cells — racegen's canonical discriminator.
+func flagPublicationRacy(g *sched.G) {
+	g.Call("publish", "flagpub.go", 1, func() {
+		payload := sched.NewVar[string](g, "payload")
+		ready := sched.NewAtomic(g, "ready")
+		wg := sched.NewWaitGroup(g, "wg")
+		wg.Add(g, 1)
+		g.Go("publish.func1", func(g *sched.G) {
+			g.Call("publish.func1", "flagpub.go", 5, func() {
+				payload.Store(g, "v1")
+				ready.Store(g, 1)
+			})
+			wg.Done(g)
+		})
+		g.Line(10)
+		if ready.PlainLoad(g) == 1 { // plain read of the atomic flag
+			payload.Load(g) // unordered even when the flag reads 1
+		}
+		wg.Wait(g)
+	})
+}
+
+// flagPublicationFixed publishes over a channel: the flag stays fully
+// atomic on both sides and the payload read is ordered by the handoff.
+func flagPublicationFixed(g *sched.G) {
+	g.Call("publish", "flagpub.go", 1, func() {
+		payload := sched.NewVar[string](g, "payload")
+		ready := sched.NewAtomic(g, "ready")
+		published := sched.NewChan[int](g, "published", 1)
+		g.Go("publish.func1", func(g *sched.G) {
+			g.Call("publish.func1", "flagpub.go", 5, func() {
+				payload.Store(g, "v1")
+				ready.Store(g, 1)
+				published.Send(g, 1)
+			})
+		})
+		g.Line(10)
+		published.Recv(g)
+		if ready.Load(g) == 1 { // atomic on both sides
+			payload.Load(g) // ordered by the channel handoff
+		}
+	})
+}
+
+// ctxCancelReasonRacy: the canceller records why it is cancelling and
+// then cancels; the watcher's select has a default arm that reads the
+// reason without having observed Done — unordered with the write.
+func ctxCancelReasonRacy(g *sched.G) {
+	g.Call("watch", "ctxreason.go", 1, func() {
+		reason := sched.NewVar[string](g, "cancelReason")
+		ctx, cancel := sched.Background(g).WithCancel(g, "req")
+		wg := sched.NewWaitGroup(g, "wg")
+		wg.Add(g, 1)
+		g.Go("watch.canceller", func(g *sched.G) {
+			g.Call("watch.canceller", "ctxreason.go", 6, func() {
+				reason.Store(g, "shutting down")
+				cancel(g)
+			})
+			wg.Done(g)
+		})
+		g.Line(12)
+		g.Select(
+			ctx.OnDone(nil),
+			sched.Default(func() {
+				reason.Load(g) // reads the reason before cancellation is visible
+			}),
+		)
+		wg.Wait(g)
+	})
+}
+
+// ctxCancelReasonFixed reads the reason only inside the Done arm: the
+// cancel closes Done, the receive acquires it, and the read is ordered
+// after the canceller's write.
+func ctxCancelReasonFixed(g *sched.G) {
+	g.Call("watch", "ctxreason.go", 1, func() {
+		reason := sched.NewVar[string](g, "cancelReason")
+		ctx, cancel := sched.Background(g).WithCancel(g, "req")
+		wg := sched.NewWaitGroup(g, "wg")
+		wg.Add(g, 1)
+		g.Go("watch.canceller", func(g *sched.G) {
+			g.Call("watch.canceller", "ctxreason.go", 6, func() {
+				reason.Store(g, "shutting down")
+				cancel(g)
+			})
+			wg.Done(g)
+		})
+		g.Line(12)
+		g.Select(ctx.OnDone(func() {
+			reason.Load(g) // ordered: Store happens-before Close happens-before Recv
+		}))
+		wg.Wait(g)
+	})
+}
+
+// errgroupLateErrorRacy: the worker signals completion first and only
+// then records its error (a deferred-cleanup ordering slip), so the
+// parent's post-Wait read of err is unordered with the late write.
+func errgroupLateErrorRacy(g *sched.G) {
+	g.Call("fanOut", "lateerr.go", 1, func() {
+		errV := sched.NewVar[string](g, "err")
+		wg := sched.NewWaitGroup(g, "wg")
+		wg.Add(g, 1)
+		g.Go("fanOut.func1", func(g *sched.G) {
+			g.Call("fanOut.func1", "lateerr.go", 5, func() {
+				wg.Done(g)               // signals completion first...
+				errV.Store(g, "timeout") // ...then records the error
+			})
+		})
+		g.Line(10)
+		wg.Wait(g)
+		errV.Load(g)
+	})
+}
+
+func errgroupLateErrorFixed(g *sched.G) {
+	g.Call("fanOut", "lateerr.go", 1, func() {
+		errV := sched.NewVar[string](g, "err")
+		wg := sched.NewWaitGroup(g, "wg")
+		wg.Add(g, 1)
+		g.Go("fanOut.func1", func(g *sched.G) {
+			g.Call("fanOut.func1", "lateerr.go", 5, func() {
+				errV.Store(g, "timeout") // record the error first
+				wg.Done(g)               // then signal completion
+			})
+		})
+		g.Line(10)
+		wg.Wait(g)
+		errV.Load(g)
+	})
+}
+
+// poolPutThenWriteRacy: the worker returns the object to the pool and
+// then keeps writing through its stale reference. The next borrower's
+// read is ordered after the pre-put write (the pool channel carries the
+// edge) but not after the post-put one.
+func poolPutThenWriteRacy(g *sched.G) {
+	g.Call("recycle", "pool.go", 1, func() {
+		objField := sched.NewVar[int](g, "api.pool.obj.field")
+		pool := sched.NewChan[int](g, "api.pool", 1)
+		g.Go("recycle.func1", func(g *sched.G) {
+			g.Call("recycle.func1", "pool.go", 4, func() {
+				objField.Store(g, 1)
+				pool.Send(g, 1)      // return the object to the pool
+				objField.Store(g, 2) // ...then write through the stale reference
+			})
+		})
+		g.Line(10)
+		pool.Recv(g) // borrow it back
+		objField.Load(g)
+	})
+}
+
+func poolPutThenWriteFixed(g *sched.G) {
+	g.Call("recycle", "pool.go", 1, func() {
+		objField := sched.NewVar[int](g, "api.pool.obj.field")
+		pool := sched.NewChan[int](g, "api.pool", 1)
+		g.Go("recycle.func1", func(g *sched.G) {
+			g.Call("recycle.func1", "pool.go", 4, func() {
+				objField.Store(g, 1)
+				objField.Store(g, 2) // finish every write...
+				pool.Send(g, 1)      // ...before giving the object up
+			})
+		})
+		g.Line(10)
+		pool.Recv(g)
+		objField.Load(g)
+	})
+}
+
+// mapCheckInsertRacy: two registrars race an unlocked check-then-insert
+// on the same key — both the per-key cell and the map's internal state
+// conflict.
+func mapCheckInsertRacy(g *sched.G) {
+	g.Call("register", "checkinsert.go", 1, func() {
+		seen := sched.NewMap[string, int](g, "seen")
+		wg := sched.NewWaitGroup(g, "wg")
+		for i := 0; i < 2; i++ {
+			wg.Add(g, 1)
+			g.Go("register.func1", func(g *sched.G) {
+				g.Call("register.func1", "checkinsert.go", 5, func() {
+					if _, ok := seen.Get(g, "id"); !ok {
+						seen.Put(g, "id", 1)
+					}
+				})
+				wg.Done(g)
+			})
+		}
+		wg.Wait(g)
+	})
+}
+
+func mapCheckInsertFixed(g *sched.G) {
+	g.Call("register", "checkinsert.go", 1, func() {
+		seen := sched.NewMap[string, int](g, "seen")
+		mu := sched.NewMutex(g, "seenMu")
+		wg := sched.NewWaitGroup(g, "wg")
+		for i := 0; i < 2; i++ {
+			wg.Add(g, 1)
+			g.Go("register.func1", func(g *sched.G) {
+				g.Call("register.func1", "checkinsert.go", 5, func() {
+					mu.Lock(g)
+					if _, ok := seen.Get(g, "id"); !ok {
+						seen.Put(g, "id", 1)
+					}
+					mu.Unlock(g)
+				})
+				wg.Done(g)
+			})
+		}
+		wg.Wait(g)
+	})
+}

@@ -1,0 +1,200 @@
+package progen_test
+
+// Native fuzzing over the generator's full parameter space: any
+// (seed, raw bytes) input decodes to a bounded Params, and the
+// resulting program must execute cleanly and deterministically under
+// every scheduling strategy. The committed racegen keeper suite seeds
+// the corpus — those shapes are exactly the discriminating corners the
+// campaign loop found, so the fuzzer starts from the hard cases.
+//
+// The file lives in package progen_test (not progen) so it can import
+// internal/racegen for the keeper corpus without a cycle.
+
+import (
+	"testing"
+
+	"gorace/internal/progen"
+	"gorace/internal/racegen"
+	"gorace/internal/sched"
+	"gorace/internal/trace"
+)
+
+// fuzz byte layout: one knob per position, clamped by paramsFromBytes.
+const (
+	fzGoroutines = iota
+	fzOpsPerG
+	fzVars
+	fzMutexes
+	fzRWMutexes
+	fzAtomics
+	fzChannels
+	fzMaps
+	fzMapKeys
+	fzFlags
+	fzCtxDepth
+	fzPools
+	fzErrgroup
+	fzLockedRatio // 255 = nil (default), else %101
+	fzChanCap     // 255 = nil (legacy), else %4
+	fzLen
+)
+
+// paramsFromBytes is the bounded decoder: every byte maps onto one
+// Params knob modulo a sane range, so arbitrary fuzz input is always a
+// valid, small program shape. Values already inside the range decode
+// to themselves, which makes paramsToBytes a true inverse for the
+// keeper corpus.
+func paramsFromBytes(raw []byte) progen.Params {
+	knob := func(i, max int) int {
+		if i >= len(raw) {
+			return 0
+		}
+		return int(raw[i]) % (max + 1)
+	}
+	p := progen.Params{
+		Goroutines: knob(fzGoroutines, 6),
+		OpsPerG:    knob(fzOpsPerG, 16),
+		Vars:       knob(fzVars, 6),
+		Mutexes:    knob(fzMutexes, 4),
+		RWMutexes:  knob(fzRWMutexes, 3),
+		Atomics:    knob(fzAtomics, 3),
+		Channels:   knob(fzChannels, 3),
+		Maps:       knob(fzMaps, 3),
+		MapKeys:    knob(fzMapKeys, 4),
+		Flags:      knob(fzFlags, 3),
+		CtxDepth:   knob(fzCtxDepth, 3),
+		Pools:      knob(fzPools, 2),
+		Errgroup:   knob(fzErrgroup, 1) == 1,
+	}
+	if fzLockedRatio < len(raw) && raw[fzLockedRatio] != 255 {
+		p.LockedRatio = progen.Int(int(raw[fzLockedRatio]) % 101)
+	}
+	if fzChanCap < len(raw) && raw[fzChanCap] != 255 {
+		p.ChanCap = progen.Int(int(raw[fzChanCap]) % 4)
+	}
+	return p
+}
+
+// paramsToBytes encodes Params into the fuzz layout (clamping to each
+// knob's range), used to seed the corpus from keeper specs.
+func paramsToBytes(p progen.Params) []byte {
+	clamp := func(v, max int) byte {
+		if v < 0 {
+			return 0
+		}
+		if v > max {
+			return byte(max)
+		}
+		return byte(v)
+	}
+	raw := make([]byte, fzLen)
+	raw[fzGoroutines] = clamp(p.Goroutines, 6)
+	raw[fzOpsPerG] = clamp(p.OpsPerG, 16)
+	raw[fzVars] = clamp(p.Vars, 6)
+	raw[fzMutexes] = clamp(p.Mutexes, 4)
+	raw[fzRWMutexes] = clamp(p.RWMutexes, 3)
+	raw[fzAtomics] = clamp(p.Atomics, 3)
+	raw[fzChannels] = clamp(p.Channels, 3)
+	raw[fzMaps] = clamp(p.Maps, 3)
+	raw[fzMapKeys] = clamp(p.MapKeys, 4)
+	raw[fzFlags] = clamp(p.Flags, 3)
+	raw[fzCtxDepth] = clamp(p.CtxDepth, 3)
+	raw[fzPools] = clamp(p.Pools, 2)
+	if p.Errgroup {
+		raw[fzErrgroup] = 1
+	}
+	raw[fzLockedRatio] = 255
+	if p.LockedRatio != nil {
+		raw[fzLockedRatio] = clamp(*p.LockedRatio, 100)
+	}
+	raw[fzChanCap] = 255
+	if p.ChanCap != nil {
+		raw[fzChanCap] = clamp(*p.ChanCap, 3)
+	}
+	return raw
+}
+
+func FuzzProgen(f *testing.F) {
+	// Hand-picked corners: legacy defaults, minimal shape, every idiom.
+	f.Add(int64(0), []byte{})
+	f.Add(int64(1), []byte{1, 1, 1, 0, 0, 0, 0})
+	f.Add(int64(2), paramsToBytes(progen.Params{Maps: 2, MapKeys: 2}))
+	f.Add(int64(3), paramsToBytes(progen.Params{Flags: 2, LockedRatio: progen.Int(0)}))
+	f.Add(int64(4), paramsToBytes(progen.Params{CtxDepth: 2}))
+	f.Add(int64(5), paramsToBytes(progen.Params{Errgroup: true}))
+	f.Add(int64(6), paramsToBytes(progen.Params{Pools: 1, ChanCap: progen.Int(0)}))
+	// The committed discriminating suite.
+	suite, err := racegen.Suite()
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, k := range suite {
+		f.Add(k.Spec.Seed, paramsToBytes(k.Spec.Params))
+	}
+
+	strategies := sched.StrategyNames()
+	f.Fuzz(func(t *testing.T, seed int64, raw []byte) {
+		p := paramsFromBytes(raw)
+		prog := progen.Generate(seed, p)
+		for _, name := range strategies {
+			run := func() ([]trace.Event, *sched.Result) {
+				strat, err := sched.NewStrategy(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec := &trace.Recorder{}
+				res := sched.Run(prog.Main(), sched.Options{
+					Strategy: strat, Seed: seed, MaxSteps: 1 << 17,
+					Listeners: []trace.Listener{rec},
+				})
+				return rec.Events, res
+			}
+			ev, res := run()
+			if len(res.Failures) > 0 {
+				t.Fatalf("%s: model failures: %v", name, res.Failures)
+			}
+			if res.BudgetExceeded {
+				t.Fatalf("%s: step budget exceeded", name)
+			}
+			if res.Deadlocked() {
+				t.Fatalf("%s: leaked goroutines: %+v", name, res.Leaked)
+			}
+			ev2, _ := run()
+			if len(ev) != len(ev2) {
+				t.Fatalf("%s: nondeterministic trace length: %d vs %d", name, len(ev), len(ev2))
+			}
+			for i := range ev {
+				if ev[i].String() != ev2[i].String() {
+					t.Fatalf("%s: traces diverge at event %d:\n%s\n%s",
+						name, i, ev[i], ev2[i])
+				}
+			}
+		}
+	})
+}
+
+// TestParamsBytesRoundTrip pins the encoder/decoder inverse property
+// on the keeper corpus: what we f.Add must be what the fuzz body runs.
+func TestParamsBytesRoundTrip(t *testing.T) {
+	suite, err := racegen.Suite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range suite {
+		got := paramsFromBytes(paramsToBytes(k.Spec.Params))
+		want := k.Spec.Params
+		if got.Goroutines != want.Goroutines || got.OpsPerG != want.OpsPerG ||
+			got.Maps != want.Maps || got.Flags != want.Flags ||
+			got.CtxDepth != want.CtxDepth || got.Errgroup != want.Errgroup ||
+			got.Pools != want.Pools {
+			t.Fatalf("keeper %s: params did not round-trip:\ngot  %+v\nwant %+v",
+				k.ID, got, want)
+		}
+		if (got.LockedRatio == nil) != (want.LockedRatio == nil) {
+			t.Fatalf("keeper %s: LockedRatio presence did not round-trip", k.ID)
+		}
+		if got.LockedRatio != nil && *got.LockedRatio != *want.LockedRatio {
+			t.Fatalf("keeper %s: LockedRatio %d != %d", k.ID, *got.LockedRatio, *want.LockedRatio)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package progen
 
 import (
+	"encoding/json"
 	"testing"
 
 	"gorace/internal/sched"
@@ -89,8 +90,194 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestParamsDefaults(t *testing.T) {
-	p := Params{}.withDefaults()
-	if p.Goroutines == 0 || p.Vars == 0 || p.ChanCap == 0 {
-		t.Fatalf("defaults not applied: %+v", p)
+	r := Params{}.withDefaults()
+	if r.Goroutines == 0 || r.Vars == 0 {
+		t.Fatalf("defaults not applied: %+v", r)
+	}
+	if r.lockedPct != 50 {
+		t.Fatalf("nil LockedRatio should default to 50, got %d", r.lockedPct)
+	}
+	if r.chanCap != -1 {
+		t.Fatalf("nil ChanCap should mean legacy capacity, got %d", r.chanCap)
+	}
+}
+
+// TestZeroValueParamsExpressible pins the fix for the zero-value
+// ambiguity: Int(0) must mean literal zero, not "use default".
+func TestZeroValueParamsExpressible(t *testing.T) {
+	r := Params{LockedRatio: Int(0), ChanCap: Int(0)}.withDefaults()
+	if r.lockedPct != 0 {
+		t.Fatalf("Int(0) LockedRatio resolved to %d", r.lockedPct)
+	}
+	if r.chanCap != 0 {
+		t.Fatalf("Int(0) ChanCap resolved to %d", r.chanCap)
+	}
+
+	// 0%-locked: the ratio-governed accesses (menu cases 0–4, which
+	// are the only source of mutex-guarded reads) must never take a
+	// lock. The always-guarded RMW case still emits guarded writes.
+	prog := Generate(3, Params{LockedRatio: Int(0)})
+	for _, body := range prog.bodies {
+		for _, o := range body {
+			if o.kind == opVar && !o.isWrite && o.lock >= 0 && o.lock < prog.Params.withDefaults().Mutexes {
+				t.Fatalf("0%%-locked program generated a mutex-guarded read: %+v", o)
+			}
+		}
+	}
+
+	// Unbuffered channels: the shape the old int field could never
+	// express must still execute cleanly (drainer goroutines pair
+	// every send).
+	for seed := int64(0); seed < 10; seed++ {
+		prog := Generate(seed, Params{ChanCap: Int(0)})
+		res := sched.Run(prog.Main(), sched.Options{
+			Strategy: sched.NewRandom(), Seed: seed, MaxSteps: 1 << 18,
+		})
+		if len(res.Failures) > 0 || res.Deadlocked() || res.BudgetExceeded {
+			t.Fatalf("seed %d unbuffered: failures=%v leaked=%v budget=%v",
+				seed, res.Failures, res.Leaked, res.BudgetExceeded)
+		}
+	}
+}
+
+// TestLegacyShapesUnchanged pins that idiom-free generation is
+// byte-identical to pre-extension progen: Params{} and an explicit
+// Int(50) ratio must produce the same trace as each other and the
+// same op stream as before the catalog grew.
+func TestLegacyShapesUnchanged(t *testing.T) {
+	sig := func(p Params) []string {
+		prog := Generate(11, p)
+		rec := &trace.Recorder{}
+		sched.Run(prog.Main(), sched.Options{
+			Strategy: sched.NewRoundRobin(), Seed: 1, MaxSteps: 1 << 18,
+			Listeners: []trace.Listener{rec},
+		})
+		out := make([]string, len(rec.Events))
+		for i, ev := range rec.Events {
+			out[i] = ev.String()
+		}
+		return out
+	}
+	a, b := sig(Params{}), sig(Params{LockedRatio: Int(50)})
+	if len(a) != len(b) {
+		t.Fatalf("explicit-default trace length differs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("explicit-default trace diverges at event %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+// TestIdiomProgramsExecuteCleanly runs the extended catalog under
+// every strategy: maps, flag publication, context trees, errgroup
+// fan-out, and pooled reuse may race, but must never fail the model,
+// leak, or blow the step budget.
+func TestIdiomProgramsExecuteCleanly(t *testing.T) {
+	idioms := []Params{
+		{Maps: 2, MapKeys: 3},
+		{Flags: 2},
+		{CtxDepth: 3},
+		{Errgroup: true},
+		{Pools: 2},
+		{Maps: 1, Flags: 1, CtxDepth: 2, Errgroup: true, Pools: 1, ChanCap: Int(1)},
+	}
+	strategies := []func() sched.Strategy{
+		func() sched.Strategy { return sched.NewRoundRobin() },
+		func() sched.Strategy { return sched.NewRandom() },
+		func() sched.Strategy { return sched.NewPCT(3, 4000) },
+		func() sched.Strategy { return sched.NewDelay(0.1, 6) },
+	}
+	for pi, p := range idioms {
+		for seed := int64(0); seed < 8; seed++ {
+			prog := Generate(seed, p)
+			for si, mk := range strategies {
+				res := sched.Run(prog.Main(), sched.Options{
+					Strategy: mk(), Seed: seed * 13, MaxSteps: 1 << 18,
+				})
+				if len(res.Failures) > 0 {
+					t.Fatalf("idiom %d seed %d strategy %d: failures %v", pi, seed, si, res.Failures)
+				}
+				if res.Deadlocked() {
+					t.Fatalf("idiom %d seed %d strategy %d: leaked %+v", pi, seed, si, res.Leaked)
+				}
+				if res.BudgetExceeded {
+					t.Fatalf("idiom %d seed %d strategy %d: budget exceeded", pi, seed, si)
+				}
+			}
+		}
+	}
+}
+
+// TestSpecRoundTrip: Program → Spec → JSON → Spec → Program must
+// reproduce the identical op stream and an identical trace.
+func TestSpecRoundTrip(t *testing.T) {
+	p := Params{Maps: 1, Flags: 1, CtxDepth: 2, Errgroup: true, Pools: 1}
+	orig := Generate(17, p)
+	raw, err := json.Marshal(orig.Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Spec
+	if err := json.Unmarshal(raw, &s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.bodies) != len(orig.bodies) {
+		t.Fatalf("body count changed: %d vs %d", len(back.bodies), len(orig.bodies))
+	}
+	for gi := range orig.bodies {
+		if len(back.bodies[gi]) != len(orig.bodies[gi]) {
+			t.Fatalf("g%d length changed", gi)
+		}
+		for oi := range orig.bodies[gi] {
+			if back.bodies[gi][oi] != orig.bodies[gi][oi] {
+				t.Fatalf("g%d op%d changed: %+v vs %+v", gi, oi, back.bodies[gi][oi], orig.bodies[gi][oi])
+			}
+		}
+	}
+	trc := func(pr *Program) []string {
+		rec := &trace.Recorder{}
+		sched.Run(pr.Main(), sched.Options{
+			Strategy: sched.NewRandom(), Seed: 3, MaxSteps: 1 << 18,
+			Listeners: []trace.Listener{rec},
+		})
+		out := make([]string, len(rec.Events))
+		for i, ev := range rec.Events {
+			out[i] = ev.String()
+		}
+		return out
+	}
+	a, b := trc(orig), trc(back)
+	if len(a) != len(b) {
+		t.Fatalf("round-trip trace length differs: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round-trip trace diverges at event %d", i)
+		}
+	}
+}
+
+// TestFromSpecRejectsBadIndices: a corrupted spec must be rejected at
+// load time, not crash at run time.
+func TestFromSpecRejectsBadIndices(t *testing.T) {
+	s := Generate(1, Params{}).Spec()
+	s.Goroutines[0].Ops[0] = OpSpec{Kind: "var", Target: 99, Lock: -1}
+	if _, err := FromSpec(s); err == nil {
+		t.Fatal("out-of-range var index accepted")
+	}
+	s = Generate(1, Params{}).Spec()
+	s.Goroutines[0].Ops[0] = OpSpec{Kind: "frobnicate", Lock: -1}
+	if _, err := FromSpec(s); err == nil {
+		t.Fatal("unknown op kind accepted")
+	}
+	s = Generate(1, Params{}).Spec()
+	s.Goroutines[0].Ops[0] = OpSpec{Kind: "err-set", Lock: -1}
+	if _, err := FromSpec(s); err == nil {
+		t.Fatal("err-set without errgroup accepted")
 	}
 }

@@ -1,0 +1,173 @@
+package progen
+
+import (
+	"fmt"
+)
+
+// OpSpec is the serializable form of one generated operation. Kind
+// uses stable string names so committed specs survive opKind
+// renumbering.
+type OpSpec struct {
+	Kind    string `json:"kind"`
+	Target  int    `json:"target,omitempty"`
+	Key     int    `json:"key,omitempty"`
+	Lock    int    `json:"lock"` // -1 = unguarded
+	RWRead  bool   `json:"rwRead,omitempty"`
+	IsWrite bool   `json:"isWrite,omitempty"`
+	Plain   bool   `json:"plain,omitempty"`
+}
+
+// GoroutineSpec is one goroutine's straight-line body plus its
+// errgroup straggler flag.
+type GoroutineSpec struct {
+	Ops       []OpSpec `json:"ops"`
+	Straggler bool     `json:"straggler,omitempty"`
+}
+
+// Spec is the JSON-serializable form of a Program: the exact op
+// sequence rather than the generation seed, so a minimizer can delete
+// individual ops and the result still round-trips.
+type Spec struct {
+	Seed       int64           `json:"seed"`
+	Params     Params          `json:"params"`
+	Goroutines []GoroutineSpec `json:"bodies"`
+}
+
+var kindNames = map[opKind]string{
+	opVar:      "var",
+	opAtomic:   "atomic",
+	opChanSend: "chan-send",
+	opChanRecv: "chan-recv",
+	opYield:    "yield",
+	opMapGet:   "map-get",
+	opMapPut:   "map-put",
+	opMapDel:   "map-del",
+	opMapRange: "map-range",
+	opFlagPub:  "flag-pub",
+	opFlagRead: "flag-read",
+	opCtxPoll:  "ctx-poll",
+	opPoolUse:  "pool-use",
+	opErrSet:   "err-set",
+}
+
+var kindByName = func() map[string]opKind {
+	m := make(map[string]opKind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// Spec captures the program's exact shape for serialization.
+func (pr *Program) Spec() Spec {
+	s := Spec{Seed: pr.Seed, Params: pr.Params}
+	for gi, body := range pr.bodies {
+		gs := GoroutineSpec{Ops: make([]OpSpec, 0, len(body))}
+		for _, o := range body {
+			gs.Ops = append(gs.Ops, OpSpec{
+				Kind: kindNames[o.kind], Target: o.target, Key: o.key,
+				Lock: o.lock, RWRead: o.rwRead, IsWrite: o.isWrite, Plain: o.plain,
+			})
+		}
+		if len(pr.stragglers) > gi {
+			gs.Straggler = pr.stragglers[gi]
+		}
+		s.Goroutines = append(s.Goroutines, gs)
+	}
+	return s
+}
+
+// FromSpec reconstructs a runnable Program from its serialized form,
+// validating every resource index against the spec's Params so a
+// hand-edited or minimized spec cannot index out of bounds at run
+// time.
+func FromSpec(s Spec) (*Program, error) {
+	r := s.Params.withDefaults()
+	pr := &Program{Seed: s.Seed, Params: s.Params}
+	anyStraggler := false
+	for gi, gs := range s.Goroutines {
+		var body []op
+		for oi, os := range gs.Ops {
+			kind, ok := kindByName[os.Kind]
+			if !ok {
+				return nil, fmt.Errorf("g%d op%d: unknown kind %q", gi, oi, os.Kind)
+			}
+			o := op{kind: kind, target: os.Target, key: os.Key, lock: os.Lock,
+				rwRead: os.RWRead, isWrite: os.IsWrite, plain: os.Plain}
+			if err := checkOp(o, r); err != nil {
+				return nil, fmt.Errorf("g%d op%d: %w", gi, oi, err)
+			}
+			body = append(body, o)
+		}
+		pr.bodies = append(pr.bodies, body)
+		if gs.Straggler {
+			anyStraggler = true
+		}
+	}
+	if anyStraggler && !r.Errgroup {
+		return nil, fmt.Errorf("straggler goroutine without errgroup enabled")
+	}
+	if r.Errgroup {
+		pr.stragglers = make([]bool, len(s.Goroutines))
+		for gi, gs := range s.Goroutines {
+			pr.stragglers[gi] = gs.Straggler
+		}
+	}
+	pr.computeSends()
+	return pr, nil
+}
+
+func checkOp(o op, r resolved) error {
+	inPool := func(name string, idx, n int) error {
+		if idx < 0 || idx >= n {
+			return fmt.Errorf("%s index %d out of range [0,%d)", name, idx, n)
+		}
+		return nil
+	}
+	checkLock := func(allowRW bool) error {
+		if o.lock < -1 {
+			return fmt.Errorf("lock index %d", o.lock)
+		}
+		max := r.Mutexes
+		if allowRW {
+			max += r.RWMutexes
+		}
+		if o.lock >= max {
+			return fmt.Errorf("lock index %d out of range [0,%d)", o.lock, max)
+		}
+		return nil
+	}
+	switch o.kind {
+	case opVar:
+		if err := inPool("var", o.target, r.Vars); err != nil {
+			return err
+		}
+		return checkLock(true)
+	case opAtomic:
+		return inPool("atomic", o.target, r.Atomics)
+	case opChanSend, opChanRecv:
+		return inPool("chan", o.target, r.Channels)
+	case opYield:
+		return nil
+	case opMapGet, opMapPut, opMapDel, opMapRange:
+		if err := inPool("map", o.target, r.Maps); err != nil {
+			return err
+		}
+		if err := inPool("map key", o.key, r.mapKeys); err != nil {
+			return err
+		}
+		return checkLock(false)
+	case opFlagPub, opFlagRead:
+		return inPool("flag", o.target, r.Flags)
+	case opCtxPoll:
+		return inPool("ctx level", o.target, r.CtxDepth)
+	case opPoolUse:
+		return inPool("pool object", o.target, r.Pools)
+	case opErrSet:
+		if !r.Errgroup {
+			return fmt.Errorf("err-set without errgroup enabled")
+		}
+		return checkLock(false)
+	}
+	return fmt.Errorf("unhandled kind %d", o.kind)
+}

@@ -13,6 +13,7 @@ import (
 	"gorace/internal/instrument"
 	"gorace/internal/patterns"
 	_ "gorace/internal/progs" // registers instrumented programs
+	"gorace/internal/racegen"
 	"gorace/internal/report"
 	"gorace/internal/sched"
 	"gorace/internal/sweep"
@@ -23,6 +24,15 @@ import (
 // strategies, over how many seeds. Empty fields select defaults, so
 // `{}` is a valid whole-corpus campaign.
 type JobSpec struct {
+	// Mode selects the job kind: "" or "campaign" sweeps the corpus;
+	// "racegen" runs the coverage-guided generation loop (see
+	// docs/GENERATION.md). racegen jobs execute on the local engine
+	// only — a coordinator rejects them at submit.
+	Mode string `json:"mode,omitempty"`
+	// Rounds and Budget bound a racegen job's generation loop
+	// (defaults 3 and 8; ignored for campaign jobs).
+	Rounds int `json:"rounds,omitempty"`
+	Budget int `json:"budget,omitempty"`
 	// Patterns lists corpus pattern ids (default: the whole corpus).
 	// Instrumented programs join the sweep as "prog:<name>" entries
 	// (see `racedetect -list-programs`).
@@ -255,6 +265,26 @@ func newJobManager(workers, depth, parallelism, maxSeeds, retain int, logger *lo
 // shards (handleShards): a shard request is self-contained, so it is
 // revalidated where it executes.
 func validateSpec(spec *JobSpec, maxSeeds int) error {
+	switch spec.Mode {
+	case "", "campaign":
+		spec.Mode = "campaign"
+	case "racegen":
+		if spec.Rounds < 0 || spec.Budget < 0 {
+			return fmt.Errorf("racegen rounds/budget must be non-negative")
+		}
+		if spec.Seeds <= 0 {
+			spec.Seeds = 4 // racegen's per-unit schedule panel default
+		}
+		if spec.Seeds > maxSeeds {
+			return fmt.Errorf("seeds %d exceeds the server cap of %d", spec.Seeds, maxSeeds)
+		}
+		if len(spec.Patterns) > 0 {
+			return fmt.Errorf("racegen jobs generate their own programs; patterns must be empty")
+		}
+		return nil
+	default:
+		return fmt.Errorf("mode %q (want campaign or racegen)", spec.Mode)
+	}
 	switch spec.Variant {
 	case "":
 		spec.Variant = "racy"
@@ -322,6 +352,9 @@ func (m *jobManager) Submit(spec JobSpec) (*Job, error) {
 		if m.hasRun(spec.RunID) {
 			return nil, fmt.Errorf("runId %q already recorded", spec.RunID)
 		}
+	}
+	if spec.Mode == "racegen" && m.remote != nil {
+		return nil, fmt.Errorf("racegen jobs run on the local engine; this coordinator only dispatches campaigns")
 	}
 	if m.remote != nil && m.liveWorkers() == 0 {
 		return nil, ErrNoWorkers
@@ -411,6 +444,12 @@ func (m *jobManager) run(job *Job) {
 	if runID == "" {
 		runID = job.ID
 	}
+
+	if job.Spec.Mode == "racegen" {
+		m.runRacegenJob(job, runID)
+		return
+	}
+
 	units := campaignUnits(job.Spec)
 	onProgress := func(p sweep.Progress) {
 		job.mu.Lock()
@@ -458,6 +497,92 @@ func (m *jobManager) run(job *Job) {
 	}
 	job.mu.Unlock()
 	m.retire(job.ID)
+}
+
+// runRacegenJob executes a racegen-mode job on the local engine: the
+// generation loop proposes, scores, and minimizes discriminating
+// programs, then folds the keepers' races into a collector published
+// under the spec's run id (when set). The loop is seeded and
+// sweep-deterministic, so a resubmitted spec reproduces its result.
+// Unlike campaigns, a racegen job runs to completion even under a
+// forced drain — its budget bounds the work.
+func (m *jobManager) runRacegenJob(job *Job, runID string) {
+	cfg := racegen.Config{
+		Rounds:      job.Spec.Rounds,
+		Budget:      job.Spec.Budget,
+		Seeds:       job.Spec.Seeds,
+		BaseSeed:    job.Spec.BaseSeed,
+		Parallelism: m.parallelism,
+		RunID:       runID,
+		Log: func(format string, args ...any) {
+			m.log.Printf("job %s racegen: "+format, append([]any{job.ID}, args...)...)
+		},
+	}
+	res, err := racegen.Run(cfg)
+	if err == nil && job.Spec.RunID != "" {
+		err = m.publish(res.Collector)
+	}
+
+	job.mu.Lock()
+	job.finished = time.Now()
+	if err != nil {
+		job.state = StateFailed
+		job.err = err.Error()
+		m.log.Printf("job %s failed after %s: %v", job.ID, job.finished.Sub(job.started), err)
+	} else {
+		job.state = StateDone
+		job.result = buildRacegenResult(res)
+		job.progress = JobProgress{
+			DoneShards: len(res.Rounds), TotalShards: len(res.Rounds),
+			Runs: res.Collector.Executions(), Racy: len(res.Keepers),
+		}
+		m.log.Printf("job %s done in %s: %d keepers, %d categories filled",
+			job.ID, job.finished.Sub(job.started), len(res.Keepers), len(res.Fill))
+	}
+	job.mu.Unlock()
+	m.retire(job.ID)
+}
+
+// buildRacegenResult renders a racegen campaign into the wire result:
+// one unit row per round (candidates → Runs, disagreeing → Detected,
+// kept → Races), the keepers' corpus fold as Defects, and the
+// category fill as Categories.
+func buildRacegenResult(res *racegen.Result) *JobResult {
+	jr := &JobResult{
+		Units:      len(res.Keepers),
+		Shards:     len(res.Rounds),
+		Runs:       res.Collector.Executions(),
+		Racy:       len(res.Keepers),
+		Categories: make(map[string]int),
+	}
+	for _, r := range res.Rounds {
+		jr.UnitResults = append(jr.UnitResults, JobUnitResult{
+			Unit:     fmt.Sprintf("racegen/round-%d", r.Round),
+			Detector: strings.Join(racegen.Detectors, "+"),
+			Strategy: strings.Join(racegen.Strategies, "+"),
+			Runs:     r.Candidates, Detected: r.Disagreeing, Races: r.Kept,
+			Probability: func() float64 {
+				if r.Candidates == 0 {
+					return 0
+				}
+				return float64(r.Disagreeing) / float64(r.Candidates)
+			}(),
+		})
+	}
+	for _, rec := range res.Collector.Records() {
+		d := JobDefect{
+			Key: rec.Key, Unit: rec.Unit, Count: rec.Count,
+			Category: string(rec.Category), Race: rec.Race,
+		}
+		for _, l := range rec.Labels {
+			d.Labels = append(d.Labels, string(l))
+		}
+		jr.Defects = append(jr.Defects, d)
+	}
+	for cat, n := range res.Fill {
+		jr.Categories[string(cat)] = n
+	}
+	return jr
 }
 
 // retire records a job's completion and evicts the oldest finished

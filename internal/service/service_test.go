@@ -300,6 +300,65 @@ func TestJobLifecycle(t *testing.T) {
 	}
 }
 
+// TestJobRacegen submits a racegen-mode job: the generation loop runs
+// on the local engine, keepers land as racegen-prefixed defects, and
+// an identical spec reproduces byte-identical results.
+func TestJobRacegen(t *testing.T) {
+	store, _ := seedStore(t)
+	_, ts := newTestServer(t, Config{Store: store, JobWorkers: 1, JobParallelism: 2})
+
+	spec := `{"mode":"racegen","rounds":1,"budget":4,"seeds":3}`
+	status, body, _ := post(t, ts.URL+"/v1/jobs", spec)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit = %d %s", status, body)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	st := waitForJob(t, ts.URL, sub.ID)
+	if st.State != StateDone {
+		t.Fatalf("job state = %s (%s)", st.State, st.Error)
+	}
+
+	status, res1, _ := get(t, ts.URL+"/v1/jobs/"+sub.ID+"/results")
+	if status != http.StatusOK {
+		t.Fatalf("results = %d", status)
+	}
+	if !bytes.Contains(res1, []byte(`"racegen:`)) {
+		t.Fatalf("results carry no racegen-prefixed defects:\n%s", res1)
+	}
+	if !bytes.Contains(res1, []byte(`racegen/round-1`)) {
+		t.Fatalf("results carry no round rows:\n%s", res1)
+	}
+
+	status, body2, _ := post(t, ts.URL+"/v1/jobs", spec)
+	if status != http.StatusAccepted {
+		t.Fatalf("second submit = %d %s", status, body2)
+	}
+	var sub2 submitResponse
+	json.Unmarshal(body2, &sub2)
+	if st2 := waitForJob(t, ts.URL, sub2.ID); st2.State != StateDone {
+		t.Fatalf("second job state = %s (%s)", st2.State, st2.Error)
+	}
+	_, res2, _ := get(t, ts.URL+"/v1/jobs/"+sub2.ID+"/results")
+	if !bytes.Equal(res1, res2) {
+		t.Fatalf("identical racegen specs produced different results:\n%s\nvs\n%s", res1, res2)
+	}
+
+	// Mode validation bounces at the door.
+	for _, bad := range []string{
+		`{"mode":"generate"}`,
+		`{"mode":"racegen","patterns":["capture-loop-index"]}`,
+		`{"mode":"racegen","rounds":-1}`,
+		`{"mode":"racegen","seeds":100000}`,
+	} {
+		if s, b, _ := post(t, ts.URL+"/v1/jobs", bad); s != http.StatusBadRequest {
+			t.Fatalf("spec %s = %d %s, want 400", bad, s, b)
+		}
+	}
+}
+
 // TestJobInstrumentedProgram sweeps an instrumented program (a
 // prog:<name> spec entry) next to a synthetic pattern, and checks
 // both bad-program rejections.

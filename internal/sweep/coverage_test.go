@@ -1,0 +1,98 @@
+package sweep_test
+
+import (
+	"testing"
+
+	"gorace/internal/progen"
+	"gorace/internal/sweep"
+)
+
+func coveragePlan(detectors []string, runs int) []sweep.Unit {
+	prog := progen.Generate(42, progen.Params{Maps: 1, Flags: 1})
+	units := make([]sweep.Unit, 0, len(detectors))
+	for _, det := range detectors {
+		units = append(units, sweep.Unit{
+			ID:       "cov/" + det,
+			Program:  prog.Main(),
+			Detector: det,
+			Strategy: "random",
+			BaseSeed: 100,
+			Runs:     runs,
+			MaxSteps: 1 << 16,
+			Record:   true,
+		})
+	}
+	return units
+}
+
+// TestCoverAndVerdictsDeterministic: the coverage edge set and every
+// verdict signature must be identical at parallelism 1 and 8 — the
+// same determinism contract every other aggregator honors, and the
+// one racegen's scoring depends on.
+func TestCoverAndVerdictsDeterministic(t *testing.T) {
+	dets := []string{"fasttrack", "djit", "eraser"}
+	run := func(par int) (*sweep.Cover, *sweep.Verdicts) {
+		aggs, _, err := sweep.New(sweep.WithParallelism(par)).Run(coveragePlan(dets, 3),
+			func() sweep.Aggregator { return sweep.NewCover() },
+			func() sweep.Aggregator { return sweep.NewVerdicts() },
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return aggs[0].(*sweep.Cover), aggs[1].(*sweep.Verdicts)
+	}
+	c1, v1 := run(1)
+	c8, v8 := run(8)
+
+	e1, e8 := c1.Edges(), c8.Edges()
+	if len(e1) == 0 {
+		t.Fatal("no coverage edges observed from a recorded campaign")
+	}
+	if len(e1) != len(e8) {
+		t.Fatalf("edge count differs by parallelism: %d vs %d", len(e1), len(e8))
+	}
+	for i := range e1 {
+		if e1[i] != e8[i] {
+			t.Fatalf("edge %d differs by parallelism", i)
+		}
+	}
+	for idx := range dets {
+		u1, u8 := v1.Unit(idx), v8.Unit(idx)
+		if u1 == nil || u8 == nil {
+			t.Fatalf("unit %d missing verdict", idx)
+		}
+		if u1.Signature() != u8.Signature() {
+			t.Fatalf("unit %d signature differs by parallelism:\n%s\n%s",
+				idx, u1.Signature(), u8.Signature())
+		}
+	}
+}
+
+// TestVerdictsExposeDisagreement: eraser ignores atomics, so the
+// flag-publication idiom's partial-atomics race must split the
+// verdicts — the exact differential signal racegen scores.
+func TestVerdictsExposeDisagreement(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		prog := progen.Generate(seed, progen.Params{Flags: 2, LockedRatio: progen.Int(0)})
+		units := []sweep.Unit{
+			{ID: "ft", Program: prog.Main(), Detector: "fasttrack", Strategy: "random",
+				BaseSeed: 1, Runs: 6, MaxSteps: 1 << 16},
+			{ID: "er", Program: prog.Main(), Detector: "eraser", Strategy: "random",
+				BaseSeed: 1, Runs: 6, MaxSteps: 1 << 16},
+		}
+		aggs, _, err := sweep.New(sweep.WithParallelism(2)).Run(units,
+			func() sweep.Aggregator { return sweep.NewVerdicts() })
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := aggs[0].(*sweep.Verdicts)
+		ft, er := v.Unit(0), v.Unit(1)
+		if ft == nil || er == nil {
+			t.Fatal("missing verdicts")
+		}
+		if ft.Signature() != er.Signature() {
+			return // disagreement found — the oracle has signal
+		}
+	}
+	t.Fatal("no fasttrack/eraser disagreement across 25 flag-publication programs")
+}
